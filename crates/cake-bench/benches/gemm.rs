@@ -1,0 +1,104 @@
+//! End-to-end GEMM benchmarks: CAKE vs GOTO vs naive on this machine.
+//!
+//! Complements the simulator figures with real wall-clock numbers. On a
+//! single-core sandbox these validate the sequential paths; on a real
+//! multi-core machine they reproduce the paper's native comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cake_core::api::{cake_sgemm, CakeConfig};
+use cake_goto::api::{goto_gemm, GotoConfig};
+use cake_goto::naive::naive_gemm_ikj;
+use cake_matrix::{init, Matrix};
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square_f32");
+    for &n in &[128usize, 256, 512] {
+        let a = init::random::<f32>(n, n, 1);
+        let b = init::random::<f32>(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+
+        let cfg = CakeConfig::with_threads(1);
+        group.bench_with_input(BenchmarkId::new("cake", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut out = Matrix::<f32>::zeros(n, n);
+                cake_sgemm(black_box(&a), black_box(&b), &mut out, &cfg);
+                black_box(out.get(0, 0))
+            })
+        });
+
+        let gcfg = GotoConfig::with_threads(1);
+        group.bench_with_input(BenchmarkId::new("goto", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut out = Matrix::<f32>::zeros(n, n);
+                goto_gemm(black_box(&a), black_box(&b), &mut out, &gcfg);
+                black_box(out.get(0, 0))
+            })
+        });
+
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive_ikj", n), &n, |bch, _| {
+                bch.iter(|| {
+                    let mut out = Matrix::<f32>::zeros(n, n);
+                    naive_gemm_ikj(black_box(&a), black_box(&b), &mut out);
+                    black_box(out.get(0, 0))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    // Skewed shapes from the paper's Figure 8 study (small K = low AI).
+    let mut group = c.benchmark_group("gemm_skewed_f32");
+    let shapes = [(512usize, 64usize, 512usize), (64, 512, 64), (512, 512, 64)];
+    for &(m, k, n) in &shapes {
+        let a = init::random::<f32>(m, k, 3);
+        let b = init::random::<f32>(k, n, 4);
+        let label = format!("{m}x{k}x{n}");
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        let cfg = CakeConfig::with_threads(1);
+        group.bench_function(BenchmarkId::new("cake", &label), |bch| {
+            bch.iter(|| {
+                let mut out = Matrix::<f32>::zeros(m, n);
+                cake_sgemm(black_box(&a), black_box(&b), &mut out, &cfg);
+                black_box(out.get(0, 0))
+            })
+        });
+        let gcfg = GotoConfig::with_threads(1);
+        group.bench_function(BenchmarkId::new("goto", &label), |bch| {
+            bch.iter(|| {
+                let mut out = Matrix::<f32>::zeros(m, n);
+                goto_gemm(black_box(&a), black_box(&b), &mut out, &gcfg);
+                black_box(out.get(0, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_f64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square_f64");
+    let n = 256;
+    let a = init::random::<f64>(n, n, 5);
+    let b = init::random::<f64>(n, n, 6);
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    let cfg = CakeConfig::with_threads(1);
+    group.bench_function("cake_256", |bch| {
+        bch.iter(|| {
+            let mut out = Matrix::<f64>::zeros(n, n);
+            cake_core::api::cake_dgemm(black_box(&a), black_box(&b), &mut out, &cfg);
+            black_box(out.get(0, 0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_square, bench_skewed, bench_f64
+}
+criterion_main!(benches);

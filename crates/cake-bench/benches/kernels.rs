@@ -1,0 +1,91 @@
+//! Microkernel benchmarks: SIMD vs portable, full vs edge tiles, packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cake_kernels::edge::run_tile;
+use cake_kernels::pack::{pack_a, pack_b, packed_a_size, packed_b_size};
+use cake_kernels::select::{best_kernel, portable_kernel};
+use cake_kernels::Ukr;
+use cake_matrix::init;
+
+fn bench_kernel(c: &mut Criterion, name: &str, ukr: Ukr<f32>) {
+    let mut group = c.benchmark_group(format!("ukernel_{name}"));
+    let (mr, nr) = (ukr.mr(), ukr.nr());
+    for &kc in &[32usize, 128, 512] {
+        let a = init::random::<f32>(mr, kc, 1);
+        let b = init::random::<f32>(kc, nr, 2);
+        let mut pa = vec![0.0f32; packed_a_size(mr, kc, mr)];
+        let mut pb = vec![0.0f32; packed_b_size(kc, nr, nr)];
+        pack_a(&a.view(), &mut pa, mr);
+        pack_b(&b.view(), &mut pb, nr);
+        let mut ct = vec![0.0f32; mr * nr];
+        group.throughput(Throughput::Elements((2 * mr * nr * kc) as u64));
+        group.bench_with_input(BenchmarkId::new("full_tile", kc), &kc, |bch, &kc| {
+            bch.iter(|| {
+                unsafe {
+                    ukr.call(kc, pa.as_ptr(), pb.as_ptr(), ct.as_mut_ptr(), nr, 1);
+                }
+                black_box(ct[0])
+            })
+        });
+        // Edge path: one row / one column short of a full tile.
+        group.bench_with_input(BenchmarkId::new("edge_tile", kc), &kc, |bch, &kc| {
+            bch.iter(|| {
+                unsafe {
+                    run_tile(
+                        &ukr,
+                        kc,
+                        pa.as_ptr(),
+                        pb.as_ptr(),
+                        ct.as_mut_ptr(),
+                        nr,
+                        1,
+                        mr - 1,
+                        nr - 1,
+                    );
+                }
+                black_box(ct[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    bench_kernel(c, "best", best_kernel::<f32>());
+    if best_kernel::<f32>().name() != portable_kernel::<f32>().name() {
+        bench_kernel(c, "portable", portable_kernel::<f32>());
+    }
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    let (mc, kc, nc) = (192usize, 192usize, 1536usize);
+    let a = init::random::<f32>(mc, kc, 3);
+    let b = init::random::<f32>(kc, nc, 4);
+    let mut pa = vec![0.0f32; packed_a_size(mc, kc, 6)];
+    let mut pb = vec![0.0f32; packed_b_size(kc, nc, 16)];
+    group.throughput(Throughput::Bytes((mc * kc * 4) as u64));
+    group.bench_function("pack_a_192x192", |bch| {
+        bch.iter(|| {
+            pack_a(black_box(&a.view()), &mut pa, 6);
+            black_box(pa[0])
+        })
+    });
+    group.throughput(Throughput::Bytes((kc * nc * 4) as u64));
+    group.bench_function("pack_b_192x1536", |bch| {
+        bch.iter(|| {
+            pack_b(black_box(&b.view()), &mut pb, 16);
+            black_box(pb[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels, bench_packing
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Simulator performance: cost of regenerating the paper's figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cake_sim::cache::Hierarchy;
+use cake_sim::config::CpuConfig;
+use cake_sim::engine::{simulate_cake, simulate_goto, SimParams};
+use cake_sim::trace::run_cake_trace;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    let intel = CpuConfig::intel_i9_10900k();
+    for &n in &[4608usize, 23040] {
+        group.bench_with_input(BenchmarkId::new("cake", n), &n, |bch, &n| {
+            bch.iter(|| black_box(simulate_cake(&intel, &SimParams::square(n, 10)).gflops))
+        });
+        group.bench_with_input(BenchmarkId::new("goto", n), &n, |bch, &n| {
+            bch.iter(|| black_box(simulate_goto(&intel, &SimParams::square(n, 10)).gflops))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_cache");
+    group.bench_function("hierarchy_100k_accesses", |bch| {
+        bch.iter(|| {
+            let mut h = Hierarchy::new(4, 32 * 1024, 256 * 1024, 4 * 1024 * 1024);
+            for i in 0..100_000u64 {
+                h.access((i % 4) as usize, i % 977, 4096, i % 3 == 0);
+            }
+            black_box(h.stats.dram_accesses)
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_trace");
+    group.sample_size(10);
+    let arm = CpuConfig::arm_cortex_a53();
+    group.bench_function("cake_arm_600", |bch| {
+        bch.iter(|| black_box(run_cake_trace(&arm, &SimParams::square(600, 4)).dram_accesses))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine, bench_cache_hierarchy, bench_trace
+}
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! `cakectl` — command-line front end to the CAKE analysis tools.
+//!
+//! ```text
+//! cakectl shape    --cpu intel|amd|arm --p P [--m M --k K --n N] [--alpha A]
+//! cakectl simulate --cpu intel|amd|arm --p P --m M --k K --n N [--algo cake|goto]
+//! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
+//! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
+//! ```
+//!
+//! Everything the paper derives analytically, queryable from the shell.
+
+use cake_bench::output::{arg_value, render_table};
+use cake_core::model::CakeModel;
+use cake_core::schedule::{BlockGrid, KFirstSchedule};
+use cake_core::traffic::{dram_traffic, CResidency, TrafficParams};
+use cake_sim::config::CpuConfig;
+use cake_sim::engine::{resolve_cake_shape, simulate_cake, simulate_goto, SimParams};
+use cake_sim::search::{analytic_point, grid_search};
+
+fn cpu_by_name(name: &str) -> CpuConfig {
+    match name {
+        "intel" => CpuConfig::intel_i9_10900k(),
+        "amd" => CpuConfig::amd_ryzen_9_5950x(),
+        "arm" => CpuConfig::arm_cortex_a53(),
+        other => {
+            eprintln!("unknown cpu '{other}' (expected intel|amd|arm)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn req_usize(key: &str) -> usize {
+    match arg_value(key).and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("missing or invalid {key}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn opt_usize(key: &str, default: usize) -> usize {
+    arg_value(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn cmd_shape() {
+    let cpu = cpu_by_name(&arg_value("--cpu").unwrap_or_else(|| "intel".into()));
+    let p = opt_usize("--p", cpu.cores);
+    let mut sp = SimParams::new(
+        opt_usize("--m", 1 << 20),
+        opt_usize("--k", 1 << 20),
+        opt_usize("--n", 1 << 20),
+        p,
+    );
+    sp.alpha = arg_value("--alpha").and_then(|v| v.parse().ok());
+    let shape = resolve_cake_shape(&cpu, &sp);
+    let model = CakeModel::with_mac_rate(
+        shape,
+        cpu.mr,
+        cpu.nr,
+        sp.elem_bytes,
+        cpu.freq_ghz,
+        cpu.macs_per_cycle_f32,
+    );
+    println!("CPU: {} ({} cores used)", cpu.name, p);
+    println!("CB block: {shape}");
+    println!("  A surface: {:>12} elements", shape.a_surface());
+    println!("  B surface: {:>12} elements", shape.b_surface());
+    println!("  C surface: {:>12} elements", shape.c_surface());
+    println!("  fits LRU rule (C + 2(A+B) <= LLC): {}", shape.fits_llc_lru(cpu.llc_bytes, 4));
+    println!("Model (Eqs. 4/5/6):");
+    println!("  required DRAM bandwidth: {:>8.2} GB/s (constant in p)", model.ext_bw_gbs());
+    println!("  local memory footprint : {:>8.2} MiB", model.local_mem_bytes() / 1048576.0);
+    println!("  internal bandwidth     : {:>8.2} GB/s", model.int_bw_gbs());
+    println!("  peak throughput        : {:>8.2} GFLOP/s", model.peak_gflops());
+}
+
+fn cmd_simulate() {
+    let cpu = cpu_by_name(&arg_value("--cpu").unwrap_or_else(|| "intel".into()));
+    let p = opt_usize("--p", cpu.cores);
+    let sp = SimParams::new(req_usize("--m"), req_usize("--k"), req_usize("--n"), p);
+    let algo = arg_value("--algo").unwrap_or_else(|| "cake".into());
+    let rep = match algo.as_str() {
+        "cake" => simulate_cake(&cpu, &sp),
+        "goto" => simulate_goto(&cpu, &sp),
+        other => {
+            eprintln!("unknown algo '{other}' (expected cake|goto)");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", cpu.name);
+    println!("{rep}");
+    println!("  simulated time : {:.4} ms", rep.seconds * 1e3);
+    println!("  DRAM traffic   : {:.1} MiB", rep.dram_bytes as f64 / 1048576.0);
+    println!("  steps          : {}", rep.steps);
+}
+
+fn cmd_search() {
+    let cpu = cpu_by_name(&arg_value("--cpu").unwrap_or_else(|| "intel".into()));
+    let p = opt_usize("--p", cpu.cores);
+    let n = req_usize("--n");
+    let steps = opt_usize("--steps", 5);
+    let res = grid_search(&cpu, n, p, steps);
+    let analytic = analytic_point(&cpu, n, p);
+
+    let mut rows: Vec<Vec<String>> = res
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, pt)| {
+            vec![
+                format!("{}", pt.shape),
+                format!("{:.2}", pt.gflops),
+                format!("{:.2}", pt.dram_bw_gbs),
+                if pt.fits_llc { "yes" } else { "NO" }.into(),
+                if i == res.best { "<= best" } else { "" }.into(),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        format!("{} (analytic)", analytic.shape),
+        format!("{:.2}", analytic.gflops),
+        format!("{:.2}", analytic.dram_bw_gbs),
+        if analytic.fits_llc { "yes" } else { "NO" }.into(),
+        "closed-form".into(),
+    ]);
+    println!(
+        "Design search on {} ({} cores, {n}^3): {} evaluations\n",
+        cpu.name,
+        p,
+        res.evaluations()
+    );
+    println!(
+        "{}",
+        render_table(&["shape", "GFLOP/s", "DRAM GB/s", "fits", ""], &rows)
+    );
+    println!(
+        "analytic vs searched-best time: x{:.3}",
+        analytic.seconds / res.best_point().seconds
+    );
+}
+
+fn cmd_traffic() {
+    let tp = TrafficParams {
+        m: req_usize("--m"),
+        k: req_usize("--k"),
+        n: req_usize("--n"),
+        bm: req_usize("--bm"),
+        bk: req_usize("--bk"),
+        bn: req_usize("--bn"),
+    };
+    let policy = match arg_value("--policy").as_deref() {
+        Some("stream") => CResidency::StreamToDram,
+        _ => CResidency::HoldInLlc,
+    };
+    let grid = BlockGrid::for_problem(tp.m, tp.k, tp.n, tp.bm, tp.bk, tp.bn);
+    let t = dram_traffic(KFirstSchedule::new(grid, tp.m, tp.n), tp, policy);
+    println!("K-first snake schedule over {}x{}x{} blocks ({policy:?})", grid.mb, grid.kb, grid.nb);
+    println!("  A loads          : {:>14} elements", t.a_loads);
+    println!("  B loads          : {:>14} elements", t.b_loads);
+    println!("  C final writes   : {:>14} elements", t.c_final_writes);
+    println!("  C partial writes : {:>14} elements", t.c_partial_writes);
+    println!("  C partial reads  : {:>14} elements", t.c_partial_reads);
+    println!("  total            : {:>14} elements ({:.1} MiB as f32)", t.total(), t.total_bytes(4) as f64 / 1048576.0);
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    match cmd.as_str() {
+        "shape" => cmd_shape(),
+        "simulate" => cmd_simulate(),
+        "search" => cmd_search(),
+        "traffic" => cmd_traffic(),
+        _ => {
+            eprintln!(
+                "usage: cakectl <shape|simulate|search|traffic> [options]\n\
+                 see module docs (crates/cake-bench/src/bin/cakectl.rs) for flags"
+            );
+            std::process::exit(2);
+        }
+    }
+}

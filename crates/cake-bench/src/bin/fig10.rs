@@ -1,0 +1,92 @@
+//! Figure 10 — Intel i9-10900K scaling study, 23040^3 MM.
+//!
+//! Panel (a): DRAM bandwidth (CAKE observed, MKL observed, CAKE optimal).
+//! Panel (b): computation throughput with extrapolation past 10 cores.
+//! Panel (c): internal bandwidth (measured curve + linear extrapolation).
+//!
+//! Usage: `fig10 [--n SIZE]` (default 23040, the paper's size).
+
+use cake_bench::figures::fig10;
+use cake_bench::output::{arg_value, ascii_chart, f2, render_table, write_csv};
+
+fn main() {
+    let n: usize = arg_value("--n").and_then(|s| s.parse().ok()).unwrap_or(23040);
+    println!("Figure 10: CAKE vs MKL on Intel i9-10900K, {n}x{n}x{n} MM\n");
+    let rows = fig10(n);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.p.to_string(),
+                if r.extrapolated { "yes" } else { "" }.into(),
+                f2(r.cake_dram_bw),
+                f2(r.vendor_dram_bw),
+                f2(r.cake_optimal_bw),
+                f2(r.cake_gflops),
+                f2(r.vendor_gflops),
+                f2(r.internal_bw),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "p",
+                "extrap",
+                "CAKE DRAM GB/s",
+                "MKL DRAM GB/s",
+                "CAKE optimal GB/s",
+                "CAKE GFLOP/s",
+                "MKL GFLOP/s",
+                "internal GB/s",
+            ],
+            &table
+        )
+    );
+    // Terminal plots of panels (a) and (b).
+    let pa: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.cake_dram_bw)).collect();
+    let pb: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.vendor_dram_bw)).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Panel (a): avg DRAM bandwidth (GB/s) vs cores",
+            &[("CAKE", pa), ("MKL", pb)],
+            12
+        )
+    );
+    let ta: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.cake_gflops)).collect();
+    let tb: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.vendor_gflops)).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Panel (b): computation throughput (GFLOP/s) vs cores",
+            &[("CAKE", ta), ("MKL", tb)],
+            12
+        )
+    );
+
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{:.3},{:.3},{:.3},{:.2},{:.2},{:.1}",
+                r.p,
+                r.extrapolated,
+                r.cake_dram_bw,
+                r.vendor_dram_bw,
+                r.cake_optimal_bw,
+                r.cake_gflops,
+                r.vendor_gflops,
+                r.internal_bw
+            )
+        })
+        .collect();
+    if let Ok(p) = write_csv(
+        "fig10",
+        "p,extrapolated,cake_dram_gbs,mkl_dram_gbs,cake_optimal_gbs,cake_gflops,mkl_gflops,internal_gbs",
+        &csv,
+    ) {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 12 — AMD Ryzen 9 5950X scaling study, 23040^3 MM
+//! (CAKE vs OpenBLAS).
+//!
+//! Usage: `fig12 [--n SIZE]` (default 23040, the paper's size).
+
+use cake_bench::figures::fig12;
+use cake_bench::output::{arg_value, ascii_chart, f2, render_table, write_csv};
+
+fn main() {
+    let n: usize = arg_value("--n").and_then(|s| s.parse().ok()).unwrap_or(23040);
+    println!("Figure 12: CAKE vs OpenBLAS on AMD Ryzen 9 5950X, {n}x{n}x{n} MM\n");
+    let rows = fig12(n);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.p.to_string(),
+                if r.extrapolated { "yes" } else { "" }.into(),
+                f2(r.cake_dram_bw),
+                f2(r.vendor_dram_bw),
+                f2(r.cake_gflops),
+                f2(r.vendor_gflops),
+                f2(r.internal_bw),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "p",
+                "extrap",
+                "CAKE DRAM GB/s",
+                "OpenBLAS DRAM GB/s",
+                "CAKE GFLOP/s",
+                "OpenBLAS GFLOP/s",
+                "internal GB/s",
+            ],
+            &table
+        )
+    );
+    // Terminal plots of panels (a) and (b).
+    let pa: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.cake_dram_bw)).collect();
+    let pb: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.vendor_dram_bw)).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Panel (a): avg DRAM bandwidth (GB/s) vs cores",
+            &[("CAKE", pa), ("OpenBLAS", pb)],
+            12
+        )
+    );
+    let ta: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.cake_gflops)).collect();
+    let tb: Vec<(f64, f64)> = rows.iter().map(|r| (r.p as f64, r.vendor_gflops)).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Panel (b): computation throughput (GFLOP/s) vs cores",
+            &[("CAKE", ta), ("OpenBLAS", tb)],
+            12
+        )
+    );
+
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{:.3},{:.3},{:.2},{:.2},{:.1}",
+                r.p,
+                r.extrapolated,
+                r.cake_dram_bw,
+                r.vendor_dram_bw,
+                r.cake_gflops,
+                r.vendor_gflops,
+                r.internal_bw
+            )
+        })
+        .collect();
+    if let Ok(p) = write_csv(
+        "fig12",
+        "p,extrapolated,cake_dram_gbs,openblas_dram_gbs,cake_gflops,openblas_gflops,internal_gbs",
+        &csv,
+    ) {
+        println!("wrote {}", p.display());
+    }
+}

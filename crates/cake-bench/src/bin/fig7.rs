@@ -1,0 +1,72 @@
+//! Figure 7 — memory-request distribution across the hierarchy.
+//!
+//! * Part (a): clock ticks stalled per level, CAKE vs MKL, Intel i9
+//!   (paper: 10000x10000 matrices, all 10 cores).
+//! * Part (b): cache hits and DRAM accesses, CAKE vs ARMPL, ARM A53
+//!   (paper: 3000x3000 matrices).
+//!
+//! Usage: `fig7 [--part a|b] [--full]`
+//! Default sizes are reduced (trace simulation is tile-granular);
+//! `--full` uses the paper's sizes.
+
+use cake_bench::figures::{fig7a, fig7b};
+use cake_bench::output::{arg_value, has_flag, render_table, write_csv};
+
+fn main() {
+    let part = arg_value("--part").unwrap_or_else(|| "ab".into());
+    let full = has_flag("--full");
+
+    if part.contains('a') {
+        let n = if full { 10000 } else { 3072 };
+        println!("Figure 7a: memory request stalls on Intel i9 ({n}x{n}, 10 cores)\n");
+        let rows = fig7a(n);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.level.clone(),
+                    format!("{:.3e}", r.cake),
+                    format!("{:.3e}", r.vendor),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["level", "CAKE (stall cycles)", "MKL (stall cycles)"], &table)
+        );
+        let csv: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{},{},{}", r.level, r.cake, r.vendor))
+            .collect();
+        if let Ok(p) = write_csv("fig7a", "level,cake_stall_cycles,mkl_stall_cycles", &csv) {
+            println!("wrote {}\n", p.display());
+        }
+    }
+
+    if part.contains('b') {
+        let n = if full { 3000 } else { 1200 };
+        println!("Figure 7b: cache and DRAM accesses on ARM ({n}x{n}, 4 cores)\n");
+        let rows = fig7b(n);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.level.clone(),
+                    format!("{:.3e}", r.cake),
+                    format!("{:.3e}", r.vendor),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["counter", "CAKE", "ARMPL"], &table)
+        );
+        let csv: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{},{},{}", r.level, r.cake, r.vendor))
+            .collect();
+        if let Ok(p) = write_csv("fig7b", "counter,cake,armpl", &csv) {
+            println!("wrote {}", p.display());
+        }
+    }
+}

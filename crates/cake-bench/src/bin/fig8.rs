@@ -1,0 +1,55 @@
+//! Figure 8 — relative CAKE/MKL throughput contours over (M, K) for four
+//! M:N aspect ratios on the Intel i9 (all 10 cores).
+//!
+//! Usage: `fig8 [--step SIZE]` (default grid 1000..=8000 step 1000).
+
+use cake_bench::figures::fig8_panel;
+use cake_bench::output::{arg_value, write_csv};
+
+fn main() {
+    let step: usize = arg_value("--step")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let sizes: Vec<usize> = (1..=8).map(|i| i * step.max(125)).collect();
+
+    for ratio in [1usize, 2, 4, 8] {
+        println!("Figure 8: relative throughput for M = {ratio}N (Intel i9, 10 cores)");
+        let pts = fig8_panel(ratio, &sizes);
+
+        // Render the contour grid as text: rows = K (descending), cols = M.
+        print!("{:>8} |", "K \\ M");
+        for &m in &sizes {
+            print!("{m:>7}");
+        }
+        println!();
+        println!("{}", "-".repeat(10 + 7 * sizes.len()));
+        for &k in sizes.iter().rev() {
+            print!("{k:>8} |");
+            for &m in &sizes {
+                let p = pts
+                    .iter()
+                    .find(|p| p.m == m && p.k == k)
+                    .expect("grid point");
+                print!("{:>7.2}", p.ratio);
+            }
+            println!();
+        }
+        // Contour legend matching the paper's shading levels.
+        let count = |lo: f64| pts.iter().filter(|p| p.ratio >= lo).count();
+        println!(
+            "points >= 1.00x: {}   >= 1.25x: {}   >= 1.50x: {}   >= 2.00x: {}\n",
+            count(1.0),
+            count(1.25),
+            count(1.5),
+            count(2.0)
+        );
+
+        let csv: Vec<String> = pts
+            .iter()
+            .map(|p| format!("{},{},{:.4}", p.m, p.k, p.ratio))
+            .collect();
+        if let Ok(path) = write_csv(&format!("fig8_m{ratio}n"), "m,k,cake_over_mkl", &csv) {
+            println!("wrote {}\n", path.display());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 9 — speedup (t_p / t_1) for square matrices.
+//!
+//! * Part (a): CAKE vs MKL on the Intel i9, sizes 1000/2000/3000.
+//! * Part (b): CAKE vs ARMPL on the ARM A53, same sizes.
+//!
+//! Usage: `fig9 [--part a|b]`
+
+use cake_bench::figures::{fig9, vendor_name};
+use cake_bench::output::{arg_value, f2, render_table, write_csv};
+use cake_sim::config::CpuConfig;
+
+fn run(cpu: &CpuConfig, tag: &str) {
+    let sizes = [1000usize, 2000, 3000];
+    println!(
+        "Figure 9{tag}: speedup for square matrices, CAKE vs {} on {}\n",
+        vendor_name(cpu),
+        cpu.name
+    );
+    let rows = fig9(cpu, &sizes);
+    let mut table = Vec::new();
+    for &size in &sizes {
+        for r in rows.iter().filter(|r| r.size == size) {
+            table.push(vec![
+                size.to_string(),
+                r.p.to_string(),
+                f2(r.cake),
+                f2(r.vendor),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["M=N=K", "cores", "CAKE speedup", "vendor speedup"], &table)
+    );
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{},{},{:.4},{:.4}", r.size, r.p, r.cake, r.vendor))
+        .collect();
+    if let Ok(p) = write_csv(&format!("fig9{tag}"), "size,p,cake_speedup,vendor_speedup", &csv) {
+        println!("wrote {}\n", p.display());
+    }
+}
+
+fn main() {
+    let part = arg_value("--part").unwrap_or_else(|| "ab".into());
+    if part.contains('a') {
+        run(&CpuConfig::intel_i9_10900k(), "a");
+    }
+    if part.contains('b') {
+        run(&CpuConfig::arm_cortex_a53(), "b");
+    }
+}

@@ -1,0 +1,78 @@
+//! Native sweep: real wall-clock CAKE vs GOTO vs naive on this machine.
+//!
+//! Not a paper figure — the sandbox has a single core — but validates
+//! that the actual library implementations run and lets users on real
+//! multi-core machines reproduce the paper's comparisons natively.
+//!
+//! Usage: `sweep [--max SIZE] [--threads P]`
+
+use std::time::Instant;
+
+use cake_bench::output::{arg_value, render_table, write_csv};
+use cake_core::api::{cake_sgemm, CakeConfig};
+use cake_goto::api::{goto_gemm, GotoConfig};
+use cake_goto::naive::naive_gemm_ikj;
+use cake_matrix::{init, Matrix};
+
+/// Best-of-3 timing (single-shot numbers are too noisy on shared machines).
+fn time_gflops(m: usize, k: usize, n: usize, mut f: impl FnMut(&mut Matrix<f32>)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let t0 = Instant::now();
+        f(&mut c);
+        let dt = t0.elapsed().as_secs_f64();
+        // Prevent the whole computation from being optimized out.
+        std::hint::black_box(c.get(m / 2, n / 2));
+        best = best.min(dt);
+    }
+    2.0 * m as f64 * k as f64 * n as f64 / best / 1e9
+}
+
+fn main() {
+    let max: usize = arg_value("--max").and_then(|s| s.parse().ok()).unwrap_or(768);
+    let threads: usize = arg_value("--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+    println!("Native GEMM sweep on this machine ({threads} thread(s))\n");
+    let mut sizes = vec![128usize, 256, 384, 512];
+    sizes.extend([640, 768, 1024, 1536, 2048].iter().filter(|&&s| s <= max));
+    sizes.retain(|&s| s <= max);
+
+    let cake_cfg = CakeConfig::with_threads(threads);
+    let goto_cfg = GotoConfig::with_threads(threads);
+
+    let mut table = Vec::new();
+    let mut csv = Vec::new();
+    for &s in &sizes {
+        let a = init::random::<f32>(s, s, 1);
+        let b = init::random::<f32>(s, s, 2);
+
+        let g_cake = time_gflops(s, s, s, |c| cake_sgemm(&a, &b, c, &cake_cfg));
+        let g_goto = time_gflops(s, s, s, |c| goto_gemm(&a, &b, c, &goto_cfg));
+        let g_naive = if s <= 768 {
+            time_gflops(s, s, s, |c| naive_gemm_ikj(&a, &b, c))
+        } else {
+            f64::NAN
+        };
+
+        table.push(vec![
+            s.to_string(),
+            format!("{g_cake:.2}"),
+            format!("{g_goto:.2}"),
+            if g_naive.is_nan() { "-".into() } else { format!("{g_naive:.2}") },
+        ]);
+        csv.push(format!("{s},{g_cake:.3},{g_goto:.3},{g_naive:.3}"));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["M=N=K", "CAKE GFLOP/s", "GOTO GFLOP/s", "naive GFLOP/s"],
+            &table
+        )
+    );
+    if let Ok(p) = write_csv("sweep_native", "size,cake_gflops,goto_gflops,naive_gflops", &csv) {
+        println!("wrote {}", p.display());
+    }
+}

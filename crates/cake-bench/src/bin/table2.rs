@@ -1,0 +1,47 @@
+//! Table 2 — CPUs used in the CAKE evaluation.
+
+use cake_bench::output::{f1, render_table, write_csv};
+use cake_sim::config::CpuConfig;
+
+fn main() {
+    let cpus = CpuConfig::table2();
+    let header = [
+        "CPU", "L1", "L2", "L3", "DRAM", "Cores", "DRAM BW (GB/s)", "Freq (GHz)",
+    ];
+    let header_l2_l3 = |c: &CpuConfig| -> (String, String) {
+        // The A53 has no L3: its shared 512 KiB L2 is the LLC (Table 2
+        // prints it in the L2 column with L3 = N/A).
+        if c.name.contains("ARM") {
+            (format!("{} KiB", c.llc_bytes / 1024), "N/A".to_string())
+        } else {
+            (
+                format!("{} KiB", c.l2_bytes / 1024),
+                format!("{} MiB", c.llc_bytes / 1024 / 1024),
+            )
+        }
+    };
+    let rows: Vec<Vec<String>> = cpus
+        .iter()
+        .map(|c| {
+            let (l2, l3) = header_l2_l3(c);
+            vec![
+                c.name.clone(),
+                format!("{} KiB", c.l1_bytes / 1024),
+                l2,
+                l3,
+                format!("{} GB", c.dram_bytes / 1024 / 1024 / 1024),
+                c.cores.to_string(),
+                f1(c.dram_bw_gbs),
+                f1(c.freq_ghz),
+            ]
+        })
+        .collect();
+    println!("Table 2: CPUs used in CAKE evaluation\n");
+    println!("{}", render_table(&header, &rows));
+
+    let csv_rows: Vec<String> = rows.iter().map(|r| r.join(",")).collect();
+    match write_csv("table2", &header.join(","), &csv_rows) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,345 @@
+//! Figure and table runners: each produces the series the corresponding
+//! paper artifact plots.
+
+use cake_core::model::CakeModel;
+use cake_sim::config::CpuConfig;
+use cake_sim::engine::{
+    resolve_cake_shape, simulate_cake, simulate_goto, SimParams,
+};
+use cake_sim::trace::{run_cake_trace, run_goto_trace, stall_breakdown_cycles};
+
+/// Vendor-library stand-in name per CPU (the library the paper compared
+/// against on that machine; all are GOTO-algorithm implementations).
+pub fn vendor_name(cpu: &CpuConfig) -> &'static str {
+    if cpu.name.contains("Intel") {
+        "MKL(GOTO)"
+    } else if cpu.name.contains("AMD") {
+        "OpenBLAS(GOTO)"
+    } else {
+        "ARMPL(GOTO)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — memory-level stall / access distribution.
+// ---------------------------------------------------------------------------
+
+/// One bar pair of Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Memory level / counter name.
+    pub level: String,
+    /// CAKE's value.
+    pub cake: f64,
+    /// Vendor (GOTO) value.
+    pub vendor: f64,
+}
+
+/// Figure 7a: clock ticks stalled per memory level, CAKE vs MKL on the
+/// Intel CPU (paper: 10000^3; pass a smaller `n` for quick runs — the
+/// distribution is size-stable once working sets exceed the LLC).
+pub fn fig7a(n: usize) -> Vec<Fig7Row> {
+    let cpu = CpuConfig::intel_i9_10900k();
+    let sp = SimParams::square(n, cpu.cores);
+    let cake = stall_breakdown_cycles(&run_cake_trace(&cpu, &sp), &cpu);
+    let goto = stall_breakdown_cycles(&run_goto_trace(&cpu, &sp), &cpu);
+    ["L1", "L2", "L3", "Main Memory"]
+        .iter()
+        .enumerate()
+        .map(|(i, lvl)| Fig7Row {
+            level: (*lvl).to_string(),
+            cake: cake[i],
+            vendor: goto[i],
+        })
+        .collect()
+}
+
+/// Figure 7b: cache hits and DRAM accesses, CAKE vs ARMPL on the ARM CPU
+/// (paper: 3000^3).
+pub fn fig7b(n: usize) -> Vec<Fig7Row> {
+    let cpu = CpuConfig::arm_cortex_a53();
+    let sp = SimParams::square(n, cpu.cores);
+    let cake = run_cake_trace(&cpu, &sp);
+    let goto = run_goto_trace(&cpu, &sp);
+    vec![
+        Fig7Row {
+            level: "L1 Hits".into(),
+            cake: cake.l1_hits as f64,
+            vendor: goto.l1_hits as f64,
+        },
+        Fig7Row {
+            level: "L2 Hits".into(),
+            // The A53's shared L2 is the LLC in our hierarchy.
+            cake: (cake.l2_hits + cake.llc_hits) as f64,
+            vendor: (goto.l2_hits + goto.llc_hits) as f64,
+        },
+        Fig7Row {
+            level: "DRAM Requests".into(),
+            cake: cake.dram_accesses as f64,
+            vendor: goto.dram_accesses as f64,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — relative throughput contours over (M, K).
+// ---------------------------------------------------------------------------
+
+/// One grid point of Figure 8.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Point {
+    /// Row extent (`M`; the x-axis value, with `N = M / ratio`).
+    pub m: usize,
+    /// Reduction extent (y axis).
+    pub k: usize,
+    /// CAKE throughput / vendor throughput.
+    pub ratio: f64,
+}
+
+/// Figure 8 panel for `M = ratio * N` (ratio in {1, 2, 4, 8}): relative
+/// CAKE/MKL throughput on the Intel CPU over the (M, K) grid in `sizes`.
+pub fn fig8_panel(ratio_mn: usize, sizes: &[usize]) -> Vec<Fig8Point> {
+    assert!(ratio_mn >= 1);
+    let cpu = CpuConfig::intel_i9_10900k();
+    let mut out = Vec::with_capacity(sizes.len() * sizes.len());
+    for &m in sizes {
+        let n = (m / ratio_mn).max(1);
+        for &k in sizes {
+            let mut sp = SimParams::new(m, k, n, cpu.cores);
+            sp.elem_bytes = 4;
+            let c = simulate_cake(&cpu, &sp);
+            let g = simulate_goto(&cpu, &sp);
+            out.push(Fig8Point {
+                m,
+                k,
+                ratio: c.gflops / g.gflops.max(1e-12),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — speedup vs cores for square matrices.
+// ---------------------------------------------------------------------------
+
+/// One point of a Figure 9 speedup curve.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupRow {
+    /// Matrix side (`M = N = K`).
+    pub size: usize,
+    /// Cores used.
+    pub p: usize,
+    /// CAKE speedup over its own single-core run.
+    pub cake: f64,
+    /// Vendor (GOTO) speedup over its own single-core run.
+    pub vendor: f64,
+}
+
+/// Figure 9 speedup curves (`t_p / t_1` per algorithm) on `cpu` for the
+/// given square sizes.
+pub fn fig9(cpu: &CpuConfig, sizes: &[usize]) -> Vec<SpeedupRow> {
+    let mut out = Vec::new();
+    for &size in sizes {
+        let c1 = simulate_cake(cpu, &SimParams::square(size, 1)).gflops;
+        let g1 = simulate_goto(cpu, &SimParams::square(size, 1)).gflops;
+        for p in 1..=cpu.cores {
+            let cp = simulate_cake(cpu, &SimParams::square(size, p)).gflops;
+            let gp = simulate_goto(cpu, &SimParams::square(size, p)).gflops;
+            out.push(SpeedupRow {
+                size,
+                p,
+                cake: cp / c1,
+                vendor: gp / g1,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 10 / 11 / 12 — the three-panel scaling studies.
+// ---------------------------------------------------------------------------
+
+/// One core-count row of a scaling study (panels a, b, c of Figures
+/// 10/11/12).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingRow {
+    /// Cores used.
+    pub p: usize,
+    /// `true` for the dashed extrapolated region (`p` beyond the physical
+    /// core count, assuming linear internal BW + quadratic local memory).
+    pub extrapolated: bool,
+    /// Panel (a): CAKE observed average DRAM bandwidth, GB/s.
+    pub cake_dram_bw: f64,
+    /// Panel (a): vendor observed average DRAM bandwidth, GB/s.
+    pub vendor_dram_bw: f64,
+    /// Panel (a): CAKE theoretically optimal DRAM bandwidth (Eq. 4), GB/s.
+    pub cake_optimal_bw: f64,
+    /// Panel (b): CAKE throughput, GFLOP/s.
+    pub cake_gflops: f64,
+    /// Panel (b): vendor throughput, GFLOP/s.
+    pub vendor_gflops: f64,
+    /// Panel (c): internal bandwidth (measured curve inside the physical
+    /// range, linear extrapolation beyond), GB/s.
+    pub internal_bw: f64,
+}
+
+/// Run the three-panel scaling study on `cpu` for an `n^3` problem,
+/// measuring `p = 1..=cpu.cores` and extrapolating to `p_max`.
+pub fn scaling_study(cpu: &CpuConfig, n: usize, p_max: usize) -> Vec<ScalingRow> {
+    let mut out = Vec::new();
+    for p in 1..=p_max {
+        let extrapolated = p > cpu.cores;
+        let mut sp = SimParams::square(n, p);
+        if extrapolated {
+            // Paper's extrapolation assumptions: internal BW keeps growing
+            // linearly per core, local memory grows quadratically, DRAM
+            // bandwidth stays fixed.
+            sp.internal_bw_gbs_override = Some(cpu.internal_bw.extrapolated(p));
+            let scale = (p as f64 / cpu.cores as f64).powi(2);
+            sp.llc_bytes_override = Some((cpu.llc_bytes as f64 * scale) as usize);
+        }
+        let cake = simulate_cake(cpu, &sp);
+        let goto = simulate_goto(cpu, &sp);
+
+        let shape = resolve_cake_shape(cpu, &sp);
+        let model = CakeModel::with_mac_rate(
+            shape,
+            cpu.mr,
+            cpu.nr,
+            sp.elem_bytes,
+            cpu.freq_ghz,
+            cpu.macs_per_cycle_f32,
+        );
+
+        out.push(ScalingRow {
+            p,
+            extrapolated,
+            cake_dram_bw: cake.avg_dram_bw_gbs,
+            vendor_dram_bw: goto.avg_dram_bw_gbs,
+            cake_optimal_bw: model.ext_bw_gbs(),
+            cake_gflops: cake.gflops,
+            vendor_gflops: goto.gflops,
+            internal_bw: if extrapolated {
+                cpu.internal_bw.extrapolated(p)
+            } else {
+                cpu.internal_bw_gbs(p)
+            },
+        });
+    }
+    out
+}
+
+/// Figure 10: Intel i9-10900K, 23040^3 (pass a smaller n for quick runs).
+pub fn fig10(n: usize) -> Vec<ScalingRow> {
+    let cpu = CpuConfig::intel_i9_10900k();
+    scaling_study(&cpu, n, 2 * cpu.cores)
+}
+
+/// Figure 11: ARM Cortex-A53, 3000^3.
+pub fn fig11(n: usize) -> Vec<ScalingRow> {
+    let cpu = CpuConfig::arm_cortex_a53();
+    scaling_study(&cpu, n, 2 * cpu.cores)
+}
+
+/// Figure 12: AMD Ryzen 9 5950X, 23040^3.
+pub fn fig12(n: usize) -> Vec<ScalingRow> {
+    let cpu = CpuConfig::amd_ryzen_9_5950x();
+    scaling_study(&cpu, n, 2 * cpu.cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_shape_cake_less_dram_stall() {
+        let rows = fig7a(2304);
+        assert_eq!(rows.len(), 4);
+        let dram = rows.iter().find(|r| r.level == "Main Memory").unwrap();
+        assert!(dram.cake < dram.vendor, "cake {} vendor {}", dram.cake, dram.vendor);
+    }
+
+    #[test]
+    fn fig7b_shape_vendor_more_dram_requests() {
+        let rows = fig7b(1000);
+        let dram = rows.iter().find(|r| r.level == "DRAM Requests").unwrap();
+        assert!(dram.vendor > 1.5 * dram.cake);
+        let l1 = &rows[0];
+        assert!(l1.cake > 0.0 && l1.vendor > 0.0);
+    }
+
+    #[test]
+    fn fig8_small_m_favors_cake() {
+        // GOTO leaves cores idle when M < p * mc; CAKE shrinks its strips.
+        let pts = fig8_panel(1, &[1000, 4000]);
+        let small = pts.iter().find(|p| p.m == 1000 && p.k == 1000).unwrap();
+        let large = pts.iter().find(|p| p.m == 4000 && p.k == 4000).unwrap();
+        assert!(small.ratio > 1.2, "small-size ratio {}", small.ratio);
+        assert!(small.ratio > large.ratio);
+        // At large sizes the two are comparable (within ~25%).
+        assert!((0.75..1.35).contains(&large.ratio), "large {}", large.ratio);
+    }
+
+    #[test]
+    fn fig9_speedups_monotone_and_cake_wins_on_arm() {
+        let cpu = CpuConfig::arm_cortex_a53();
+        let rows = fig9(&cpu, &[2000]);
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].cake - 1.0).abs() < 1e-9);
+        for w in rows.windows(2) {
+            assert!(w[1].cake >= w[0].cake * 0.99);
+        }
+        let last = rows.last().unwrap();
+        assert!(last.cake > last.vendor, "cake {} vendor {}", last.cake, last.vendor);
+    }
+
+    #[test]
+    fn fig10_cake_bw_flat_and_below_vendor() {
+        let rows = fig10(4608);
+        let measured: Vec<&ScalingRow> = rows.iter().filter(|r| !r.extrapolated).collect();
+        assert_eq!(measured.len(), 10);
+        // Panel (a): CAKE flat; vendor grows.
+        let c1 = measured[0].cake_dram_bw;
+        let c10 = measured[9].cake_dram_bw;
+        assert!(c10 / c1 < 2.0);
+        assert!(measured[9].vendor_dram_bw > 2.0 * measured[9].cake_dram_bw);
+        // Optimal curve is p-independent.
+        let o: Vec<f64> = measured.iter().map(|r| r.cake_optimal_bw).collect();
+        assert!(o.iter().all(|&x| (x - o[0]).abs() / o[0] < 0.25), "{o:?}");
+        // Panel (b): throughput grows with cores.
+        assert!(measured[9].cake_gflops > 5.0 * measured[0].cake_gflops);
+    }
+
+    #[test]
+    fn fig11_arm_vendor_plateaus() {
+        let rows = fig11(3000);
+        let measured: Vec<&ScalingRow> = rows.iter().filter(|r| !r.extrapolated).collect();
+        let v1 = measured[0].vendor_gflops;
+        let v4 = measured[3].vendor_gflops;
+        let c4 = measured[3].cake_gflops;
+        // Vendor scales sub-linearly (DRAM starved), CAKE clearly better.
+        assert!(v4 / v1 < 3.2, "vendor speedup {}", v4 / v1);
+        assert!(c4 > 1.2 * v4, "cake {c4} vendor {v4}");
+    }
+
+    #[test]
+    fn extrapolated_rows_marked_and_scaling() {
+        let rows = fig11(1500);
+        assert_eq!(rows.len(), 8);
+        assert!(rows[4..].iter().all(|r| r.extrapolated));
+        assert!(rows[..4].iter().all(|r| !r.extrapolated));
+        // Extrapolated internal BW is linear in p across the dashed region.
+        let slope = rows[5].internal_bw - rows[4].internal_bw;
+        assert!((rows[7].internal_bw - rows[4].internal_bw - 3.0 * slope).abs() < 1e-9);
+        assert!(slope > 0.0);
+    }
+
+    #[test]
+    fn vendor_names() {
+        assert_eq!(vendor_name(&CpuConfig::intel_i9_10900k()), "MKL(GOTO)");
+        assert_eq!(vendor_name(&CpuConfig::amd_ryzen_9_5950x()), "OpenBLAS(GOTO)");
+        assert_eq!(vendor_name(&CpuConfig::arm_cortex_a53()), "ARMPL(GOTO)");
+    }
+}

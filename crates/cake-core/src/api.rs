@@ -1,0 +1,474 @@
+//! Drop-in GEMM entry points.
+//!
+//! The paper positions the CAKE library as "a drop-in replacement for MM
+//! calls used by existing frameworks that does not require manual tuning".
+//! [`cake_sgemm`] / [`cake_dgemm`] mirror that: pass matrices and a
+//! [`CakeConfig`] (all fields defaulted) and the CB block shape, schedule,
+//! kernel, and thread count are chosen automatically.
+//!
+//! Semantics are `C += A * B` (BLAS `alpha = 1`, `beta = 1`). Zero `C`
+//! first for the `beta = 0` convention.
+
+use cake_kernels::select::KernelSelect;
+use cake_matrix::{Element, Matrix, MatrixView, MatrixViewMut};
+
+use crate::executor::execute;
+use crate::pool::ThreadPool;
+use crate::shape::CbBlockShape;
+use crate::tune;
+
+/// Configuration for a CAKE GEMM call. `Default` gives a sensible fully
+/// automatic setup.
+#[derive(Debug, Clone)]
+pub struct CakeConfig {
+    /// Worker threads (`p`). `None` = all available cores.
+    pub threads: Option<usize>,
+    /// CB-block aspect factor. `None` = derive from `dram_bw_gbs` when
+    /// given (Section 3.2), else 1.0.
+    pub alpha: Option<f64>,
+    /// Available DRAM bandwidth in GB/s, if known; drives `alpha`
+    /// auto-selection.
+    pub dram_bw_gbs: Option<f64>,
+    /// Per-core private (L2) cache size in bytes.
+    pub l2_bytes: usize,
+    /// Shared last-level cache size in bytes.
+    pub llc_bytes: usize,
+    /// Core clock in GHz (only used for `alpha` auto-selection).
+    pub freq_ghz: f64,
+    /// Force the portable kernel (skip SIMD dispatch) — for debugging and
+    /// baseline measurements.
+    pub force_portable_kernel: bool,
+}
+
+impl Default for CakeConfig {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            alpha: None,
+            dram_bw_gbs: None,
+            // Conservative desktop-class defaults; override per Table 2
+            // configs for the paper experiments.
+            l2_bytes: 256 * 1024,
+            llc_bytes: 16 * 1024 * 1024,
+            freq_ghz: 3.0,
+            force_portable_kernel: false,
+        }
+    }
+}
+
+impl CakeConfig {
+    /// Config pinned to `p` threads.
+    pub fn with_threads(p: usize) -> Self {
+        Self {
+            threads: Some(p),
+            ..Self::default()
+        }
+    }
+
+    /// Resolve the thread count.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        })
+    }
+
+    /// Resolve the CB block shape for a problem of the given extents and a
+    /// kernel of shape `mr x nr` over elements of `elem_bytes`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve_shape(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        mr: usize,
+        nr: usize,
+        elem_bytes: usize,
+        macs_per_cycle: f64,
+    ) -> CbBlockShape {
+        let p = self.resolved_threads();
+        // Provisional shape at alpha = 1 to learn the cache-constrained mc.
+        let probe = CbBlockShape::derive(p, 1.0, self.l2_bytes, self.llc_bytes, elem_bytes, mr, nr);
+        let alpha = self.alpha.unwrap_or_else(|| {
+            self.dram_bw_gbs.map_or_else(
+                || {
+                    // No bandwidth hint: widen the block to use the spare
+                    // LLC — a larger alpha only lowers the Eq. 2 demand.
+                    tune::alpha_fill_llc(p, probe.mc.max(1), self.llc_bytes / elem_bytes)
+                },
+                |bw| tune::select_alpha(bw, probe.mc, macs_per_cycle, elem_bytes, self.freq_ghz),
+            )
+        });
+        let shape = CbBlockShape::derive(p, alpha, self.l2_bytes, self.llc_bytes, elem_bytes, mr, nr);
+        clamp_shape_to_problem(shape, m, k, n, mr, nr)
+    }
+}
+
+/// Shrink an analytically derived shape so a small problem still spreads
+/// across all `p` workers and blocks never exceed the matrix extents.
+fn clamp_shape_to_problem(
+    shape: CbBlockShape,
+    m: usize,
+    k: usize,
+    n: usize,
+    mr: usize,
+    nr: usize,
+) -> CbBlockShape {
+    let p = shape.p;
+    // Keep every worker busy: strip height at most ceil(M/p) (rounded up to
+    // mr so edge strips stay kernel-friendly), then balanced so the final
+    // M-block is not ragged.
+    let strip = m.div_ceil(p).div_ceil(mr).max(1) * mr;
+    let mc = CbBlockShape::balance_mc(m, p, shape.mc.min(strip).max(mr), mr);
+    let kc = shape.kc.min(k.max(1));
+    let nc = shape
+        .nc
+        .min(n.div_ceil(nr).max(1) * nr)
+        .max(nr);
+    CbBlockShape::fixed(p, mc, kc, nc)
+}
+
+/// Generic `C += A * B` with automatic CB-block configuration.
+///
+/// # Panics
+/// Panics on dimension mismatch (`A: MxK`, `B: KxN`, `C: MxN`).
+pub fn cake_gemm<T: Element + KernelSelect>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    cfg: &CakeConfig,
+) {
+    let (av, bv) = (a.view(), b.view());
+    let mut cv = c.view_mut();
+    cake_gemm_views(&av, &bv, &mut cv, cfg);
+}
+
+/// View-level entry point (strided / transposed operands welcome).
+pub fn cake_gemm_views<T: Element + KernelSelect>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    cfg: &CakeConfig,
+) {
+    let ukr = if cfg.force_portable_kernel {
+        cake_kernels::portable_kernel::<T>()
+    } else {
+        cake_kernels::best_kernel::<T>()
+    };
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let shape = cfg.resolve_shape(
+        m,
+        k,
+        n,
+        ukr.mr(),
+        ukr.nr(),
+        T::BYTES,
+        (ukr.mr() * ukr.nr()) as f64,
+    );
+    let pool = ThreadPool::new(shape.p);
+    execute(a, b, c, &shape, &ukr, &pool);
+}
+
+/// Single-precision drop-in GEMM: `C += A * B`.
+pub fn cake_sgemm(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>, cfg: &CakeConfig) {
+    cake_gemm(a, b, c, cfg);
+}
+
+/// Double-precision drop-in GEMM: `C += A * B`.
+pub fn cake_dgemm(a: &Matrix<f64>, b: &Matrix<f64>, c: &mut Matrix<f64>, cfg: &CakeConfig) {
+    cake_gemm(a, b, c, cfg);
+}
+
+/// A reusable GEMM context: keeps the worker pool alive across calls
+/// (e.g. one call per DNN layer).
+pub struct CakeGemm {
+    cfg: CakeConfig,
+    pool: ThreadPool,
+}
+
+impl CakeGemm {
+    /// Build a context; spawns the worker pool once.
+    pub fn new(cfg: CakeConfig) -> Self {
+        let p = cfg.resolved_threads();
+        Self {
+            cfg,
+            pool: ThreadPool::new(p),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CakeConfig {
+        &self.cfg
+    }
+
+    /// `C += A * B` reusing this context's pool.
+    pub fn gemm<T: Element + KernelSelect>(&self, a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+        let ukr = if self.cfg.force_portable_kernel {
+            cake_kernels::portable_kernel::<T>()
+        } else {
+            cake_kernels::best_kernel::<T>()
+        };
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let shape = self.cfg.resolve_shape(
+            m,
+            k,
+            n,
+            ukr.mr(),
+            ukr.nr(),
+            T::BYTES,
+            (ukr.mr() * ukr.nr()) as f64,
+        );
+        let (av, bv) = (a.view(), b.view());
+        let mut cv = c.view_mut();
+        execute(&av, &bv, &mut cv, &shape, &ukr, &self.pool);
+    }
+}
+
+/// Operand orientation for [`cake_gemm_op`] (BLAS `trans` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the operand transposed (free: only view strides change).
+    Trans,
+}
+
+/// `C += op_a(A) * op_b(B)` — BLAS-style transpose flags, zero-copy.
+pub fn cake_gemm_op<T: Element + KernelSelect>(
+    op_a: Op,
+    a: &Matrix<T>,
+    op_b: Op,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    cfg: &CakeConfig,
+) {
+    let av = a.view();
+    let bv = b.view();
+    let av = if op_a == Op::Trans { av.t() } else { av };
+    let bv = if op_b == Op::Trans { bv.t() } else { bv };
+    let mut cv = c.view_mut();
+    cake_gemm_views(&av, &bv, &mut cv, cfg);
+}
+
+/// Full BLAS-semantics GEMM: `C = alpha * A * B + beta * C`.
+///
+/// `alpha`/`beta` here are the BLAS scalars, unrelated to the CB block's
+/// aspect factor (`CakeConfig::alpha`). Fast paths: `beta = 1` skips the
+/// C pre-scale, `alpha = 1` avoids the temporary product buffer.
+pub fn cake_gemm_scaled<T: Element + KernelSelect>(
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+    cfg: &CakeConfig,
+) {
+    if beta != T::ONE {
+        for v in c.as_mut_slice() {
+            *v = *v * beta;
+        }
+    }
+    if alpha == T::ZERO {
+        return;
+    }
+    if alpha == T::ONE {
+        cake_gemm(a, b, c, cfg);
+        return;
+    }
+    // General case: accumulate into a zero temporary, then fold in scaled.
+    let mut t = Matrix::<T>::zeros(c.rows(), c.cols());
+    cake_gemm(a, b, &mut t, cfg);
+    for (dst, &src) in c.as_mut_slice().iter_mut().zip(t.as_slice()) {
+        *dst += alpha * src;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cake_matrix::compare::assert_gemm_eq;
+    use cake_matrix::init;
+
+    fn naive<T: Element>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        let mut c = Matrix::<T>::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f64;
+                for kk in 0..a.cols() {
+                    s += a.get(i, kk).to_f64() * b.get(kk, j).to_f64();
+                }
+                c.set(i, j, T::from_f64(s));
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn sgemm_matches_reference_default_config() {
+        let (m, k, n) = (70, 55, 90);
+        let a = init::random::<f32>(m, k, 1);
+        let b = init::random::<f32>(k, n, 2);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        cake_sgemm(&a, &b, &mut c, &CakeConfig::default());
+        assert_gemm_eq(&c, &naive(&a, &b), k);
+    }
+
+    #[test]
+    fn dgemm_matches_reference() {
+        let (m, k, n) = (33, 47, 29);
+        let a = init::random::<f64>(m, k, 3);
+        let b = init::random::<f64>(k, n, 4);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        cake_dgemm(&a, &b, &mut c, &CakeConfig::with_threads(2));
+        assert_gemm_eq(&c, &naive(&a, &b), k);
+    }
+
+    #[test]
+    fn portable_kernel_path_matches() {
+        let (m, k, n) = (25, 31, 17);
+        let a = init::random::<f32>(m, k, 5);
+        let b = init::random::<f32>(k, n, 6);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let cfg = CakeConfig {
+            force_portable_kernel: true,
+            threads: Some(2),
+            ..CakeConfig::default()
+        };
+        cake_sgemm(&a, &b, &mut c, &cfg);
+        assert_gemm_eq(&c, &naive(&a, &b), k);
+    }
+
+    #[test]
+    fn explicit_alpha_and_bw_paths() {
+        let (m, k, n) = (48, 48, 48);
+        let a = init::random::<f32>(m, k, 7);
+        let b = init::random::<f32>(k, n, 8);
+        let expected = naive(&a, &b);
+
+        for cfg in [
+            CakeConfig {
+                alpha: Some(2.0),
+                threads: Some(2),
+                ..CakeConfig::default()
+            },
+            CakeConfig {
+                dram_bw_gbs: Some(2.0), // scarce: drives alpha up
+                threads: Some(2),
+                ..CakeConfig::default()
+            },
+        ] {
+            let mut c = Matrix::<f32>::zeros(m, n);
+            cake_sgemm(&a, &b, &mut c, &cfg);
+            assert_gemm_eq(&c, &expected, k);
+        }
+    }
+
+    #[test]
+    fn context_reuse_across_layers() {
+        let ctx = CakeGemm::new(CakeConfig::with_threads(2));
+        let mut x = init::random::<f32>(16, 16, 9);
+        for layer in 0..4 {
+            let w = init::random::<f32>(16, 16, 100 + layer);
+            let mut y = Matrix::<f32>::zeros(16, 16);
+            ctx.gemm(&w, &x, &mut y);
+            assert_gemm_eq(&y, &naive(&w, &x), 16);
+            x = y;
+        }
+    }
+
+    #[test]
+    fn shape_clamp_keeps_all_workers_busy() {
+        let cfg = CakeConfig::with_threads(4);
+        // Small M: strip must shrink so all 4 workers see rows.
+        let s = cfg.resolve_shape(40, 512, 512, 6, 16, 4, 96.0);
+        assert!(s.mc * 4 >= 40, "strips must cover M");
+        assert!(s.mc <= 12, "mc should shrink to ~M/p rounded to mr, got {}", s.mc);
+    }
+
+    #[test]
+    fn zero_dimension_noop() {
+        let a = Matrix::<f32>::zeros(0, 8);
+        let b = Matrix::<f32>::zeros(8, 8);
+        let mut c = Matrix::<f32>::zeros(0, 8);
+        cake_sgemm(&a, &b, &mut c, &CakeConfig::default()); // must not panic
+    }
+
+    #[test]
+    fn transposed_view_input() {
+        // Compute C += A^T * B via the view API.
+        let at = init::random::<f32>(20, 30, 11); // A^T stored, A = 30x20
+        let b = init::random::<f32>(30, 10, 12);
+        let mut c = Matrix::<f32>::zeros(20, 10);
+
+        let av = at.view(); // 20x30 = (A^T)^T^T... we want rows=20? A^T is 20x30?
+        // We want C(20x10) += X(20x30) * B(30x10) where X = at viewed as is.
+        let bv = b.view();
+        let mut cv = c.view_mut();
+        cake_gemm_views(&av, &bv, &mut cv, &CakeConfig::with_threads(1));
+
+        let expected = naive(&at, &b);
+        assert_gemm_eq(&c, &expected, 30);
+
+        // Now the genuinely transposed case: C2 += at^T * b2.
+        let b2 = init::random::<f32>(20, 10, 13);
+        let mut c2 = Matrix::<f32>::zeros(30, 10);
+        let av_t = at.view().t(); // 30x20, strided
+        let b2v = b2.view();
+        let mut c2v = c2.view_mut();
+        cake_gemm_views(&av_t, &b2v, &mut c2v, &CakeConfig::with_threads(1));
+        let expected2 = naive(&at.transposed(), &b2);
+        assert_gemm_eq(&c2, &expected2, 20);
+    }
+
+    #[test]
+    fn gemm_op_transpose_flags() {
+        use super::Op;
+        let a = init::random::<f32>(20, 30, 21); // stored 20x30
+        let b = init::random::<f32>(10, 30, 22); // stored 10x30
+        // C (20x10) += A * B^T.
+        let mut c = Matrix::<f32>::zeros(20, 10);
+        cake_gemm_op(Op::NoTrans, &a, Op::Trans, &b, &mut c, &CakeConfig::with_threads(2));
+        let expected = naive(&a, &b.transposed());
+        assert_gemm_eq(&c, &expected, 30);
+
+        // C2 (30x30) += A^T * ... pick A^T (30x20) * B2 (20x30).
+        let b2 = init::random::<f32>(20, 30, 23);
+        let mut c2 = Matrix::<f32>::zeros(30, 30);
+        cake_gemm_op(Op::Trans, &a, Op::NoTrans, &b2, &mut c2, &CakeConfig::with_threads(2));
+        let expected2 = naive(&a.transposed(), &b2);
+        assert_gemm_eq(&c2, &expected2, 20);
+    }
+
+    #[test]
+    fn gemm_scaled_blas_semantics() {
+        let (m, k, n) = (17, 13, 19);
+        let a = init::random::<f32>(m, k, 31);
+        let b = init::random::<f32>(k, n, 32);
+        let c0 = init::random::<f32>(m, n, 33);
+        let cfg = CakeConfig::with_threads(1);
+
+        // Reference: C = 2.5*A*B - 0.5*C0.
+        let ab = naive(&a, &b);
+        let expected = Matrix::from_fn(m, n, |i, j| 2.5 * ab.get(i, j) - 0.5 * c0.get(i, j));
+
+        let mut c = c0.clone();
+        cake_gemm_scaled(2.5f32, &a, &b, -0.5, &mut c, &cfg);
+        assert_gemm_eq(&c, &expected, k);
+
+        // beta = 0 zeroes out prior contents even with NaN-free guarantees.
+        let mut c = c0.clone();
+        cake_gemm_scaled(1.0f32, &a, &b, 0.0, &mut c, &cfg);
+        assert_gemm_eq(&c, &ab, k);
+
+        // alpha = 0 leaves beta*C only.
+        let mut c = c0.clone();
+        cake_gemm_scaled(0.0f32, &a, &b, 2.0, &mut c, &cfg);
+        let doubled = Matrix::from_fn(m, n, |i, j| 2.0 * c0.get(i, j));
+        assert_gemm_eq(&c, &doubled, 1);
+    }
+}

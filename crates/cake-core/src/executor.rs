@@ -1,0 +1,566 @@
+//! The multithreaded CB-block GEMM engine.
+//!
+//! Executes the K-first snake schedule over constant-bandwidth blocks
+//! (paper Figure 6):
+//!
+//! * Each of the `p` workers permanently owns one `mc`-row strip of the
+//!   current block's A surface — the per-core L2-resident sub-matrix.
+//! * The `kc x nc` B panel is packed cooperatively (each worker packs an
+//!   interleaved subset of `nr`-column slivers) into one shared buffer —
+//!   the LLC-resident surface that is "broadcast" to all cores.
+//! * Partial C results are accumulated **in place** in the output matrix
+//!   across the whole K run — never written early and re-read, which is
+//!   precisely the IO the paper eliminates relative to GOTO.
+//! * Surface sharing between consecutive blocks (same `(m,k)` => keep
+//!   packed A; same `(k,n)` => keep packed B) skips redundant packing,
+//!   mirroring the DRAM-level reuse the schedule was designed for.
+//!
+//! All workers traverse the schedule in lockstep with two barriers per
+//! block: one so nobody repacks the shared B panel while another worker is
+//! still computing on it, one so nobody computes on a partially packed
+//! panel.
+
+use std::sync::Barrier;
+
+use cake_kernels::edge::run_tile;
+use cake_kernels::pack::{packed_a_size, packed_b_size};
+use cake_kernels::Ukr;
+use cake_matrix::{Element, MatrixView, MatrixViewMut};
+
+use crate::pool::ThreadPool;
+use crate::schedule::{BlockGrid, KFirstSchedule};
+use crate::shape::CbBlockShape;
+use crate::shared::{OutPtr, SharedBuf};
+
+/// Execution statistics for one CAKE GEMM call — observable evidence of
+/// the schedule's surface reuse on the *real* executor (the simulator
+/// measures the same quantities on the model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// CB blocks executed.
+    pub blocks: usize,
+    /// Blocks whose shared B panel was reused from the previous block
+    /// (an M-step in the snake: same `(k, n)`).
+    pub b_packs_skipped: usize,
+    /// Blocks whose per-worker A strips were reused (an N-step: same
+    /// `(m, k)`).
+    pub a_packs_skipped: usize,
+    /// Barrier synchronizations per worker (2 per block).
+    pub barriers: usize,
+}
+
+/// Execute `C += A * B` with the CAKE CB-block schedule.
+///
+/// * `a` — `M x K` view, `b` — `K x N` view, `c` — `M x N` mutable view.
+/// * `shape` — the CB block (`p`, `mc`, `kc`, `nc`); `shape.p` must equal
+///   `pool.size()`.
+/// * `ukr` — microkernel; `shape.mc` need not be a multiple of `mr` but
+///   performance is best when it is.
+///
+/// # Panics
+/// Panics on dimension mismatch between the operand views, or when
+/// `pool.size() != shape.p`.
+pub fn execute<T: Element>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    shape: &CbBlockShape,
+    ukr: &Ukr<T>,
+    pool: &ThreadPool,
+) {
+    let _ = execute_with_stats(a, b, c, shape, ukr, pool);
+}
+
+/// [`execute`], additionally returning per-call [`ExecStats`].
+pub fn execute_with_stats<T: Element>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    shape: &CbBlockShape,
+    ukr: &Ukr<T>,
+    pool: &ThreadPool,
+) -> ExecStats {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "A is {m}x{k} but B has {} rows", b.rows());
+    assert_eq!(c.rows(), m, "C must have {m} rows, has {}", c.rows());
+    assert_eq!(c.cols(), n, "C must have {n} cols, has {}", c.cols());
+    assert_eq!(
+        pool.size(),
+        shape.p,
+        "pool size {} != shape.p {}",
+        pool.size(),
+        shape.p
+    );
+    if m == 0 || n == 0 || k == 0 {
+        return ExecStats::default();
+    }
+
+    let p = shape.p;
+    let (mr, nr) = (ukr.mr(), ukr.nr());
+    let (bm, bk, bn) = (shape.m_block(), shape.k_block(), shape.n_block());
+
+    let grid = BlockGrid::for_problem(m, k, n, bm, bk, bn);
+    let schedule = KFirstSchedule::new(grid, m, n);
+    let nblocks = schedule.len();
+
+    // Shared packed-B panel for the current block.
+    let pb_cap = packed_b_size(bk, bn, nr);
+    let packed_b = SharedBuf::<T>::zeroed(pb_cap);
+
+    // One packed-A strip per worker, in a single allocation.
+    let pa_stride = packed_a_size(shape.mc, bk, mr);
+    let packed_a = SharedBuf::<T>::zeroed(pa_stride * p);
+
+    let barrier = Barrier::new(p);
+    // SAFETY: the pointer lives as long as `c`; workers write disjoint rows.
+    let out = unsafe { OutPtr::new(c.ptr_at_mut(0, 0)) };
+    let (rsc, csc) = (c.row_stride(), c.col_stride());
+
+    pool.broadcast(|wid| {
+        // Per-worker re-created schedule iterator (cheap: pure arithmetic).
+        let sched = schedule.clone();
+        let mut prev: Option<crate::schedule::BlockCoord> = None;
+
+        for bi in 0..nblocks {
+            let coord = sched.coord_at(bi);
+            let (m0, k0, n0) = (coord.m * bm, coord.k * bk, coord.n * bn);
+            let ml = bm.min(m - m0);
+            let kl = bk.min(k - k0);
+            let nl = bn.min(n - n0);
+
+            let share_a = prev.is_some_and(|pc| pc.m == coord.m && pc.k == coord.k);
+            let share_b = prev.is_some_and(|pc| pc.k == coord.k && pc.n == coord.n);
+            prev = Some(coord);
+
+            // Strip owned by this worker within the block's M extent.
+            let strip0 = wid * shape.mc;
+            let strip_len = if strip0 < ml { shape.mc.min(ml - strip0) } else { 0 };
+
+            // Phase 1: everyone has finished computing on the previous
+            // panels; safe to overwrite them.
+            barrier.wait();
+
+            if !share_b {
+                // Cooperatively pack B slivers t = wid, wid+p, wid+2p, ...
+                // Workers carve disjoint raw sub-slices out of the shared
+                // buffer: no two `&mut` regions ever overlap.
+                // Raw base pointer without forming a `&mut` (several workers
+                // hold raw pointers into the buffer simultaneously).
+                let pb_base = packed_b.base_ptr();
+                let nslivers = nl.div_ceil(nr);
+                let mut t = wid;
+                while t < nslivers {
+                    let col0 = n0 + t * nr;
+                    let live = nr.min(n0 + nl - col0);
+                    // SAFETY: sliver t occupies [t*nr*kl, (t+1)*nr*kl), within
+                    // capacity since t < nslivers <= bn/nr and kl <= bk; sliver
+                    // ranges of distinct t are disjoint and each t has one owner.
+                    let sliver: &mut [T] =
+                        unsafe { std::slice::from_raw_parts_mut(pb_base.add(t * nr * kl), nr * kl) };
+                    for kk in 0..kl {
+                        let dst = &mut sliver[kk * nr..(kk + 1) * nr];
+                        // Fast path: row-major B rows copy as slices.
+                        if let Some(src) = b.contiguous_row(k0 + kk, col0, live) {
+                            dst[..live].copy_from_slice(src);
+                            dst[live..].fill(T::ZERO);
+                        } else {
+                            for (j, d) in dst.iter_mut().enumerate() {
+                                *d = if j < live {
+                                    // SAFETY: k0+kk < k, col0+j < n.
+                                    unsafe { b.get_unchecked(k0 + kk, col0 + j) }
+                                } else {
+                                    T::ZERO
+                                };
+                            }
+                        }
+                    }
+                    t += p;
+                }
+            }
+
+            if !share_a && strip_len > 0 {
+                // Pack this worker's private A strip (k-major mr slivers).
+                // SAFETY: each worker owns the disjoint range
+                // [wid*pa_stride, (wid+1)*pa_stride) of the shared buffer.
+                let pa: &mut [T] = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        packed_a.base_ptr().add(wid * pa_stride),
+                        pa_stride,
+                    )
+                };
+                let nsliv = strip_len.div_ceil(mr);
+                for s in 0..nsliv {
+                    let row0 = m0 + strip0 + s * mr;
+                    let live = mr.min(m0 + strip0 + strip_len - row0);
+                    let base = s * mr * kl;
+                    for kk in 0..kl {
+                        let dst = &mut pa[base + kk * mr..base + (kk + 1) * mr];
+                        for (i, d) in dst.iter_mut().enumerate() {
+                            *d = if i < live {
+                                // SAFETY: row0+i < m, k0+kk < k.
+                                unsafe { a.get_unchecked(row0 + i, k0 + kk) }
+                            } else {
+                                T::ZERO
+                            };
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: all packing complete; safe to read shared B.
+            barrier.wait();
+
+            if strip_len == 0 {
+                continue; // edge block narrower than this worker's strip
+            }
+
+            // Read-only phase: raw pointers, no outstanding `&mut`.
+            let pb_ptr = packed_b.base_ptr() as *const T;
+            let pa_ptr = unsafe { packed_a.base_ptr().add(wid * pa_stride) as *const T };
+
+            let a_slivers = strip_len.div_ceil(mr);
+            let b_slivers = nl.div_ceil(nr);
+
+            // A-stationary: keep one A sliver in registers/L1 while sweeping
+            // the whole N extent of the block (paper: "each core sequentially
+            // reusing one A tile with many B tiles").
+            for s in 0..a_slivers {
+                let mrows = mr.min(strip_len - s * mr);
+                let row = m0 + strip0 + s * mr;
+                for t in 0..b_slivers {
+                    let ncols = nr.min(nl - t * nr);
+                    let col = n0 + t * nr;
+                    // SAFETY: packed slivers are zero-padded full tiles;
+                    // C indices (row, col) + (mrows, ncols) are in bounds;
+                    // each worker's rows are disjoint from all others'.
+                    unsafe {
+                        let cptr = out.get().add(row * rsc + col * csc);
+                        run_tile(
+                            ukr,
+                            kl,
+                            pa_ptr.add(s * mr * kl),
+                            pb_ptr.add(t * nr * kl),
+                            cptr,
+                            rsc,
+                            csc,
+                            mrows,
+                            ncols,
+                        );
+                    }
+                }
+            }
+        }
+    });
+
+    // Statistics are a pure function of the schedule; tally them once.
+    let mut stats = ExecStats {
+        blocks: nblocks,
+        barriers: 2 * nblocks,
+        ..ExecStats::default()
+    };
+    let mut sprev: Option<crate::schedule::BlockCoord> = None;
+    for bi in 0..nblocks {
+        let coord = schedule.coord_at(bi);
+        if let Some(pc) = sprev {
+            if pc.m == coord.m && pc.k == coord.k {
+                stats.a_packs_skipped += 1;
+            }
+            if pc.k == coord.k && pc.n == coord.n {
+                stats.b_packs_skipped += 1;
+            }
+        }
+        sprev = Some(coord);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cake_kernels::select::best_kernel;
+    use cake_matrix::compare::assert_gemm_eq;
+    use cake_matrix::{init, Matrix};
+
+    fn reference(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>) {
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = c.get(i, j) as f64;
+                for kk in 0..a.cols() {
+                    s += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+                }
+                c.set(i, j, s as f32);
+            }
+        }
+    }
+
+    fn run_case(m: usize, k: usize, n: usize, p: usize, mc: usize, kc: usize, nc: usize) {
+        let a = init::random::<f32>(m, k, 1);
+        let b = init::random::<f32>(k, n, 2);
+        let mut c = init::random::<f32>(m, n, 3);
+        let mut expected = c.clone();
+
+        let shape = CbBlockShape::fixed(p, mc, kc, nc);
+        let ukr = best_kernel::<f32>();
+        let pool = ThreadPool::new(p);
+        execute(&a.view(), &b.view(), &mut c.view_mut(), &shape, &ukr, &pool);
+
+        reference(&a, &b, &mut expected);
+        assert_gemm_eq(&c, &expected, k);
+    }
+
+    #[test]
+    fn single_core_exact_block_fit() {
+        run_case(32, 32, 32, 1, 32, 32, 32);
+    }
+
+    #[test]
+    fn single_core_many_blocks() {
+        run_case(64, 48, 80, 1, 16, 16, 16);
+    }
+
+    #[test]
+    fn multi_core_divisible() {
+        run_case(64, 32, 64, 4, 16, 16, 32);
+    }
+
+    #[test]
+    fn multi_core_ragged_edges() {
+        run_case(61, 37, 53, 4, 16, 16, 32);
+    }
+
+    #[test]
+    fn more_cores_than_rows_in_edge_blocks() {
+        // Last M block has fewer rows than p*mc: some workers idle.
+        run_case(20, 24, 24, 4, 8, 8, 16);
+    }
+
+    #[test]
+    fn tall_skinny_and_wide_shapes() {
+        run_case(128, 8, 16, 2, 16, 16, 16);
+        run_case(16, 8, 128, 2, 16, 16, 16);
+        run_case(8, 128, 8, 2, 16, 16, 16);
+    }
+
+    #[test]
+    fn tiny_problems() {
+        run_case(1, 1, 1, 1, 8, 8, 8);
+        run_case(3, 2, 5, 2, 8, 8, 8);
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = init::eye::<f32>(8, 8);
+        let b = init::sequential::<f32>(8, 8);
+        let mut c = init::ones::<f32>(8, 8);
+        let shape = CbBlockShape::fixed(1, 8, 8, 8);
+        let pool = ThreadPool::new(1);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        );
+        // C = 1 + I*B = 1 + B.
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(c.get(i, j), 1.0 + b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let a = Matrix::<f32>::zeros(0, 4);
+        let b = Matrix::<f32>::zeros(4, 4);
+        let mut c = Matrix::<f32>::zeros(0, 4);
+        let shape = CbBlockShape::fixed(2, 8, 8, 8);
+        let pool = ThreadPool::new(2);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        );
+
+        // K = 0: C unchanged.
+        let a = init::random::<f32>(4, 0, 1);
+        let b = init::random::<f32>(0, 4, 2);
+        let mut c = init::ones::<f32>(4, 4);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        );
+        assert_eq!(c.sum_f64(), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size")]
+    fn pool_shape_mismatch_panics() {
+        let a = Matrix::<f32>::zeros(4, 4);
+        let b = Matrix::<f32>::zeros(4, 4);
+        let mut c = Matrix::<f32>::zeros(4, 4);
+        let shape = CbBlockShape::fixed(2, 8, 8, 8);
+        let pool = ThreadPool::new(3);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::<f32>::zeros(4, 5);
+        let b = Matrix::<f32>::zeros(4, 4); // should be 5 rows
+        let mut c = Matrix::<f32>::zeros(4, 4);
+        let shape = CbBlockShape::fixed(1, 8, 8, 8);
+        let pool = ThreadPool::new(1);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        );
+    }
+
+    #[test]
+    fn f64_path_works() {
+        let (m, k, n) = (40, 30, 50);
+        let a = init::random::<f64>(m, k, 4);
+        let b = init::random::<f64>(k, n, 5);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        let shape = CbBlockShape::fixed(2, 12, 12, 24);
+        let pool = ThreadPool::new(2);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f64>(),
+            &pool,
+        );
+        let mut expected = Matrix::<f64>::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.get(i, kk) * b.get(kk, j);
+                }
+                expected.set(i, j, s);
+            }
+        }
+        assert_gemm_eq(&c, &expected, k);
+    }
+
+    #[test]
+    fn column_major_output() {
+        use cake_matrix::Layout;
+        let (m, k, n) = (24, 16, 24);
+        let a = init::random::<f32>(m, k, 6);
+        let b = init::random::<f32>(k, n, 7);
+        let mut c = Matrix::<f32>::zeros_with_layout(m, n, Layout::ColMajor);
+        let shape = CbBlockShape::fixed(2, 8, 8, 16);
+        let pool = ThreadPool::new(2);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        );
+        let mut expected = Matrix::<f32>::zeros(m, n);
+        reference(&a, &b, &mut expected);
+        assert_gemm_eq(&c.to_layout(Layout::RowMajor), &expected, k);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use cake_kernels::select::best_kernel;
+    use cake_matrix::{init, Matrix};
+
+    fn run_stats(m: usize, k: usize, n: usize, p: usize, mc: usize, kc: usize, nc: usize) -> ExecStats {
+        let a = init::random::<f32>(m, k, 1);
+        let b = init::random::<f32>(k, n, 2);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let shape = CbBlockShape::fixed(p, mc, kc, nc);
+        let pool = ThreadPool::new(p);
+        execute_with_stats(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        )
+    }
+
+    #[test]
+    fn stats_count_blocks_and_barriers() {
+        // 2x3x2 block grid = 12 blocks.
+        let s = run_stats(32, 48, 32, 1, 16, 16, 16);
+        assert_eq!(s.blocks, 12);
+        assert_eq!(s.barriers, 24);
+    }
+
+    #[test]
+    fn snake_reuse_shows_up_in_skip_counts() {
+        // Grid (mb=2, kb=3, nb=2), N-outer: transitions = 11 total.
+        // M-steps (same k,n): 2 (one per n stripe) -> B skipped twice.
+        // N-steps (same m,k): 1 -> A skipped once.
+        let s = run_stats(32, 48, 32, 1, 16, 16, 16);
+        assert_eq!(s.b_packs_skipped, 2);
+        assert_eq!(s.a_packs_skipped, 1);
+    }
+
+    #[test]
+    fn single_block_has_no_skips() {
+        let s = run_stats(16, 16, 16, 1, 16, 16, 16);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.a_packs_skipped + s.b_packs_skipped, 0);
+    }
+
+    #[test]
+    fn empty_problem_zero_stats() {
+        let a = Matrix::<f32>::zeros(0, 4);
+        let b = Matrix::<f32>::zeros(4, 4);
+        let mut c = Matrix::<f32>::zeros(0, 4);
+        let shape = CbBlockShape::fixed(1, 8, 8, 8);
+        let pool = ThreadPool::new(1);
+        let s = execute_with_stats(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<f32>(),
+            &pool,
+        );
+        assert_eq!(s, ExecStats::default());
+    }
+
+    #[test]
+    fn every_transition_skips_at_most_one_pack_kind() {
+        let s = run_stats(48, 48, 48, 2, 8, 16, 16);
+        // Each of the blocks-1 transitions shares exactly one surface; C
+        // shares (K-steps) skip neither pack.
+        assert!(s.a_packs_skipped + s.b_packs_skipped < s.blocks);
+    }
+}

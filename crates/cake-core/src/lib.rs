@@ -1,0 +1,34 @@
+//! CAKE — constant-bandwidth-block matrix multiplication (SC '21).
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`shape`] — analytical CB-block shaping and sizing (Section 3): given
+//!   `p` cores, cache sizes, and a DRAM-bandwidth factor `alpha`, derive the
+//!   `p*mc x kc x alpha*p*mc` block that keeps external bandwidth constant.
+//! * [`model`] — the closed-form resource model (Equations 1–6): local
+//!   memory footprint, minimum external bandwidth, and internal bandwidth
+//!   for both the abstract machine and the CPU instantiation.
+//! * [`schedule`] — the K-first snake block schedule (Section 2.2,
+//!   Algorithm 2) with inter-block surface-sharing annotations.
+//! * [`traffic`] — exact DRAM traffic accounting for an arbitrary block
+//!   schedule, used by tests, the ablation benches, and the simulator.
+//! * [`pool`] — a persistent worker pool with static core-to-strip
+//!   assignment (CAKE pins one `A` region per core).
+//! * [`executor`] — the multithreaded CB-block GEMM engine.
+//! * [`api`] — drop-in entry points [`api::cake_sgemm`] / [`api::cake_dgemm`].
+//! * [`tune`] — `alpha` selection from available DRAM bandwidth (Section 3.2).
+
+pub mod api;
+pub mod executor;
+pub mod model;
+pub mod pool;
+pub mod schedule;
+pub mod shared;
+pub mod shape;
+pub mod traffic;
+pub mod tune;
+
+pub use api::{cake_dgemm, cake_gemm, cake_sgemm, CakeConfig};
+pub use model::CakeModel;
+pub use schedule::{BlockCoord, BlockGrid, Dim, KFirstSchedule, SnakeSchedule};
+pub use shape::CbBlockShape;

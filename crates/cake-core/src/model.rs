@@ -1,0 +1,291 @@
+//! The CAKE analytical resource model (paper Sections 3 and 4.2).
+//!
+//! Two levels of abstraction:
+//!
+//! * The **abstract machine** of Section 3, measured in *tiles* and *unit
+//!   times* — free functions [`cb_internal_mem_tiles`], [`cb_min_ext_bw_tiles`],
+//!   [`cb_internal_bw_tiles`] implementing Equations 1–3 verbatim.
+//! * The **CPU instantiation** of Section 4.2 — [`CakeModel`], measured in
+//!   elements, cycles, bytes and GB/s. Instead of the paper's tile-normalized
+//!   unit time (one `mr x kc x nr` tile product per "cycle"), the CPU model
+//!   uses a real clock and a sustained per-core MAC rate, from which the
+//!   paper's Equations 4–6 fall out:
+//!
+//!   ```text
+//!   T_block      = p*mc * kc * nc / (p * macs_per_cycle)          [cycles]
+//!   BW_ext       = (A + B) / T  = ((alpha+1)/alpha) * rate / mc   [elems/cy]
+//!   BW_int       = (A + B + 2C) / T = BW_ext + 2p * rate / kc     [elems/cy]
+//!   MEM_local    = p*mc*kc*(alpha+1) + alpha*p^2*mc^2             [elems]
+//!   ```
+//!
+//!   `BW_ext` is independent of `p` (Eq. 4: constant external bandwidth),
+//!   `BW_int` grows linearly in `p` (Eq. 6), and `MEM_local` grows
+//!   quadratically (Eq. 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::CbBlockShape;
+
+// ----------------------------------------------------------------------------
+// Section 3: abstract machine, tile units.
+// ----------------------------------------------------------------------------
+
+/// Eq. 1 — internal memory needed by one CB block, in tiles:
+/// `alpha*p*k^2 + p*k^2 + alpha*p^2*k^2`.
+pub fn cb_internal_mem_tiles(p: usize, k: usize, alpha: f64) -> f64 {
+    let (p, k) = (p as f64, k as f64);
+    alpha * p * k * k + p * k * k + alpha * p * p * k * k
+}
+
+/// Eq. 2 — minimum external bandwidth of a CB block, in tiles per unit
+/// time: `((alpha + 1)/alpha) * k`. Independent of `p` — the central claim.
+pub fn cb_min_ext_bw_tiles(k: usize, alpha: f64) -> f64 {
+    (alpha + 1.0) / alpha * k as f64
+}
+
+/// Eq. 3 — internal (local-memory) bandwidth of a CB block, in tiles per
+/// unit time: `R*k + 2*p*k`, where `R` is the external-bandwidth factor
+/// (`BW_ext = R*k`).
+pub fn cb_internal_bw_tiles(p: usize, k: usize, r: f64) -> f64 {
+    r * k as f64 + 2.0 * (p * k) as f64
+}
+
+/// Section 3.2 — smallest `alpha` satisfying `BW_ext >= BW_min` given the
+/// external-bandwidth factor `R > 1`: `alpha >= 1 / (R - 1)` (clamped to 1,
+/// since `alpha >= 1` by construction).
+pub fn alpha_min_for_bw_factor(r: f64) -> f64 {
+    assert!(r > 1.0, "external bandwidth factor R must exceed 1 (got {r})");
+    (1.0 / (r - 1.0)).max(1.0)
+}
+
+// ----------------------------------------------------------------------------
+// Section 4.2: CPU instantiation.
+// ----------------------------------------------------------------------------
+
+/// CPU-level CAKE model for a concrete CB block shape, kernel, and clock.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CakeModel {
+    /// CB block shape (provides `p`, `mc`, `kc`, `nc`, `alpha`).
+    pub shape: CbBlockShape,
+    /// Kernel register-tile rows.
+    pub mr: usize,
+    /// Kernel register-tile columns.
+    pub nr: usize,
+    /// Element size in bytes.
+    pub elem_bytes: usize,
+    /// Core clock in GHz (cycles per nanosecond).
+    pub freq_ghz: f64,
+    /// Sustained MACs per cycle per core. The paper's idealized machine
+    /// retires `mr * nr` (one FMA across the full register tile per cycle);
+    /// real kernels land somewhere below that. This scales timing uniformly
+    /// and cancels out of all "who wins" comparisons.
+    pub macs_per_cycle: f64,
+}
+
+impl CakeModel {
+    /// Model with the idealized `mr * nr` MACs per cycle per core.
+    pub fn new(shape: CbBlockShape, mr: usize, nr: usize, elem_bytes: usize, freq_ghz: f64) -> Self {
+        Self::with_mac_rate(shape, mr, nr, elem_bytes, freq_ghz, (mr * nr) as f64)
+    }
+
+    /// Model with an explicit sustained MAC rate (e.g. measured).
+    pub fn with_mac_rate(
+        shape: CbBlockShape,
+        mr: usize,
+        nr: usize,
+        elem_bytes: usize,
+        freq_ghz: f64,
+        macs_per_cycle: f64,
+    ) -> Self {
+        assert!(mr > 0 && nr > 0 && elem_bytes > 0);
+        assert!(freq_ghz > 0.0 && macs_per_cycle > 0.0);
+        Self {
+            shape,
+            mr,
+            nr,
+            elem_bytes,
+            freq_ghz,
+            macs_per_cycle,
+        }
+    }
+
+    /// Compute time of one CB block in cycles: all `p*mc*kc*nc` MACs spread
+    /// over `p` cores at `macs_per_cycle` each.
+    pub fn block_compute_cycles(&self) -> f64 {
+        self.shape.block_macs() as f64 / (self.shape.p as f64 * self.macs_per_cycle)
+    }
+
+    /// External (DRAM) IO of one CB block in elements: `A + B` surfaces
+    /// only — partial C stays in the LLC (Section 4.2).
+    pub fn block_ext_io_elems(&self) -> f64 {
+        (self.shape.a_surface() + self.shape.b_surface()) as f64
+    }
+
+    /// Eq. 4 — required external bandwidth in elements per cycle:
+    /// `((alpha+1)/alpha) * macs_per_cycle / mc`. Independent of `p`.
+    pub fn ext_bw_elems_per_cycle(&self) -> f64 {
+        self.block_ext_io_elems() / self.block_compute_cycles()
+    }
+
+    /// Eq. 4 converted to GB/s for this element type and clock.
+    ///
+    /// This is the dashed "CAKE Optimal" curve of Figures 10a and 11a: flat
+    /// in the number of cores.
+    pub fn ext_bw_gbs(&self) -> f64 {
+        self.ext_bw_elems_per_cycle() * self.elem_bytes as f64 * self.freq_ghz
+    }
+
+    /// Eq. 5 — local memory footprint in elements:
+    /// `p*mc*kc*(alpha+1) + alpha*p^2*mc^2`.
+    pub fn local_mem_elems(&self) -> f64 {
+        let s = &self.shape;
+        let (p, mc, kc) = (s.p as f64, s.mc as f64, s.kc as f64);
+        let alpha = s.alpha();
+        p * mc * kc * (alpha + 1.0) + alpha * p * p * mc * mc
+    }
+
+    /// Eq. 5 in bytes.
+    pub fn local_mem_bytes(&self) -> f64 {
+        self.local_mem_elems() * self.elem_bytes as f64
+    }
+
+    /// Eq. 6 — internal (LLC<->cores) bandwidth in elements per cycle:
+    /// `(A + B + 2C) / T`, i.e. `BW_ext + 2p*macs_per_cycle/kc`.
+    /// Grows linearly with `p`.
+    pub fn int_bw_elems_per_cycle(&self) -> f64 {
+        let s = &self.shape;
+        let io = self.block_ext_io_elems() + 2.0 * s.c_surface() as f64;
+        io / self.block_compute_cycles()
+    }
+
+    /// Eq. 6 in GB/s.
+    pub fn int_bw_gbs(&self) -> f64 {
+        self.int_bw_elems_per_cycle() * self.elem_bytes as f64 * self.freq_ghz
+    }
+
+    /// Peak computation throughput with `p` cores in GFLOP/s
+    /// (2 FLOPs per MAC).
+    pub fn peak_gflops(&self) -> f64 {
+        2.0 * self.macs_per_cycle * self.shape.p as f64 * self.freq_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(p: usize, alpha: f64) -> CakeModel {
+        let shape = CbBlockShape::fixed(p, 96, 96, (alpha * (p * 96) as f64) as usize);
+        CakeModel::new(shape, 6, 16, 4, 3.7)
+    }
+
+    #[test]
+    fn eq1_matches_hand_computation() {
+        // p=2, k=3, alpha=1: 1*2*9 + 2*9 + 1*4*9 = 18 + 18 + 36 = 72.
+        assert_eq!(cb_internal_mem_tiles(2, 3, 1.0), 72.0);
+    }
+
+    #[test]
+    fn eq2_is_independent_of_p_and_decreases_with_alpha() {
+        let b1 = cb_min_ext_bw_tiles(4, 1.0);
+        assert_eq!(b1, 8.0); // (1+1)/1 * 4
+        let b2 = cb_min_ext_bw_tiles(4, 4.0);
+        assert!(b2 < b1);
+        assert!((b2 - 5.0).abs() < 1e-12); // (4+1)/4*4 = 5
+    }
+
+    #[test]
+    fn eq3_grows_linearly_with_p() {
+        let k = 2;
+        let r = 3.0;
+        let b4 = cb_internal_bw_tiles(4, k, r);
+        let b8 = cb_internal_bw_tiles(8, k, r);
+        assert_eq!(b8 - b4, 16.0); // 2*(8-4)*k
+    }
+
+    #[test]
+    fn alpha_min_matches_section_3_2() {
+        assert_eq!(alpha_min_for_bw_factor(2.0), 1.0); // 1/(2-1) = 1
+        assert!((alpha_min_for_bw_factor(1.25) - 4.0).abs() < 1e-12); // 1/0.25
+        assert_eq!(alpha_min_for_bw_factor(10.0), 1.0); // clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn alpha_min_rejects_r_below_one() {
+        let _ = alpha_min_for_bw_factor(0.9);
+    }
+
+    #[test]
+    fn block_cycles_from_first_principles() {
+        let m = model(4, 1.0);
+        // macs = 4*96 * 96 * 384; rate = 4 cores * 96 MACs/cycle.
+        let expect = (4.0 * 96.0 * 96.0 * 384.0) / (4.0 * 96.0);
+        assert!((m.block_compute_cycles() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq4_external_bw_is_constant_in_p() {
+        let m2 = model(2, 1.0);
+        let m8 = model(8, 1.0);
+        assert!((m2.ext_bw_elems_per_cycle() - m8.ext_bw_elems_per_cycle()).abs() < 1e-9);
+        // Closed form: (1+alpha)/alpha * rate/mc = 2 * 96/96 = 2 elems/cycle.
+        assert!((m2.ext_bw_elems_per_cycle() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq4_decreases_with_alpha() {
+        let m1 = model(4, 1.0);
+        let m4 = model(4, 4.0);
+        assert!(m4.ext_bw_gbs() < m1.ext_bw_gbs());
+        // (1+4)/4 / ((1+1)/1) = 0.625 ratio.
+        let ratio = m4.ext_bw_gbs() / m1.ext_bw_gbs();
+        assert!((ratio - 0.625).abs() < 0.01);
+    }
+
+    #[test]
+    fn eq5_grows_quadratically_with_p() {
+        let m2 = model(2, 1.0).local_mem_elems();
+        let m4 = model(4, 1.0).local_mem_elems();
+        let m8 = model(8, 1.0).local_mem_elems();
+        assert!(m4 / m2 > 2.5);
+        assert!(m8 / m4 > 3.0);
+    }
+
+    #[test]
+    fn eq6_internal_bw_grows_linearly_with_p() {
+        let m2 = model(2, 1.0).int_bw_elems_per_cycle();
+        let m4 = model(4, 1.0).int_bw_elems_per_cycle();
+        let m8 = model(8, 1.0).int_bw_elems_per_cycle();
+        let d1 = m4 - m2;
+        let d2 = m8 - m4;
+        assert!((d2 / d1 - 2.0).abs() < 0.01);
+        // Closed form check at p=4: ext + 2p*rate/kc = 2 + 8*96/96 = 10.
+        assert!((m4 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_gflops_scale_with_cores() {
+        let m1 = model(1, 1.0);
+        let m10 = model(10, 1.0);
+        assert!((m10.peak_gflops() / m1.peak_gflops() - 10.0).abs() < 1e-9);
+        // 2 * 96 FLOPs/cycle * 3.7 GHz = 710.4 GFLOP/s for p=1.
+        assert!((m1.peak_gflops() - 710.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn gbs_conversion_uses_elem_size_and_clock() {
+        let m = model(4, 1.0);
+        let expected = m.ext_bw_elems_per_cycle() * 4.0 * 3.7;
+        assert!((m.ext_bw_gbs() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derated_mac_rate_scales_bandwidth_down() {
+        let shape = CbBlockShape::fixed(4, 96, 96, 384);
+        let full = CakeModel::new(shape, 6, 16, 4, 3.7);
+        let half = CakeModel::with_mac_rate(shape, 6, 16, 4, 3.7, 48.0);
+        assert!((full.ext_bw_gbs() / half.ext_bw_gbs() - 2.0).abs() < 1e-9);
+        assert!((full.peak_gflops() / half.peak_gflops() - 2.0).abs() < 1e-9);
+    }
+}

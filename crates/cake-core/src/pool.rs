@@ -1,0 +1,247 @@
+//! A persistent broadcast worker pool.
+//!
+//! CAKE's parallelization is a *static* partition: core `c` always owns the
+//! `c`-th `mc`-row strip of the current CB block (one `A` sub-matrix per
+//! core, paper Section 3). There is no work stealing; every block is a
+//! broadcast of the same closure to all workers, each picking its strip by
+//! worker index. This pool implements exactly that primitive:
+//! [`ThreadPool::broadcast`] runs `f(worker_id)` on every worker and blocks
+//! until all complete, propagating panics.
+//!
+//! Workers are long-lived so repeated GEMM calls (e.g. a DNN forward pass)
+//! pay thread-spawn cost once.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// Type-erased pointer to a caller-owned `Fn(usize) + Sync` job.
+///
+/// The pointee is only dereferenced between `broadcast` sending it and the
+/// worker acknowledging completion, and `broadcast` blocks until every
+/// acknowledgement arrives — so the pointee outlives every dereference.
+/// Erasure uses a data pointer plus a monomorphized call shim rather than a
+/// `dyn` pointer, sidestepping trait-object lifetime defaults.
+#[derive(Clone, Copy)]
+struct JobPtr {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+// SAFETY: the raw pointer is only used under the blocking protocol above,
+// and the pointee is `Sync` (enforced by `broadcast`'s bound).
+unsafe impl Send for JobPtr {}
+
+unsafe fn call_shim<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+    // SAFETY: `data` was created from a live `&F` in `broadcast`, which
+    // blocks until this call completes.
+    unsafe { (*(data as *const F))(id) }
+}
+
+enum Msg {
+    Run(JobPtr),
+    Exit,
+}
+
+/// A fixed-size pool of worker threads supporting blocking broadcasts.
+pub struct ThreadPool {
+    txs: Vec<Sender<Msg>>,
+    done_rx: Receiver<Result<(), String>>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `size` workers.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        let (done_tx, done_rx) = bounded::<Result<(), String>>(size);
+        let mut txs = Vec::with_capacity(size);
+        let mut handles = Vec::with_capacity(size);
+        // A single-worker pool runs jobs inline on the caller; spawning a
+        // thread would only add latency to small GEMMs.
+        let spawn_count = if size == 1 { 0 } else { size };
+        for id in 0..spawn_count {
+            let (tx, rx) = bounded::<Msg>(1);
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("cake-worker-{id}"))
+                .spawn(move || worker_loop(id, rx, done))
+                .expect("failed to spawn worker thread");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            txs,
+            done_rx,
+            handles,
+            size,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f(worker_id)` on every worker; return when all have finished.
+    ///
+    /// # Panics
+    /// Re-panics on the calling thread if any worker job panicked (with the
+    /// collected messages).
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, f: F) {
+        // Single-worker fast path: run inline, no cross-thread traffic.
+        if self.size == 1 {
+            f(0);
+            return;
+        }
+        let job = JobPtr {
+            data: &f as *const F as *const (),
+            call: call_shim::<F>,
+        };
+        for tx in &self.txs {
+            tx.send(Msg::Run(job))
+                .expect("worker channel closed unexpectedly");
+        }
+        let mut errors = Vec::new();
+        for _ in 0..self.size {
+            match self.done_rx.recv().expect("done channel closed") {
+                Ok(()) => {}
+                Err(e) => errors.push(e),
+            }
+        }
+        // `f` is only dropped after every worker acknowledged: safe.
+        if !errors.is_empty() {
+            panic!("{} worker(s) panicked: {}", errors.len(), errors.join("; "));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(Msg::Exit);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, rx: Receiver<Msg>, done: Sender<Result<(), String>>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Exit => break,
+            Msg::Run(job) => {
+                // SAFETY: `broadcast` keeps the job alive until we ack below.
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, id) }));
+                let report = result.map_err(|e| {
+                    e.downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| format!("worker {id} panicked"))
+                });
+                if done.send(report).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn broadcast_runs_every_worker_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        pool.broadcast(|id| {
+            hits[id].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let main_thread = std::thread::current().id();
+        // Inline execution implies no cross-thread hop; record whether the
+        // job observed the caller's thread id.
+        let captured = std::sync::atomic::AtomicU64::new(0);
+        pool.broadcast(|id| {
+            assert_eq!(id, 0);
+            let same = std::thread::current().id() == main_thread;
+            captured.store(u64::from(same), Ordering::SeqCst);
+        });
+        assert_eq!(captured.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_broadcasts() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.broadcast(|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 30);
+    }
+
+    #[test]
+    fn workers_can_synchronize_with_a_barrier() {
+        let p = 4;
+        let pool = ThreadPool::new(p);
+        let barrier = Barrier::new(p);
+        let pre = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            pre.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            // After the barrier, every worker must observe all p pre-counts.
+            if pre.load(Ordering::SeqCst) != p {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|id| {
+                if id == 1 {
+                    panic!("injected failure");
+                }
+            });
+        }));
+        let err = result.expect_err("broadcast should propagate panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected failure"), "got: {msg}");
+        // Pool survives a panicked job.
+        let ok = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_size_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Low-level sharing primitives for block-GEMM executors.
+//!
+//! Both the CAKE executor and the GOTO baseline broadcast one closure to
+//! all workers and coordinate through barriers; these wrappers carry the
+//! shared packed buffers and the raw output pointer across that boundary
+//! soundly (disjoint writes + barrier-established happens-before).
+
+use std::cell::UnsafeCell;
+
+use cake_matrix::AlignedBuf;
+
+/// Shared mutable buffer written in disjoint regions by several workers,
+/// with barrier-established happens-before between writes and reads.
+pub struct SharedBuf<T>(UnsafeCell<AlignedBuf<T>>);
+
+// SAFETY: callers write disjoint index ranges, and every write is separated
+// from every read by a `Barrier::wait` (Release/Acquire pair).
+unsafe impl<T: Send> Sync for SharedBuf<T> {}
+
+impl<T: Copy + Default> SharedBuf<T> {
+    /// Allocate a zeroed shared buffer.
+    pub fn zeroed(len: usize) -> Self {
+        Self(UnsafeCell::new(AlignedBuf::zeroed(len)))
+    }
+
+    /// Raw base pointer (method access, so closures capture `&SharedBuf`
+    /// rather than the inner `UnsafeCell` field — precise closure capture
+    /// would otherwise bypass the `Sync` impl above).
+    ///
+    /// Writes through the returned pointer must target regions disjoint
+    /// from every other concurrent writer and be synchronized with readers.
+    pub fn base_ptr(&self) -> *mut T {
+        // SAFETY: forming a shared reference to the buffer struct is fine;
+        // mutation discipline is the caller's contract above.
+        unsafe { (*self.0.get()).as_ptr() as *mut T }
+    }
+
+    /// Buffer length in elements.
+    pub fn len(&self) -> usize {
+        // SAFETY: reading the length field through a shared ref is safe;
+        // the length never changes after construction.
+        unsafe { (*self.0.get()).len() }
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Raw output pointer shipped to workers; each worker must write a disjoint
+/// region of C.
+pub struct OutPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for OutPtr<T> {}
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+impl<T> OutPtr<T> {
+    /// Wrap a raw output pointer.
+    ///
+    /// # Safety
+    /// The pointer must stay valid for the lifetime of all uses, and
+    /// concurrent users must write disjoint regions.
+    pub unsafe fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+
+    /// The wrapped pointer (method access for precise-capture reasons; see
+    /// [`SharedBuf::base_ptr`]).
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for OutPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for OutPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn shared_buf_round_trips_across_threads() {
+        let buf = SharedBuf::<f32>::zeroed(64);
+        assert_eq!(buf.len(), 64);
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            for wid in 0..2usize {
+                let buf = &buf;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    // Each thread writes its disjoint half.
+                    let base = buf.base_ptr();
+                    for i in 0..32 {
+                        unsafe { *base.add(wid * 32 + i) = (wid * 100 + i) as f32 };
+                    }
+                    barrier.wait();
+                    // Both halves visible after the barrier.
+                    unsafe {
+                        assert_eq!(*base.add(0), 0.0);
+                        assert_eq!(*base.add(32), 100.0);
+                        assert_eq!(*base.add(63), 131.0);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let buf = SharedBuf::<f64>::zeroed(0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn out_ptr_is_copy_and_shares_address() {
+        let mut x = [1.0f64; 4];
+        let p = unsafe { OutPtr::new(x.as_mut_ptr()) };
+        let q = p;
+        unsafe { *q.get() = 7.0 };
+        assert_eq!(x[0], 7.0);
+        let _ = p; // still usable: Copy
+    }
+}

@@ -1,0 +1,33 @@
+//! GOTO-algorithm GEMM baseline (paper Section 4.1).
+//!
+//! GOTO (Goto & van de Geijn, "Anatomy of High-Performance Matrix
+//! Multiplication") is the algorithm underlying MKL, OpenBLAS, ARMPL and
+//! BLIS — the libraries the paper compares CAKE against. The paper models
+//! all of them *as* GOTO; this crate implements it from scratch on the same
+//! microkernels as `cake-core`, so every difference between the two crates
+//! is scheduling and IO policy, exactly the variable the paper studies.
+//!
+//! Structure:
+//!
+//! * [`params`] — `mc/kc/nc` blocking derived from cache sizes (square
+//!   `mc x kc` A panel per core in L2, `kc x nc` B panel filling the LLC).
+//! * [`loops5`] — the classic five-loop nest with packed panels, the
+//!   `ic` loop parallelized across cores (GOTO grows the M extent with
+//!   `p`; each core computes an independent `mc x nc` C panel).
+//! * [`model`] — the external-bandwidth model
+//!   `BW = (1 + p + p*kc/nc) * mr * nr` (grows with `p`, the contrast to
+//!   CAKE's Eq. 4) and exact DRAM-traffic accounting with streamed partial
+//!   C panels.
+//! * [`naive`] — the triple-loop reference used by every test in the
+//!   workspace.
+//! * [`api`] — drop-in `goto_gemm` entry point.
+
+pub mod api;
+pub mod loops5;
+pub mod model;
+pub mod naive;
+pub mod params;
+
+pub use api::{goto_gemm, GotoConfig};
+pub use model::GotoModel;
+pub use params::GotoParams;

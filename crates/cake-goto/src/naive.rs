@@ -1,0 +1,116 @@
+//! Naive triple-loop GEMM reference.
+//!
+//! Deliberately unblocked and unvectorized beyond what LLVM does on its
+//! own: the ground truth every optimized implementation in the workspace is
+//! verified against, and the "no blocking at all" end point for the
+//! ablation benches.
+
+use cake_matrix::{Element, Matrix, MatrixView, MatrixViewMut};
+
+/// `C += A * B`, accumulating in `f64` for maximum reference accuracy.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn naive_gemm<T: Element>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+    let (av, bv) = (a.view(), b.view());
+    let mut cv = c.view_mut();
+    naive_gemm_views(&av, &bv, &mut cv);
+}
+
+/// View-level naive GEMM.
+pub fn naive_gemm_views<T: Element>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimensions differ");
+    assert_eq!(c.rows(), m, "C row count mismatch");
+    assert_eq!(c.cols(), n, "C col count mismatch");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a.get(i, kk).to_f64() * b.get(kk, j).to_f64();
+            }
+            let v = c.get(i, j);
+            c.set(i, j, v + T::from_f64(acc));
+        }
+    }
+}
+
+/// Cache-friendlier (i, k, j) loop order, single-precision accumulate —
+/// used by benches as the "simple but not pessimal" baseline.
+pub fn naive_gemm_ikj<T: Element>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimensions differ");
+    assert_eq!(c.rows(), m, "C row count mismatch");
+    assert_eq!(c.cols(), n, "C col count mismatch");
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a.get(i, kk);
+            for j in 0..n {
+                let v = c.get(i, j);
+                c.set(i, j, v + aik * b.get(kk, j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cake_matrix::{compare, init};
+
+    #[test]
+    fn identity_times_anything() {
+        let i = init::eye::<f32>(5, 5);
+        let x = init::random::<f32>(5, 7, 1);
+        let mut c = Matrix::<f32>::zeros(5, 7);
+        naive_gemm(&i, &x, &mut c);
+        assert_eq!(compare::max_abs_diff(&c, &x), 0.0);
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        let a = Matrix::from_rows(2, 2, &[1.0f64, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[5.0f64, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::<f64>::zeros(2, 2);
+        naive_gemm(&a, &b, &mut c);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = init::ones::<f32>(2, 3);
+        let b = init::ones::<f32>(3, 2);
+        let mut c = init::ones::<f32>(2, 2);
+        naive_gemm(&a, &b, &mut c);
+        assert!(c.as_slice().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn ikj_matches_ijk() {
+        let a = init::random::<f32>(13, 9, 2);
+        let b = init::random::<f32>(9, 11, 3);
+        let mut c1 = Matrix::<f32>::zeros(13, 11);
+        let mut c2 = Matrix::<f32>::zeros(13, 11);
+        naive_gemm(&a, &b, &mut c1);
+        naive_gemm_ikj(&a, &b, &mut c2);
+        compare::assert_gemm_eq(&c1, &c2, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn rejects_mismatched_inner_dims() {
+        let a = Matrix::<f32>::zeros(2, 3);
+        let b = Matrix::<f32>::zeros(4, 2);
+        let mut c = Matrix::<f32>::zeros(2, 2);
+        naive_gemm(&a, &b, &mut c);
+    }
+}

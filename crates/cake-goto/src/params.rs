@@ -1,0 +1,132 @@
+//! GOTO blocking parameters (paper Section 4.1, Figure 5).
+//!
+//! * A square `mc x kc` sub-matrix of `A` resides in each core's L2
+//!   (`mc = kc`, `mc * kc <= Size_L2`, with the same factor-2 streaming
+//!   headroom used for CAKE in Section 4.3).
+//! * A `kc x nc` sub-matrix of `B` resides in the shared LLC and is chosen
+//!   to *fill* it ("GOTO uses all of the L3 cache for B", Section 4.4).
+//! * `mr x nr` register tiles come from the kernel.
+
+use serde::{Deserialize, Serialize};
+
+/// GOTO blocking parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GotoParams {
+    /// Cores used (each computes an independent `mc x nc` C panel).
+    pub p: usize,
+    /// A-panel rows per core (square: `mc == kc`).
+    pub mc: usize,
+    /// Reduction block depth.
+    pub kc: usize,
+    /// B-panel width (fills the LLC).
+    pub nc: usize,
+}
+
+impl GotoParams {
+    /// Derive parameters from cache sizes.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or sizes are degenerate.
+    pub fn derive(
+        p: usize,
+        l2_bytes: usize,
+        llc_bytes: usize,
+        elem_bytes: usize,
+        mr: usize,
+        nr: usize,
+    ) -> Self {
+        assert!(p > 0, "need at least one core");
+        assert!(elem_bytes > 0 && mr > 0 && nr > 0);
+        let s_l2 = l2_bytes / elem_bytes;
+        let s_llc = llc_bytes / elem_bytes;
+
+        // Square A panel with double-buffering headroom in L2.
+        let mut mc = ((s_l2 / 2) as f64).sqrt().floor() as usize;
+        mc = ((mc / mr) * mr).max(mr);
+        let kc = mc;
+
+        // B panel fills the LLC (leave the same factor-2 headroom for the
+        // next panel to stream in).
+        let mut nc = (s_llc / 2) / kc.max(1);
+        nc = ((nc / nr) * nr).max(nr);
+
+        Self { p, mc, kc, nc }
+    }
+
+    /// Explicit parameters (tests, simulator).
+    pub fn fixed(p: usize, mc: usize, kc: usize, nc: usize) -> Self {
+        assert!(p > 0 && mc > 0 && kc > 0 && nc > 0);
+        Self { p, mc, kc, nc }
+    }
+
+    /// M extent processed per parallel round (`p` cores x `mc` rows).
+    pub fn m_round(&self) -> usize {
+        self.p * self.mc
+    }
+
+    /// Elements of one core's packed A panel.
+    pub fn a_panel(&self) -> usize {
+        self.mc * self.kc
+    }
+
+    /// Elements of the shared packed B panel.
+    pub fn b_panel(&self) -> usize {
+        self.kc * self.nc
+    }
+}
+
+impl std::fmt::Display for GotoParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GOTO[mc={} kc={} nc={} | p={}]",
+            self.mc, self.kc, self.nc, self.p
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIB: usize = 1024;
+    const MIB: usize = 1024 * 1024;
+
+    #[test]
+    fn panels_fit_their_cache_levels() {
+        let g = GotoParams::derive(10, 256 * KIB, 20 * MIB, 4, 6, 16);
+        assert!(g.a_panel() * 4 <= 256 * KIB / 2 + 256 * KIB / 8); // ~half L2
+        assert!(g.b_panel() * 4 <= 20 * MIB);
+        assert_eq!(g.mc, g.kc, "paper requires square A panels");
+        assert_eq!(g.mc % 6, 0);
+        assert_eq!(g.nc % 16, 0);
+    }
+
+    #[test]
+    fn b_panel_dominates_llc() {
+        // GOTO dedicates the LLC to B: nc must dwarf kc.
+        let g = GotoParams::derive(4, 256 * KIB, 20 * MIB, 4, 6, 16);
+        assert!(g.nc > 8 * g.kc, "nc={} kc={}", g.nc, g.kc);
+    }
+
+    #[test]
+    fn nc_independent_of_core_count() {
+        let g1 = GotoParams::derive(1, 256 * KIB, 20 * MIB, 4, 6, 16);
+        let g8 = GotoParams::derive(8, 256 * KIB, 20 * MIB, 4, 6, 16);
+        assert_eq!(g1.nc, g8.nc);
+        assert_eq!(g1.mc, g8.mc);
+        assert_eq!(g8.m_round(), 8 * g8.mc);
+    }
+
+    #[test]
+    fn degenerate_caches_still_runnable() {
+        let g = GotoParams::derive(1, 128, 512, 4, 6, 16);
+        assert!(g.mc >= 6 && g.nc >= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn zero_cores_rejected() {
+        let _ = GotoParams::derive(0, KIB, MIB, 4, 6, 16);
+    }
+}

@@ -1,0 +1,185 @@
+//! Edge-tile execution.
+//!
+//! Packed slivers are always zero-padded to full `mr`/`nr`, so the kernel
+//! can run at full width; but the `C` tile at a block edge is smaller than
+//! `mr x nr` and must not be written outside its bounds. [`run_tile`]
+//! computes the full padded tile into a stack scratch buffer and then
+//! accumulates only the live `mrows x ncols` region into `C`.
+
+use cake_matrix::Element;
+
+use crate::ukernel::Ukr;
+
+/// Upper bound on `mr * nr` across all kernels in this crate
+/// (largest is the AVX2 f32 `6x16` = 96; portable `8x8` = 64).
+pub const MAX_TILE: usize = 128;
+
+/// Run one microkernel invocation with edge masking.
+///
+/// For a full tile this is a direct kernel call (no overhead). For a partial
+/// tile the kernel writes into a zeroed stack scratch and the live region is
+/// accumulated into `C` scalar-wise.
+///
+/// # Safety
+/// * `a`/`b` must point to full zero-padded packed slivers of length
+///   `kc * mr` / `kc * nr`.
+/// * `c[i*rsc + j*csc]` must be valid for `i < mrows`, `j < ncols`.
+/// * `mrows <= mr`, `ncols <= nr`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS ukernel signature
+pub unsafe fn run_tile<T: Element>(
+    ukr: &Ukr<T>,
+    kc: usize,
+    a: *const T,
+    b: *const T,
+    c: *mut T,
+    rsc: usize,
+    csc: usize,
+    mrows: usize,
+    ncols: usize,
+) {
+    let mr = ukr.mr();
+    let nr = ukr.nr();
+    debug_assert!(mrows <= mr && ncols <= nr, "tile region exceeds kernel shape");
+    if mrows == 0 || ncols == 0 {
+        return;
+    }
+    if mrows == mr && ncols == nr {
+        // SAFETY: forwarded from caller.
+        unsafe { ukr.call(kc, a, b, c, rsc, csc) };
+        return;
+    }
+    assert!(mr * nr <= MAX_TILE, "kernel tile exceeds scratch capacity");
+    let mut scratch = [T::ZERO; MAX_TILE];
+    // SAFETY: scratch is mr*nr contiguous (row stride nr), kernel writes
+    // exactly that region; a/b contracts forwarded from caller.
+    unsafe { ukr.call(kc, a, b, scratch.as_mut_ptr(), nr, 1) };
+    for i in 0..mrows {
+        for j in 0..ncols {
+            // SAFETY: caller guarantees c indexing validity for i<mrows, j<ncols.
+            unsafe {
+                let p = c.add(i * rsc + j * csc);
+                *p += scratch[i * nr + j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{pack_a, pack_b, packed_a_size, packed_b_size};
+    use crate::ukernel::portable_f32_8x8;
+    use cake_matrix::{init, Matrix};
+
+    /// Multiply an arbitrary (m x k) by (k x n) with a single sliver pair
+    /// (m <= mr, n <= nr) and compare with the naive product.
+    fn run_small(m: usize, k: usize, n: usize) {
+        let ukr = portable_f32_8x8();
+        let a = init::random::<f32>(m, k, 1);
+        let b = init::random::<f32>(k, n, 2);
+
+        let mut pa = vec![0.0f32; packed_a_size(m, k, ukr.mr())];
+        let mut pb = vec![0.0f32; packed_b_size(k, n, ukr.nr())];
+        pack_a(&a.view(), &mut pa, ukr.mr());
+        pack_b(&b.view(), &mut pb, ukr.nr());
+
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let ld = c.cols();
+        unsafe {
+            run_tile(
+                &ukr,
+                k,
+                pa.as_ptr(),
+                pb.as_ptr(),
+                c.as_mut_slice().as_mut_ptr(),
+                ld,
+                1,
+                m,
+                n,
+            );
+        }
+
+        let mut expected = Matrix::<f32>::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for kk in 0..k {
+                    s += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+                }
+                expected.set(i, j, s as f32);
+            }
+        }
+        cake_matrix::compare::assert_gemm_eq(&c, &expected, k);
+    }
+
+    #[test]
+    fn full_tile_uses_direct_path() {
+        run_small(8, 10, 8);
+    }
+
+    #[test]
+    fn partial_rows() {
+        run_small(3, 10, 8);
+    }
+
+    #[test]
+    fn partial_cols() {
+        run_small(8, 10, 5);
+    }
+
+    #[test]
+    fn partial_both_and_tiny() {
+        run_small(1, 1, 1);
+        run_small(2, 7, 3);
+        run_small(7, 64, 7);
+    }
+
+    #[test]
+    fn zero_region_is_noop() {
+        let ukr = portable_f32_8x8();
+        let mut c = [5.0f32; 4];
+        unsafe {
+            run_tile(
+                &ukr,
+                0,
+                std::ptr::null(),
+                std::ptr::null(),
+                c.as_mut_ptr(),
+                2,
+                1,
+                0,
+                0,
+            );
+        }
+        assert_eq!(c, [5.0; 4]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn edge_path_does_not_touch_outside_region() {
+        let ukr = portable_f32_8x8();
+        let k = 4;
+        let a = init::ones::<f32>(2, k);
+        let b = init::ones::<f32>(k, 2);
+        let mut pa = vec![0.0f32; packed_a_size(2, k, 8)];
+        let mut pb = vec![0.0f32; packed_b_size(k, 2, 8)];
+        pack_a(&a.view(), &mut pa, 8);
+        pack_b(&b.view(), &mut pb, 8);
+
+        // Canary buffer: a 4x4 C where only the top-left 2x2 may change.
+        let mut c = [[-9.0f32; 4]; 4];
+        unsafe {
+            run_tile(&ukr, k, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr().cast(), 4, 1, 2, 2);
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                if i < 2 && j < 2 {
+                    assert_eq!(c[i][j], -9.0 + k as f32);
+                } else {
+                    assert_eq!(c[i][j], -9.0, "canary clobbered at ({i},{j})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Packing of operand blocks into micro-panel format.
+//!
+//! Both CAKE and GOTO copy the operand blocks they are about to compute on
+//! into contiguous buffers (paper Section 5.2.1): packing minimizes cache
+//! evictions and self-interference, and puts data in the exact streaming
+//! order the microkernel consumes.
+//!
+//! Formats (BLIS-compatible):
+//!
+//! * **Packed `A`** (an `mc x kc` block): split into `ceil(mc/mr)` slivers
+//!   of `mr` rows. Each sliver is stored k-major: for `k = 0..kc` the `mr`
+//!   column elements `A[s*mr .. s*mr+mr, k]` are contiguous. Edge slivers
+//!   are zero-padded to `mr` rows.
+//! * **Packed `B`** (a `kc x nc` block): split into `ceil(nc/nr)` slivers
+//!   of `nr` columns, each stored k-major with `nr` contiguous row elements
+//!   per `k`, zero-padded to `nr` columns.
+//!
+//! Zero padding lets the hot loop always run full `mr x nr` kernels for the
+//! interior; only the `C`-side write needs edge masking.
+
+use cake_matrix::{Element, MatrixView};
+
+/// Elements needed to pack an `mc x kc` block of `A` with sliver height `mr`.
+pub fn packed_a_size(mc: usize, kc: usize, mr: usize) -> usize {
+    if mc == 0 || kc == 0 {
+        return 0;
+    }
+    mc.div_ceil(mr) * mr * kc
+}
+
+/// Elements needed to pack a `kc x nc` block of `B` with sliver width `nr`.
+pub fn packed_b_size(kc: usize, nc: usize, nr: usize) -> usize {
+    if kc == 0 || nc == 0 {
+        return 0;
+    }
+    nc.div_ceil(nr) * nr * kc
+}
+
+/// Offset of A sliver `s` within a packed-A buffer.
+#[inline]
+pub fn a_sliver_offset(s: usize, kc: usize, mr: usize) -> usize {
+    s * mr * kc
+}
+
+/// Offset of B sliver `t` within a packed-B buffer.
+#[inline]
+pub fn b_sliver_offset(t: usize, kc: usize, nr: usize) -> usize {
+    t * nr * kc
+}
+
+/// Pack an `mc x kc` view of `A` into `dst`.
+///
+/// # Panics
+/// Panics if `dst` is shorter than [`packed_a_size`].
+pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
+    let mc = src.rows();
+    let kc = src.cols();
+    let need = packed_a_size(mc, kc, mr);
+    assert!(dst.len() >= need, "packed A buffer too small: {} < {need}", dst.len());
+    let slivers = if mc == 0 { 0 } else { mc.div_ceil(mr) };
+    for s in 0..slivers {
+        let row0 = s * mr;
+        let live = mr.min(mc - row0);
+        let base = a_sliver_offset(s, kc, mr);
+        for k in 0..kc {
+            let out = &mut dst[base + k * mr..base + (k + 1) * mr];
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = if i < live { src.get(row0 + i, k) } else { T::ZERO };
+            }
+        }
+    }
+}
+
+/// Pack a `kc x nc` view of `B` into `dst`.
+///
+/// # Panics
+/// Panics if `dst` is shorter than [`packed_b_size`].
+pub fn pack_b<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], nr: usize) {
+    let kc = src.rows();
+    let nc = src.cols();
+    let need = packed_b_size(kc, nc, nr);
+    assert!(dst.len() >= need, "packed B buffer too small: {} < {need}", dst.len());
+    let slivers = if nc == 0 { 0 } else { nc.div_ceil(nr) };
+    for t in 0..slivers {
+        let col0 = t * nr;
+        let live = nr.min(nc - col0);
+        let base = b_sliver_offset(t, kc, nr);
+        for k in 0..kc {
+            let out = &mut dst[base + k * nr..base + (k + 1) * nr];
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = if j < live { src.get(k, col0 + j) } else { T::ZERO };
+            }
+        }
+    }
+}
+
+/// Unpack a packed-A buffer back into row-major order (test helper).
+pub fn unpack_a<T: Element>(packed: &[T], mc: usize, kc: usize, mr: usize) -> Vec<T> {
+    let mut out = vec![T::ZERO; mc * kc];
+    for i in 0..mc {
+        let s = i / mr;
+        let r = i % mr;
+        for k in 0..kc {
+            out[i * kc + k] = packed[a_sliver_offset(s, kc, mr) + k * mr + r];
+        }
+    }
+    out
+}
+
+/// Unpack a packed-B buffer back into row-major order (test helper).
+pub fn unpack_b<T: Element>(packed: &[T], kc: usize, nc: usize, nr: usize) -> Vec<T> {
+    let mut out = vec![T::ZERO; kc * nc];
+    for k in 0..kc {
+        for j in 0..nc {
+            let t = j / nr;
+            let c = j % nr;
+            out[k * nc + j] = packed[b_sliver_offset(t, kc, nr) + k * nr + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cake_matrix::{init, Matrix};
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_a_round_trips() {
+        let m = init::sequential::<f32>(10, 7);
+        let mr = 4;
+        let mut buf = vec![0.0; packed_a_size(10, 7, mr)];
+        pack_a(&m.view(), &mut buf, mr);
+        assert_eq!(unpack_a(&buf, 10, 7, mr), m.as_slice());
+    }
+
+    #[test]
+    fn pack_b_round_trips() {
+        let m = init::sequential::<f64>(5, 13);
+        let nr = 8;
+        let mut buf = vec![0.0; packed_b_size(5, 13, nr)];
+        pack_b(&m.view(), &mut buf, nr);
+        assert_eq!(unpack_b(&buf, 5, 13, nr), m.as_slice());
+    }
+
+    #[test]
+    fn edge_slivers_are_zero_padded() {
+        // 5 rows with mr=4: second sliver has 1 live + 3 padded rows.
+        let m = init::ones::<f32>(5, 3);
+        let mut buf = vec![-1.0; packed_a_size(5, 3, 4)];
+        pack_a(&m.view(), &mut buf, 4);
+        // Second sliver: entries at rows 1..4 of every k must be zero.
+        let base = a_sliver_offset(1, 3, 4);
+        for k in 0..3 {
+            assert_eq!(buf[base + k * 4], 1.0);
+            assert_eq!(&buf[base + k * 4 + 1..base + k * 4 + 4], &[0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn packed_a_layout_is_k_major() {
+        // 2x2 with mr=2: layout must be [a00, a10, a01, a11].
+        let m = Matrix::from_rows(2, 2, &[1.0f32, 2.0, 3.0, 4.0]);
+        let mut buf = vec![0.0; 4];
+        pack_a(&m.view(), &mut buf, 2);
+        assert_eq!(buf, vec![1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn packed_b_layout_is_k_major() {
+        // 2x2 with nr=2: layout must be [b00, b01, b10, b11].
+        let m = Matrix::from_rows(2, 2, &[1.0f32, 2.0, 3.0, 4.0]);
+        let mut buf = vec![0.0; 4];
+        pack_b(&m.view(), &mut buf, 2);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pack_from_column_major_source() {
+        let rm = init::sequential::<f64>(6, 5);
+        let cm = rm.to_layout(cake_matrix::Layout::ColMajor);
+        let (mut b1, mut b2) = (
+            vec![0.0; packed_a_size(6, 5, 4)],
+            vec![0.0; packed_a_size(6, 5, 4)],
+        );
+        pack_a(&rm.view(), &mut b1, 4);
+        pack_a(&cm.view(), &mut b2, 4);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn zero_sized_blocks() {
+        assert_eq!(packed_a_size(0, 5, 4), 0);
+        assert_eq!(packed_b_size(5, 0, 8), 0);
+        let m = Matrix::<f32>::zeros(0, 5);
+        let mut buf: Vec<f32> = vec![];
+        pack_a(&m.view(), &mut buf, 4); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_buffer_panics() {
+        let m = init::ones::<f32>(8, 8);
+        let mut buf = vec![0.0; 10];
+        pack_a(&m.view(), &mut buf, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_identity(
+            mc in 1usize..40,
+            kc in 1usize..40,
+            mr in prop::sample::select(vec![1usize, 2, 4, 6, 8]),
+        ) {
+            let m = init::random::<f32>(mc, kc, 99);
+            let mut buf = vec![0.0; packed_a_size(mc, kc, mr)];
+            pack_a(&m.view(), &mut buf, mr);
+            prop_assert_eq!(unpack_a(&buf, mc, kc, mr), m.as_slice().to_vec());
+        }
+
+        #[test]
+        fn pack_b_unpack_identity(
+            kc in 1usize..40,
+            nc in 1usize..40,
+            nr in prop::sample::select(vec![1usize, 4, 8, 16]),
+        ) {
+            let m = init::random::<f64>(kc, nc, 7);
+            let mut buf = vec![0.0; packed_b_size(kc, nc, nr)];
+            pack_b(&m.view(), &mut buf, nr);
+            prop_assert_eq!(unpack_b(&buf, kc, nc, nr), m.as_slice().to_vec());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Runtime kernel selection.
+//!
+//! `best_kernel::<T>()` returns the fastest kernel the running CPU supports
+//! (AVX2+FMA when detected on x86_64, the portable kernel otherwise).
+//! Selection happens once per GEMM call, far off the hot path.
+
+use cake_matrix::Element;
+
+use crate::ukernel::{self, Ukr};
+
+/// Element types with a kernel registry. Implemented for `f32` and `f64`.
+pub trait KernelSelect: Element {
+    /// Fastest kernel available on this CPU.
+    fn best() -> Ukr<Self>;
+    /// The portable (ISA-independent) kernel.
+    fn portable() -> Ukr<Self>;
+}
+
+impl KernelSelect for f32 {
+    fn best() -> Ukr<f32> {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(k) = crate::avx2::avx2_f32_6x16() {
+            return k;
+        }
+        ukernel::portable_f32_8x8()
+    }
+
+    fn portable() -> Ukr<f32> {
+        ukernel::portable_f32_8x8()
+    }
+}
+
+impl KernelSelect for f64 {
+    fn best() -> Ukr<f64> {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(k) = crate::avx2::avx2_f64_4x8() {
+            return k;
+        }
+        ukernel::portable_f64_4x8()
+    }
+
+    fn portable() -> Ukr<f64> {
+        ukernel::portable_f64_4x8()
+    }
+}
+
+/// Fastest kernel available on this CPU for element type `T`.
+pub fn best_kernel<T: KernelSelect>() -> Ukr<T> {
+    T::best()
+}
+
+/// The portable kernel for element type `T` (useful for A/B testing and as
+/// a deterministic baseline in benches).
+pub fn portable_kernel<T: KernelSelect>() -> Ukr<T> {
+    T::portable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_kernels_have_sane_shapes() {
+        let kf = best_kernel::<f32>();
+        assert!(kf.mr() >= 1 && kf.nr() >= 1);
+        assert!(kf.mr() * kf.nr() <= crate::edge::MAX_TILE);
+        let kd = best_kernel::<f64>();
+        assert!(kd.mr() * kd.nr() <= crate::edge::MAX_TILE);
+    }
+
+    #[test]
+    fn portable_kernels_are_portable_named() {
+        assert!(portable_kernel::<f32>().name().starts_with("portable"));
+        assert!(portable_kernel::<f64>().name().starts_with("portable"));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_selected_when_available() {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            assert_eq!(best_kernel::<f32>().name(), "avx2_f32_6x16");
+            assert_eq!(best_kernel::<f64>().name(), "avx2_f64_4x8");
+        }
+    }
+
+    #[test]
+    fn best_and_portable_agree_numerically() {
+        use crate::pack::{pack_a, pack_b, packed_a_size, packed_b_size};
+        use cake_matrix::init;
+
+        // Compare one full tile of the best kernel against a scalar compute.
+        let ukr = best_kernel::<f32>();
+        let (mr, nr, kc) = (ukr.mr(), ukr.nr(), 31);
+        let a = init::random::<f32>(mr, kc, 1);
+        let b = init::random::<f32>(kc, nr, 2);
+        let mut pa = vec![0.0f32; packed_a_size(mr, kc, mr)];
+        let mut pb = vec![0.0f32; packed_b_size(kc, nr, nr)];
+        pack_a(&a.view(), &mut pa, mr);
+        pack_b(&b.view(), &mut pb, nr);
+        let mut c = vec![0.0f32; mr * nr];
+        unsafe { ukr.call(kc, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr(), nr, 1) };
+
+        for i in 0..mr {
+            for j in 0..nr {
+                let mut s = 0.0f64;
+                for k in 0..kc {
+                    s += a.get(i, k) as f64 * b.get(k, j) as f64;
+                }
+                assert!((c[i * nr + j] as f64 - s).abs() < 1e-4 * (1.0 + s.abs()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::edge::run_tile;
+    use crate::pack::{pack_a, pack_b, packed_a_size, packed_b_size};
+    use cake_matrix::init;
+    use proptest::prelude::*;
+
+    /// Drive the full kernel stack (pack -> edge-masked microkernel) on a
+    /// single random tile and compare against a scalar computation.
+    fn tile_case(kc: usize, mrows: usize, ncols: usize, ld_extra: usize, seed: u64) {
+        let ukr = best_kernel::<f32>();
+        let (mr, nr) = (ukr.mr(), ukr.nr());
+        let mrows = mrows.min(mr).max(1);
+        let ncols = ncols.min(nr).max(1);
+
+        let a = init::random::<f32>(mrows, kc, seed);
+        let b = init::random::<f32>(kc, ncols, seed + 1);
+        let mut pa = vec![0.0f32; packed_a_size(mrows, kc, mr)];
+        let mut pb = vec![0.0f32; packed_b_size(kc, ncols, nr)];
+        pack_a(&a.view(), &mut pa, mr);
+        pack_b(&b.view(), &mut pb, nr);
+
+        let ld = ncols + ld_extra;
+        let mut c = vec![0.25f32; mrows * ld];
+        unsafe {
+            run_tile(&ukr, kc, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr(), ld, 1, mrows, ncols);
+        }
+        for i in 0..mrows {
+            for j in 0..ncols {
+                let mut s = 0.25f64;
+                for kk in 0..kc {
+                    s += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+                }
+                let got = c[i * ld + j] as f64;
+                assert!(
+                    (got - s).abs() <= 1e-4 * (1.0 + s.abs()),
+                    "({i},{j}): {got} vs {s}"
+                );
+            }
+            // Padding columns untouched.
+            for j in ncols..ld {
+                assert_eq!(c[i * ld + j], 0.25, "padding clobbered at ({i},{j})");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn best_kernel_tile_random(
+            kc in 1usize..96,
+            mrows in 1usize..9,
+            ncols in 1usize..17,
+            ld_extra in 0usize..5,
+            seed in 0u64..10_000,
+        ) {
+            tile_case(kc, mrows, ncols, ld_extra, seed);
+        }
+    }
+}

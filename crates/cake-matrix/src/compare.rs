@@ -1,0 +1,156 @@
+//! Tolerant floating-point comparison for GEMM verification.
+//!
+//! A GEMM result accumulates `K` products, so rounding error grows with `K`.
+//! [`gemm_tolerance`] provides the standard forward-error bound scale
+//! `~ K * eps`, which the integration tests use to compare optimized
+//! implementations against the naive reference.
+
+use crate::element::Element;
+use crate::matrix::Matrix;
+
+/// Maximum absolute elementwise difference between two matrices.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn max_abs_diff<T: Element>(a: &Matrix<T>, b: &Matrix<T>) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "row mismatch");
+    assert_eq!(a.cols(), b.cols(), "col mismatch");
+    let mut max = 0.0f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let d = (a.get(i, j).to_f64() - b.get(i, j).to_f64()).abs();
+            if d > max {
+                max = d;
+            }
+        }
+    }
+    max
+}
+
+/// Maximum relative elementwise difference, with denominators clamped to 1
+/// so near-zero entries do not explode the ratio.
+pub fn max_rel_diff<T: Element>(a: &Matrix<T>, b: &Matrix<T>) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "row mismatch");
+    assert_eq!(a.cols(), b.cols(), "col mismatch");
+    let mut max = 0.0f64;
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let x = a.get(i, j).to_f64();
+            let y = b.get(i, j).to_f64();
+            let denom = x.abs().max(y.abs()).max(1.0);
+            let d = (x - y).abs() / denom;
+            if d > max {
+                max = d;
+            }
+        }
+    }
+    max
+}
+
+/// `true` if all elements agree within `tol` (absolute or relative).
+pub fn approx_eq<T: Element>(a: &Matrix<T>, b: &Matrix<T>, tol: f64) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let x = a.get(i, j).to_f64();
+            let y = b.get(i, j).to_f64();
+            if !x.is_finite() || !y.is_finite() {
+                return false;
+            }
+            let denom = x.abs().max(y.abs()).max(1.0);
+            if (x - y).abs() > tol * denom {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Forward-error tolerance for comparing two GEMM results with reduction
+/// depth `k`: `8 * k * eps`, floored to a small constant.
+///
+/// The factor 8 absorbs the difference in summation orders between blocked
+/// and naive accumulation (blocked sums are usually *more* accurate).
+pub fn gemm_tolerance<T: Element>(k: usize) -> f64 {
+    let eps = T::epsilon().to_f64();
+    (8.0 * k.max(1) as f64 * eps).max(16.0 * eps)
+}
+
+/// Assert two matrices are GEMM-equal for reduction depth `k`, with a
+/// diagnostic message on failure.
+///
+/// # Panics
+/// Panics when the comparison fails.
+pub fn assert_gemm_eq<T: Element>(actual: &Matrix<T>, expected: &Matrix<T>, k: usize) {
+    let tol = gemm_tolerance::<T>(k);
+    if !approx_eq(actual, expected, tol) {
+        let abs = max_abs_diff(actual, expected);
+        let rel = max_rel_diff(actual, expected);
+        panic!(
+            "GEMM mismatch: shape {}x{}, K={k}, max_abs={abs:.3e}, max_rel={rel:.3e}, tol={tol:.3e}",
+            actual.rows(),
+            actual.cols()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn identical_matrices_compare_equal() {
+        let a = init::random::<f64>(6, 7, 1);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        assert!(approx_eq(&a, &a, 0.0));
+    }
+
+    #[test]
+    fn detects_single_element_difference() {
+        let a = init::random::<f32>(4, 4, 2);
+        let mut b = a.clone();
+        b.set(3, 3, b.get(3, 3) + 0.5);
+        assert!((max_abs_diff(&a, &b) - 0.5).abs() < 1e-6);
+        assert!(!approx_eq(&a, &b, 1e-3));
+    }
+
+    #[test]
+    fn rel_diff_clamps_small_denominators() {
+        let a = Matrix::<f64>::from_fn(1, 1, |_, _| 0.0);
+        let b = Matrix::<f64>::from_fn(1, 1, |_, _| 1e-12);
+        // denominator clamped to 1.0, so rel diff equals abs diff here.
+        assert!(max_rel_diff(&a, &b) < 1e-11);
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_equal() {
+        let a = Matrix::<f32>::zeros(2, 3);
+        let b = Matrix::<f32>::zeros(3, 2);
+        assert!(!approx_eq(&a, &b, 1.0));
+    }
+
+    #[test]
+    fn nan_is_never_equal() {
+        let a = Matrix::<f32>::from_fn(1, 1, |_, _| f32::NAN);
+        assert!(!approx_eq(&a, &a, 1.0));
+    }
+
+    #[test]
+    fn tolerance_scales_with_k() {
+        assert!(gemm_tolerance::<f32>(1000) > gemm_tolerance::<f32>(10));
+        assert!(gemm_tolerance::<f64>(100) < gemm_tolerance::<f32>(100));
+        assert!(gemm_tolerance::<f32>(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "GEMM mismatch")]
+    fn assert_gemm_eq_panics_with_diagnostics() {
+        let a = Matrix::<f64>::zeros(2, 2);
+        let mut b = Matrix::<f64>::zeros(2, 2);
+        b.set(0, 0, 1.0);
+        assert_gemm_eq(&a, &b, 4);
+    }
+}

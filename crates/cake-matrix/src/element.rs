@@ -1,0 +1,140 @@
+//! Scalar element trait shared by every GEMM implementation in the workspace.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Scalar type usable as a GEMM element.
+///
+/// The trait deliberately stays small: the microkernels only need
+/// multiply-accumulate, and the test harness needs conversions and an
+/// absolute value for tolerance checks. It is sealed to `f32`/`f64` — the
+/// paper evaluates single precision (BLIS sgemm kernels) and we add double
+/// precision as the natural extension.
+pub trait Element:
+    Copy
+    + Send
+    + Sync
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Sum
+    + private::Sealed
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of the element in bytes (compile-time constant convenience).
+    const BYTES: usize = std::mem::size_of::<Self>();
+
+    /// Fused (or at least contracted) multiply-add: `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Lossy conversion from `f64` (used by initializers and tolerances).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64` (used by comparisons and reductions).
+    fn to_f64(self) -> f64;
+    /// Machine epsilon of the type.
+    fn epsilon() -> Self;
+    /// `true` if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+macro_rules! impl_element {
+    ($t:ty) => {
+        impl Element for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // `mul_add` maps to an FMA instruction when the target has
+                // one; the microkernels rely on this for peak throughput.
+                <$t>::mul_add(self, a, b)
+            }
+
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_element!(f32);
+impl_element!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_literals() {
+        assert_eq!(f32::ZERO, 0.0f32);
+        assert_eq!(f32::ONE, 1.0f32);
+        assert_eq!(f64::ZERO, 0.0f64);
+        assert_eq!(f64::ONE, 1.0f64);
+        assert_eq!(<f32 as Element>::BYTES, 4);
+        assert_eq!(<f64 as Element>::BYTES, 8);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let r = Element::mul_add(2.0f64, 3.0, 4.0);
+        assert_eq!(r, 10.0);
+        let r32 = Element::mul_add(2.0f32, 3.0, 4.0);
+        assert_eq!(r32, 10.0);
+    }
+
+    #[test]
+    fn conversions_round_trip_small_integers() {
+        for i in -100..100 {
+            let v = i as f64;
+            assert_eq!(<f32 as Element>::from_f64(v).to_f64(), v);
+            assert_eq!(<f64 as Element>::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(1.0f32.is_finite());
+        assert!(!Element::is_finite(f32::NAN));
+        assert!(!Element::is_finite(f64::INFINITY));
+    }
+}

@@ -1,0 +1,92 @@
+//! Deterministic matrix initializers for tests, examples, and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::element::Element;
+use crate::matrix::Matrix;
+
+/// Uniformly random matrix in `[-1, 1)`, seeded for reproducibility.
+pub fn random<T: Element>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        T::from_f64(rng.random_range(-1.0f64..1.0))
+    })
+}
+
+/// Random matrix with entries drawn from `{-2, -1, 0, 1, 2}`.
+///
+/// Small-integer matrices make GEMM results exactly representable, so tests
+/// can compare against the reference with zero tolerance for modest K.
+pub fn random_ints<T: Element>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        T::from_f64(rng.random_range(-2i32..=2) as f64)
+    })
+}
+
+/// `m[i][j] = i * cols + j` — handy for eyeballing packing/layout bugs.
+pub fn sequential<T: Element>(rows: usize, cols: usize) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |i, j| T::from_f64((i * cols + j) as f64))
+}
+
+/// Identity-like matrix (1 on the main diagonal), works for non-square too.
+pub fn eye<T: Element>(rows: usize, cols: usize) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |i, j| if i == j { T::ONE } else { T::ZERO })
+}
+
+/// Matrix of all ones.
+pub fn ones<T: Element>(rows: usize, cols: usize) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |_, _| T::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible_and_bounded() {
+        let a = random::<f32>(8, 8, 42);
+        let b = random::<f32>(8, 8, 42);
+        let c = random::<f32>(8, 8, 43);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn random_ints_are_small_integers() {
+        let a = random_ints::<f64>(16, 16, 7);
+        assert!(a
+            .as_slice()
+            .iter()
+            .all(|&x| x.fract() == 0.0 && (-2.0..=2.0).contains(&x)));
+    }
+
+    #[test]
+    fn sequential_pattern() {
+        let a = sequential::<f32>(3, 4);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(1, 0), 4.0);
+        assert_eq!(a.get(2, 3), 11.0);
+    }
+
+    #[test]
+    fn eye_multiplicative_property_by_hand() {
+        let i = eye::<f64>(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+        let rect = eye::<f64>(2, 5);
+        assert_eq!(rect.get(1, 1), 1.0);
+        assert_eq!(rect.get(1, 4), 0.0);
+    }
+
+    #[test]
+    fn ones_sums_to_area() {
+        let a = ones::<f32>(7, 9);
+        assert_eq!(a.sum_f64(), 63.0);
+    }
+}

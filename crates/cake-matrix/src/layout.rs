@@ -1,0 +1,85 @@
+//! Memory layout of dense matrices.
+
+/// Storage order of a dense matrix.
+///
+/// The GEMM entry points accept either order for each operand (mirroring the
+/// BLAS `trans` flags); internally everything is packed into the
+/// kernel-specific panel formats, so layout only affects the packing loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Row-major ("C order"): element `(i, j)` lives at `i * stride + j`.
+    #[default]
+    RowMajor,
+    /// Column-major ("Fortran order"): element `(i, j)` lives at
+    /// `j * stride + i`.
+    ColMajor,
+}
+
+impl Layout {
+    /// The opposite ordering.
+    #[inline]
+    pub fn transposed(self) -> Layout {
+        match self {
+            Layout::RowMajor => Layout::ColMajor,
+            Layout::ColMajor => Layout::RowMajor,
+        }
+    }
+
+    /// Linear offset of `(i, j)` in a matrix with leading dimension `ld`.
+    #[inline]
+    pub fn offset(self, i: usize, j: usize, ld: usize) -> usize {
+        match self {
+            Layout::RowMajor => i * ld + j,
+            Layout::ColMajor => j * ld + i,
+        }
+    }
+
+    /// Minimum leading dimension for a `rows x cols` matrix.
+    #[inline]
+    pub fn min_ld(self, rows: usize, cols: usize) -> usize {
+        match self {
+            Layout::RowMajor => cols,
+            Layout::ColMajor => rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_is_involution() {
+        assert_eq!(Layout::RowMajor.transposed(), Layout::ColMajor);
+        assert_eq!(Layout::RowMajor.transposed().transposed(), Layout::RowMajor);
+    }
+
+    #[test]
+    fn offsets_follow_definition() {
+        // 3x4 row-major with ld=4: (1,2) -> 6.
+        assert_eq!(Layout::RowMajor.offset(1, 2, 4), 6);
+        // 3x4 col-major with ld=3: (1,2) -> 7.
+        assert_eq!(Layout::ColMajor.offset(1, 2, 3), 7);
+    }
+
+    #[test]
+    fn min_ld_matches_layout() {
+        assert_eq!(Layout::RowMajor.min_ld(3, 4), 4);
+        assert_eq!(Layout::ColMajor.min_ld(3, 4), 3);
+    }
+
+    #[test]
+    fn offsets_are_unique_within_bounds() {
+        let (rows, cols) = (5, 7);
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let ld = layout.min_ld(rows, cols);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..rows {
+                for j in 0..cols {
+                    assert!(seen.insert(layout.offset(i, j, ld)), "{layout:?} ({i},{j})");
+                }
+            }
+            assert_eq!(seen.len(), rows * cols);
+        }
+    }
+}

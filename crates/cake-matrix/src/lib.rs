@@ -1,0 +1,36 @@
+//! Dense matrix substrate for the CAKE GEMM reproduction.
+//!
+//! This crate provides the storage and view types every other crate in the
+//! workspace builds on:
+//!
+//! * [`Element`] — the scalar trait (implemented for `f32` and `f64`) that the
+//!   microkernels, schedulers and simulator are generic over.
+//! * [`AlignedBuf`] — a 64-byte-aligned heap buffer so packed panels start on
+//!   cache-line (and AVX) boundaries.
+//! * [`Matrix`] — an owned dense matrix with explicit [`Layout`] and stride.
+//! * [`MatrixView`] / [`MatrixViewMut`] — borrowed strided sub-matrix views,
+//!   the currency passed between packing routines and kernels.
+//! * [`partition`] — helpers for carving a dimension into blocks, used by both
+//!   the CAKE and GOTO schedulers.
+//! * [`compare`] — tolerant floating-point comparison utilities for tests and
+//!   the verification harness.
+//!
+//! The design keeps all `unsafe` confined to [`alloc`] and the raw-pointer
+//! view accessors; everything above it is safe code.
+
+pub mod alloc;
+pub mod compare;
+pub mod element;
+pub mod init;
+pub mod layout;
+pub mod matrix;
+pub mod partition;
+pub mod view;
+
+pub use alloc::AlignedBuf;
+pub use compare::{approx_eq, max_abs_diff, max_rel_diff};
+pub use element::Element;
+pub use layout::Layout;
+pub use matrix::Matrix;
+pub use partition::{block_count, block_ranges, BlockRange};
+pub use view::{MatrixView, MatrixViewMut};

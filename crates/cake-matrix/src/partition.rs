@@ -1,0 +1,153 @@
+//! Dimension partitioning helpers shared by the CAKE and GOTO schedulers.
+//!
+//! Both algorithms carve each of the `M`, `K`, `N` dimensions into blocks of
+//! a target size, with a (possibly smaller) remainder block at the end. The
+//! paper's block grid (`Mb x Kb x Nb`, Algorithm 2) is built from these
+//! ranges.
+
+/// A half-open range `[start, start + len)` of one matrix dimension,
+/// together with its block index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRange {
+    /// Index of this block within its dimension.
+    pub idx: usize,
+    /// First element covered.
+    pub start: usize,
+    /// Number of elements covered (equal to the block size except possibly
+    /// for the final remainder block).
+    pub len: usize,
+}
+
+impl BlockRange {
+    /// One-past-the-end element.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Number of blocks needed to cover `dim` with blocks of `block` elements.
+///
+/// Zero-sized dimensions need zero blocks. A zero block size is a caller bug.
+///
+/// # Panics
+/// Panics if `block == 0` while `dim > 0`.
+pub fn block_count(dim: usize, block: usize) -> usize {
+    if dim == 0 {
+        return 0;
+    }
+    assert!(block > 0, "block size must be positive for non-empty dim");
+    dim.div_ceil(block)
+}
+
+/// The ranges covering `dim` in blocks of `block` elements.
+pub fn block_ranges(dim: usize, block: usize) -> Vec<BlockRange> {
+    let count = block_count(dim, block);
+    (0..count)
+        .map(|idx| {
+            let start = idx * block;
+            BlockRange {
+                idx,
+                start,
+                len: block.min(dim - start),
+            }
+        })
+        .collect()
+}
+
+/// Split `dim` as evenly as possible into exactly `parts` contiguous ranges
+/// (used to assign `C`-row strips to cores).
+///
+/// The first `dim % parts` ranges get one extra element. Ranges may be empty
+/// when `parts > dim`.
+pub fn even_split(dim: usize, parts: usize) -> Vec<BlockRange> {
+    assert!(parts > 0, "cannot split into zero parts");
+    let base = dim / parts;
+    let extra = dim % parts;
+    let mut start = 0;
+    (0..parts)
+        .map(|idx| {
+            let len = base + usize::from(idx < extra);
+            let r = BlockRange { idx, start, len };
+            start += len;
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_division() {
+        let r = block_ranges(12, 4);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], BlockRange { idx: 0, start: 0, len: 4 });
+        assert_eq!(r[2], BlockRange { idx: 2, start: 8, len: 4 });
+    }
+
+    #[test]
+    fn remainder_block_is_short() {
+        let r = block_ranges(10, 4);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[2].len, 2);
+        assert_eq!(r[2].end(), 10);
+    }
+
+    #[test]
+    fn zero_dim_has_no_blocks() {
+        assert_eq!(block_count(0, 4), 0);
+        assert!(block_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_panics() {
+        let _ = block_count(5, 0);
+    }
+
+    #[test]
+    fn even_split_distributes_remainder_first() {
+        let r = even_split(10, 4);
+        let lens: Vec<usize> = r.iter().map(|b| b.len).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+        assert_eq!(r.last().unwrap().end(), 10);
+    }
+
+    #[test]
+    fn even_split_more_parts_than_elements() {
+        let r = even_split(2, 5);
+        let lens: Vec<usize> = r.iter().map(|b| b.len).collect();
+        assert_eq!(lens, vec![1, 1, 0, 0, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_tile_dimension_exactly(dim in 0usize..5000, block in 1usize..512) {
+            let ranges = block_ranges(dim, block);
+            // Contiguous, ordered, covering.
+            let mut pos = 0;
+            for (i, r) in ranges.iter().enumerate() {
+                prop_assert_eq!(r.idx, i);
+                prop_assert_eq!(r.start, pos);
+                prop_assert!(r.len > 0);
+                prop_assert!(r.len <= block);
+                pos = r.end();
+            }
+            prop_assert_eq!(pos, dim);
+        }
+
+        #[test]
+        fn even_split_covers_and_balances(dim in 0usize..5000, parts in 1usize..64) {
+            let ranges = even_split(dim, parts);
+            prop_assert_eq!(ranges.len(), parts);
+            let total: usize = ranges.iter().map(|r| r.len).sum();
+            prop_assert_eq!(total, dim);
+            let max = ranges.iter().map(|r| r.len).max().unwrap();
+            let min = ranges.iter().map(|r| r.len).min().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

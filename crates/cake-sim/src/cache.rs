@@ -1,0 +1,375 @@
+//! Variable-object-size LRU caches and an inclusive-path cache hierarchy.
+//!
+//! The paper's Figure 7 profiles *where memory requests are served from*
+//! (L1 / L2 / L3 / DRAM) for CAKE vs the vendor library. We reproduce the
+//! mechanism with an object-granular cache model: the units cached are the
+//! packed slivers and register tiles the kernels actually touch (a few KiB
+//! each), which is the granularity the paper's own packet-based simulator
+//! used.
+//!
+//! [`LruCache`] evicts least-recently-used objects until a new object
+//! fits; [`Hierarchy`] models per-core L1 and L2 plus a shared LLC with
+//! allocate-on-miss along the whole path, dirty tracking at the LLC, and
+//! per-level hit counters.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A byte-capacity LRU cache over variably sized objects.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    /// key -> (stamp, size, dirty)
+    map: HashMap<u64, (u64, u64, bool)>,
+    /// stamp -> key (unique stamps make this a total recency order)
+    order: BTreeMap<u64, u64>,
+}
+
+/// An object evicted from a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Object key.
+    pub key: u64,
+    /// Object size in bytes.
+    pub bytes: u64,
+    /// Whether the object had been written.
+    pub dirty: bool,
+}
+
+impl LruCache {
+    /// An empty cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            clock: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `true` if `key` is resident (does not touch recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Look up `key`; on hit, refresh recency (and dirty bit if `write`).
+    pub fn touch(&mut self, key: u64, write: bool) -> bool {
+        let Some(&(old_stamp, size, dirty)) = self.map.get(&key) else {
+            return false;
+        };
+        self.order.remove(&old_stamp);
+        self.clock += 1;
+        let stamp = self.clock;
+        self.order.insert(stamp, key);
+        self.map.insert(key, (stamp, size, dirty || write));
+        true
+    }
+
+    /// Insert `key` (must not be resident), evicting LRU objects as needed.
+    /// Returns the evicted objects, oldest first.
+    ///
+    /// Objects larger than the whole cache are admitted transiently: they
+    /// evict everything and are immediately evicted on the next insert —
+    /// matching streaming behaviour through an undersized cache.
+    pub fn insert(&mut self, key: u64, bytes: u64, dirty: bool) -> Vec<Evicted> {
+        debug_assert!(!self.contains(key), "insert of resident key {key}");
+        let mut evicted = Vec::new();
+        while self.used + bytes > self.capacity && !self.map.is_empty() {
+            let (&stamp, &victim) = self.order.iter().next().expect("order non-empty");
+            self.order.remove(&stamp);
+            let (_, vbytes, vdirty) = self.map.remove(&victim).expect("map in sync");
+            self.used -= vbytes;
+            evicted.push(Evicted {
+                key: victim,
+                bytes: vbytes,
+                dirty: vdirty,
+            });
+        }
+        self.clock += 1;
+        self.order.insert(self.clock, key);
+        self.map.insert(key, (self.clock, bytes, dirty));
+        self.used += bytes;
+        evicted
+    }
+
+    /// Remove `key` if resident, returning its record.
+    pub fn invalidate(&mut self, key: u64) -> Option<Evicted> {
+        let (stamp, bytes, dirty) = self.map.remove(&key)?;
+        self.order.remove(&stamp);
+        self.used -= bytes;
+        Some(Evicted { key, bytes, dirty })
+    }
+}
+
+/// Per-level hit/traffic counters for a [`Hierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierStats {
+    /// Requests served by a core's L1.
+    pub l1_hits: u64,
+    /// Requests served by a core's L2.
+    pub l2_hits: u64,
+    /// Requests served by the shared LLC.
+    pub llc_hits: u64,
+    /// Requests that went to DRAM.
+    pub dram_accesses: u64,
+    /// Bytes fetched from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written back to DRAM (dirty LLC evictions).
+    pub dram_writeback_bytes: u64,
+    /// Total requests issued.
+    pub accesses: u64,
+}
+
+impl HierStats {
+    /// Requests served anywhere in local memory.
+    pub fn local_hits(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.llc_hits
+    }
+
+    /// Total DRAM traffic (reads + writebacks).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_writeback_bytes
+    }
+}
+
+/// A two-private-levels-plus-shared-LLC cache hierarchy (Figure 1).
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1: Vec<LruCache>,
+    l2: Vec<LruCache>,
+    llc: LruCache,
+    /// Counters, readable at any time.
+    pub stats: HierStats,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy with `cores` private L1/L2 pairs and one LLC.
+    pub fn new(cores: usize, l1_bytes: u64, l2_bytes: u64, llc_bytes: u64) -> Self {
+        assert!(cores > 0);
+        Self {
+            l1: (0..cores).map(|_| LruCache::new(l1_bytes)).collect(),
+            l2: (0..cores).map(|_| LruCache::new(l2_bytes)).collect(),
+            llc: LruCache::new(llc_bytes),
+            stats: HierStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Issue one request from `core` for object `key` of `bytes`.
+    ///
+    /// Returns the level that served it: 0 = L1, 1 = L2, 2 = LLC, 3 = DRAM.
+    pub fn access(&mut self, core: usize, key: u64, bytes: u64, write: bool) -> usize {
+        assert!(core < self.l1.len(), "core {core} out of range");
+        self.stats.accesses += 1;
+
+        if self.l1[core].touch(key, write) {
+            // Keep the dirty bit authoritative at the LLC so writebacks are
+            // counted even when the line never leaves L1 before eviction.
+            if write {
+                self.llc.touch(key, true);
+            }
+            self.stats.l1_hits += 1;
+            return 0;
+        }
+        if self.l2[core].touch(key, write) {
+            self.fill_l1(core, key, bytes, write);
+            if write {
+                self.llc.touch(key, true);
+            }
+            self.stats.l2_hits += 1;
+            return 1;
+        }
+        if self.llc.touch(key, write) {
+            self.fill_l2(core, key, bytes);
+            self.fill_l1(core, key, bytes, write);
+            self.stats.llc_hits += 1;
+            return 2;
+        }
+
+        // DRAM.
+        self.stats.dram_accesses += 1;
+        self.stats.dram_read_bytes += bytes;
+        for ev in self.llc.insert(key, bytes, write) {
+            if ev.dirty {
+                self.stats.dram_writeback_bytes += ev.bytes;
+            }
+        }
+        self.fill_l2(core, key, bytes);
+        self.fill_l1(core, key, bytes, write);
+        3
+    }
+
+    fn fill_l1(&mut self, core: usize, key: u64, bytes: u64, write: bool) {
+        if !self.l1[core].touch(key, write) {
+            let _ = self.l1[core].insert(key, bytes, write);
+        }
+    }
+
+    fn fill_l2(&mut self, core: usize, key: u64, bytes: u64) {
+        if !self.l2[core].touch(key, false) {
+            let _ = self.l2[core].insert(key, bytes, false);
+        }
+    }
+
+    /// Flush the hierarchy, counting remaining dirty LLC objects as
+    /// writebacks (end-of-computation drain).
+    pub fn flush(&mut self) {
+        let keys: Vec<u64> = {
+            let mut v = Vec::with_capacity(self.llc.len());
+            for (_, &k) in self.llc.order.iter() {
+                v.push(k);
+            }
+            v
+        };
+        for k in keys {
+            if let Some(ev) = self.llc.invalidate(k) {
+                if ev.dirty {
+                    self.stats.dram_writeback_bytes += ev.bytes;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = LruCache::new(100);
+        assert!(c.insert(1, 40, false).is_empty());
+        assert!(c.touch(1, false));
+        assert!(!c.touch(2, false));
+        assert_eq!(c.used(), 40);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 40, false);
+        c.insert(2, 40, false);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.touch(1, false));
+        let ev = c.insert(3, 40, false);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].key, 2);
+        assert!(c.contains(1) && c.contains(3));
+    }
+
+    #[test]
+    fn dirty_bit_survives_and_reports_on_eviction() {
+        let mut c = LruCache::new(64);
+        c.insert(7, 64, false);
+        c.touch(7, true); // write
+        let ev = c.insert(8, 64, false);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].dirty);
+    }
+
+    #[test]
+    fn oversized_object_streams_through() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 60, false);
+        let ev = c.insert(2, 500, false);
+        assert_eq!(ev.len(), 1); // evicted everything resident
+        assert!(c.contains(2));
+        // Next insert pushes the oversized object out.
+        let ev2 = c.insert(3, 10, false);
+        assert_eq!(ev2[0].key, 2);
+    }
+
+    #[test]
+    fn multi_eviction_until_fit() {
+        let mut c = LruCache::new(100);
+        for k in 0..5 {
+            c.insert(k, 20, false);
+        }
+        let ev = c.insert(99, 90, false);
+        assert_eq!(ev.len(), 5); // evicts 0..5 to make room (20*5 used)
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hierarchy_promotes_through_levels() {
+        let mut h = Hierarchy::new(2, 64, 128, 1024);
+        // First access: DRAM.
+        assert_eq!(h.access(0, 1, 32, false), 3);
+        // Second from same core: L1.
+        assert_eq!(h.access(0, 1, 32, false), 0);
+        // Other core: L1/L2 miss, LLC hit.
+        assert_eq!(h.access(1, 1, 32, false), 2);
+        assert_eq!(h.stats.l1_hits, 1);
+        assert_eq!(h.stats.llc_hits, 1);
+        assert_eq!(h.stats.dram_accesses, 1);
+        assert_eq!(h.stats.accesses, 3);
+    }
+
+    #[test]
+    fn capacity_pressure_reaches_dram_again() {
+        let mut h = Hierarchy::new(1, 32, 64, 128);
+        // Fill beyond LLC with distinct objects.
+        for k in 0..8 {
+            assert_eq!(h.access(0, k, 32, false), 3);
+        }
+        // Object 0 was evicted from everything.
+        assert_eq!(h.access(0, 0, 32, false), 3);
+    }
+
+    #[test]
+    fn writeback_counted_once_flushed() {
+        let mut h = Hierarchy::new(1, 64, 64, 128);
+        h.access(0, 5, 64, true); // dirty in LLC
+        h.flush();
+        assert_eq!(h.stats.dram_writeback_bytes, 64);
+        // Flushing twice doesn't double count.
+        h.flush();
+        assert_eq!(h.stats.dram_writeback_bytes, 64);
+    }
+
+    #[test]
+    fn l1_write_hit_marks_llc_dirty() {
+        let mut h = Hierarchy::new(1, 128, 128, 256);
+        h.access(0, 9, 32, false); // clean fill
+        h.access(0, 9, 32, true); // L1 write hit
+        h.flush();
+        assert_eq!(h.stats.dram_writeback_bytes, 32);
+    }
+
+    #[test]
+    fn stats_totals_consistent() {
+        let mut h = Hierarchy::new(2, 64, 128, 512);
+        for i in 0..50u64 {
+            h.access((i % 2) as usize, i % 7, 16, i % 3 == 0);
+        }
+        let s = h.stats;
+        assert_eq!(s.accesses, 50);
+        assert_eq!(s.local_hits() + s.dram_accesses, 50);
+    }
+}

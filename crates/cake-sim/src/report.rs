@@ -1,0 +1,141 @@
+//! Result records produced by the timing engine and consumed by the bench
+//! harness (CSV rows, figure series).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of simulating one GEMM on one CPU configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// CPU name.
+    pub cpu: String,
+    /// Algorithm ("CAKE" or "GOTO").
+    pub algo: String,
+    /// Cores used.
+    pub p: usize,
+    /// Problem extents.
+    pub m: usize,
+    /// Reduction extent.
+    pub k: usize,
+    /// Column extent.
+    pub n: usize,
+    /// Simulated wall time, seconds.
+    pub seconds: f64,
+    /// Achieved throughput, GFLOP/s.
+    pub gflops: f64,
+    /// Total DRAM traffic, bytes.
+    pub dram_bytes: u64,
+    /// Average DRAM bandwidth over the run, GB/s.
+    pub avg_dram_bw_gbs: f64,
+    /// Seconds the cores were stalled on DRAM (IO time not hidden by
+    /// compute).
+    pub dram_stall_seconds: f64,
+    /// Seconds stalled on local-memory (LLC<->core) bandwidth.
+    pub internal_stall_seconds: f64,
+    /// Number of blocks / rounds executed.
+    pub steps: usize,
+}
+
+impl SimReport {
+    /// FLOPs of the simulated problem.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64
+    }
+
+    /// Fraction of time lost to DRAM stalls.
+    pub fn dram_stall_fraction(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.dram_stall_seconds / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// CSV header matching [`Self::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "cpu,algo,p,m,k,n,seconds,gflops,dram_bytes,avg_dram_bw_gbs,dram_stall_s,internal_stall_s,steps"
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.6e},{:.3},{},{:.4},{:.6e},{:.6e},{}",
+            self.cpu,
+            self.algo,
+            self.p,
+            self.m,
+            self.k,
+            self.n,
+            self.seconds,
+            self.gflops,
+            self.dram_bytes,
+            self.avg_dram_bw_gbs,
+            self.dram_stall_seconds,
+            self.internal_stall_seconds,
+            self.steps
+        )
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<8} p={:<3} {:>6}x{:<6}x{:<6} {:>9.2} GFLOP/s  DRAM {:>7.2} GB/s  stalls dram {:>5.1}% int {:>5.1}%",
+            self.algo,
+            self.p,
+            self.m,
+            self.k,
+            self.n,
+            self.gflops,
+            self.avg_dram_bw_gbs,
+            100.0 * self.dram_stall_fraction(),
+            100.0 * self.internal_stall_seconds / self.seconds.max(1e-30),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        SimReport {
+            cpu: "Test".into(),
+            algo: "CAKE".into(),
+            p: 4,
+            m: 100,
+            k: 100,
+            n: 100,
+            seconds: 0.5,
+            gflops: 4.0,
+            dram_bytes: 1_000_000,
+            avg_dram_bw_gbs: 0.002,
+            dram_stall_seconds: 0.1,
+            internal_stall_seconds: 0.05,
+            steps: 7,
+        }
+    }
+
+    #[test]
+    fn flops_and_fractions() {
+        let r = sample();
+        assert_eq!(r.flops(), 2e6);
+        assert!((r.dram_stall_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = sample();
+        let cols = SimReport::csv_header().split(',').count();
+        assert_eq!(r.csv_row().split(',').count(), cols);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let s = serde_json::to_string(&r).unwrap();
+        let b: SimReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(b.gflops, r.gflops);
+        assert_eq!(b.steps, r.steps);
+    }
+}

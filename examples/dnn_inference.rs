@@ -1,0 +1,78 @@
+//! DNN forward pass as a sequence of GEMMs (the paper's motivating
+//! workload: "most computations in the forward pass of a convolutional
+//! neural network consist of one matrix multiplication per convolutional
+//! layer"), built on the `cake-dnn` substrate crate.
+//!
+//! ```sh
+//! cargo run --release --example dnn_inference
+//! ```
+
+use cake::core::api::CakeConfig;
+use cake::dnn::im2col::ConvGeom;
+use cake::dnn::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU, Sequential, Tensor};
+
+fn main() {
+    // A VGG-ish 32x32 network: every conv layer becomes one CAKE GEMM.
+    let net = Sequential::new(CakeConfig::default())
+        .push(Conv2d::random("conv1a", 3, 32, ConvGeom::same(3), 1))
+        .push(ReLU)
+        .push(Conv2d::random("conv1b", 32, 32, ConvGeom::same(3), 2))
+        .push(ReLU)
+        .push(MaxPool2d)
+        .push(Conv2d::random("conv2a", 32, 64, ConvGeom::same(3), 3))
+        .push(ReLU)
+        .push(Conv2d::random("conv2b", 64, 64, ConvGeom::same(3), 4))
+        .push(ReLU)
+        .push(MaxPool2d)
+        .push(Conv2d::random("conv3", 64, 128, ConvGeom::same(3), 5))
+        .push(ReLU)
+        .push(GlobalAvgPool)
+        .push(Linear::random("fc", 128, 10, 6));
+
+    // Shape check before running anything.
+    let shapes = net.shapes(3, 32, 32);
+    println!("network: {} layers, final output {:?}", net.len(), shapes.last().unwrap());
+    println!(
+        "total forward FLOPs: {:.1} M\n",
+        net.total_flops(3, 32, 32) as f64 / 1e6
+    );
+
+    // Input "image": 3 x 32 x 32.
+    let input = Tensor::from_matrix(cake::matrix::init::random::<f32>(3, 32 * 32, 42), 32, 32);
+
+    let t0 = std::time::Instant::now();
+    let (logits, reports) = net.forward(&input);
+    let total = t0.elapsed().as_secs_f64();
+
+    println!("{:<8} {:>14} {:>12} {:>10} {:>12}", "layer", "out shape", "MFLOPs", "ms", "GFLOP/s");
+    println!("{}", "-".repeat(62));
+    for r in &reports {
+        let gflops = if r.seconds > 0.0 { r.flops as f64 / r.seconds / 1e9 } else { 0.0 };
+        println!(
+            "{:<8} {:>4}x{:<3}x{:<4} {:>13.2} {:>10.3} {:>12.2}",
+            r.name,
+            r.out_shape.0,
+            r.out_shape.1,
+            r.out_shape.2,
+            r.flops as f64 / 1e6,
+            r.seconds * 1e3,
+            gflops
+        );
+    }
+    let total_flops: u64 = reports.iter().map(|r| r.flops).sum();
+    println!(
+        "\nforward pass: {:.2} ms total, {:.2} GFLOP/s average",
+        total * 1e3,
+        total_flops as f64 / total / 1e9
+    );
+
+    let pred = (0..10)
+        .max_by(|&i, &j| {
+            logits
+                .get(i, 0, 0)
+                .partial_cmp(&logits.get(j, 0, 0))
+                .unwrap()
+        })
+        .unwrap();
+    println!("predicted class: {pred} (random weights — timing demo only)");
+}

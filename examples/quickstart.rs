@@ -1,0 +1,44 @@
+//! Quickstart: drop-in CAKE GEMM.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cake::prelude::*;
+use cake_matrix::init;
+
+fn main() {
+    // C (m x n) += A (m x k) * B (k x n), single precision.
+    let (m, k, n) = (512, 384, 640);
+    let a = init::random::<f32>(m, k, 1);
+    let b = init::random::<f32>(k, n, 2);
+    let mut c = Matrix::<f32>::zeros(m, n);
+
+    // Fully automatic configuration: thread count, CB block shape, and
+    // kernel are chosen from the machine.
+    let cfg = CakeConfig::default();
+    let t0 = std::time::Instant::now();
+    cake_sgemm(&a, &b, &mut c, &cfg);
+    let dt = t0.elapsed().as_secs_f64();
+
+    let gflops = 2.0 * (m * k * n) as f64 / dt / 1e9;
+    println!("CAKE sgemm {m}x{k}x{n}: {:.2} ms  ({gflops:.2} GFLOP/s)", dt * 1e3);
+
+    // Verify against the naive reference.
+    let mut reference = Matrix::<f32>::zeros(m, n);
+    cake::goto::naive::naive_gemm(&a, &b, &mut reference);
+    assert!(
+        cake::matrix::approx_eq(&c, &reference, cake::matrix::compare::gemm_tolerance::<f32>(k)),
+        "CAKE result does not match the reference!"
+    );
+    println!("verified against naive reference ✓");
+
+    // The analytical side: what does the CB block look like here, and
+    // what does the model promise? (Paper Section 3.)
+    let shape = cfg.resolve_shape(m, k, n, 6, 16, 4, 96.0);
+    let model = CakeModel::new(shape, 6, 16, 4, cfg.freq_ghz);
+    println!("\nCB block: {shape}");
+    println!("  required DRAM bandwidth (Eq. 4): {:.2} GB/s (constant in p)", model.ext_bw_gbs());
+    println!("  local memory footprint  (Eq. 5): {:.2} MiB", model.local_mem_bytes() / 1048576.0);
+    println!("  internal bandwidth      (Eq. 6): {:.2} GB/s", model.int_bw_gbs());
+}

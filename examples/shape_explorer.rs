@@ -1,0 +1,80 @@
+//! Shape explorer: how the CB block and its resource demands respond to
+//! machine parameters (paper Section 3's analysis, interactive).
+//!
+//! Sweeps core count and DRAM bandwidth, printing the analytically derived
+//! CB block, the alpha the tuner picks, and the Eq. 4/5/6 resource
+//! demands — the "no design search needed" pitch of the paper.
+//!
+//! ```sh
+//! cargo run --release --example shape_explorer
+//! ```
+
+use cake::core::model::CakeModel;
+use cake::core::shape::CbBlockShape;
+use cake::core::tune;
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * 1024;
+
+fn main() {
+    let (l2, llc) = (256 * KIB, 20 * MIB);
+    let (mr, nr) = (6usize, 16usize);
+    let freq = 3.7;
+    let macs = (mr * nr) as f64;
+
+    println!("== CB block vs core count (alpha = 1, Intel-like caches) ==\n");
+    println!(
+        "{:>3} {:>6} {:>6} {:>7} {:>14} {:>16} {:>15}",
+        "p", "mc", "kc", "nc", "DRAM GB/s", "local mem MiB", "internal GB/s"
+    );
+    for p in [1usize, 2, 4, 6, 8, 10, 12, 16] {
+        let shape = CbBlockShape::derive(p, 1.0, l2, llc, 4, mr, nr);
+        let model = CakeModel::new(shape, mr, nr, 4, freq);
+        println!(
+            "{:>3} {:>6} {:>6} {:>7} {:>14.2} {:>16.2} {:>15.1}",
+            p,
+            shape.mc,
+            shape.kc,
+            shape.nc,
+            model.ext_bw_gbs(),
+            model.local_mem_bytes() / MIB as f64,
+            model.int_bw_gbs(),
+        );
+    }
+    println!("\nNote: the DRAM column is constant in p (Eq. 4) while local memory");
+    println!("grows ~p^2 (Eq. 5) and internal bandwidth ~p (Eq. 6) — the CAKE trade.\n");
+
+    println!("== alpha selection vs available DRAM bandwidth (p = 10) ==\n");
+    println!(
+        "{:>14} {:>8} {:>9} {:>14} {:>16}",
+        "DRAM GB/s", "alpha", "nc", "need GB/s", "local mem MiB"
+    );
+    let probe = CbBlockShape::derive(10, 1.0, l2, llc, 4, mr, nr);
+    for bw in [200.0, 100.0, 60.0, 40.0, 25.0, 18.0, 15.0] {
+        let alpha = tune::select_alpha(bw, probe.mc, macs, 4, freq);
+        let shape = CbBlockShape::derive(10, alpha, l2, llc, 4, mr, nr);
+        let model = CakeModel::new(shape, mr, nr, 4, freq);
+        println!(
+            "{:>14.1} {:>8.2} {:>9} {:>14.2} {:>16.2}",
+            bw,
+            alpha,
+            shape.nc,
+            model.ext_bw_gbs(),
+            model.local_mem_bytes() / MIB as f64,
+        );
+    }
+    println!("\nScarcer bandwidth -> larger alpha -> wider blocks: arithmetic");
+    println!("intensity rises so the same cores stay busy on less DRAM traffic.");
+
+    println!("\n== LRU sizing rule check (Section 4.3: C + 2(A+B) <= S) ==\n");
+    for p in [2usize, 4, 8, 10] {
+        let shape = CbBlockShape::derive(p, 1.0, l2, llc, 4, mr, nr);
+        let lhs = shape.c_surface() + 2 * (shape.a_surface() + shape.b_surface());
+        println!(
+            "p={p:<3} C+2(A+B) = {:>9} elems  vs  LLC capacity {:>9} elems  -> fits: {}",
+            lhs,
+            llc / 4,
+            shape.fits_llc_lru(llc, 4)
+        );
+    }
+}

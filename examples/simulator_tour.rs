@@ -1,0 +1,59 @@
+//! Simulator tour: run one GEMM through the architecture simulator on all
+//! three Table 2 CPUs and read the full report (paper Section 6.2's
+//! "validate the CB block design under various system characteristics").
+//!
+//! ```sh
+//! cargo run --release --example simulator_tour
+//! ```
+
+use cake::sim::config::CpuConfig;
+use cake::sim::engine::{resolve_cake_shape, simulate_cake, simulate_goto, SimParams};
+use cake::sim::trace::{run_cake_trace, run_goto_trace};
+
+fn main() {
+    let n = 3000;
+    println!("Simulating a {n}x{n}x{n} f32 GEMM on the paper's three CPUs\n");
+
+    for cpu in CpuConfig::table2() {
+        let sp = SimParams::square(n, cpu.cores);
+        let shape = resolve_cake_shape(&cpu, &sp);
+        let cake = simulate_cake(&cpu, &sp);
+        let goto = simulate_goto(&cpu, &sp);
+
+        println!("--- {} ({} cores, {} GB/s DRAM) ---", cpu.name, cpu.cores, cpu.dram_bw_gbs);
+        println!("  CB block: {shape}");
+        println!("  CAKE: {cake}");
+        println!("  GOTO: {goto}");
+        println!(
+            "  CAKE uses {:.1}x less DRAM traffic and runs {:.2}x {} than GOTO",
+            goto.dram_bytes as f64 / cake.dram_bytes.max(1) as f64,
+            (goto.seconds / cake.seconds).max(cake.seconds / goto.seconds),
+            if cake.seconds <= goto.seconds { "faster" } else { "slower" },
+        );
+        println!();
+    }
+
+    // Cache-hierarchy view (Figure 7 mechanism) on the ARM part, where the
+    // contrast is starkest.
+    let cpu = CpuConfig::arm_cortex_a53();
+    let sp = SimParams::square(1200, cpu.cores);
+    println!("--- cache-hierarchy trace on {} (1200^3) ---", cpu.name);
+    let c = run_cake_trace(&cpu, &sp);
+    let g = run_goto_trace(&cpu, &sp);
+    println!(
+        "  CAKE : {:>9} L1 hits  {:>9} LLC hits  {:>9} DRAM requests",
+        c.l1_hits,
+        c.l2_hits + c.llc_hits,
+        c.dram_accesses
+    );
+    println!(
+        "  GOTO : {:>9} L1 hits  {:>9} LLC hits  {:>9} DRAM requests",
+        g.l1_hits,
+        g.l2_hits + g.llc_hits,
+        g.dram_accesses
+    );
+    println!(
+        "  GOTO performs {:.1}x more DRAM requests (paper Figure 7b: ~2.5x)",
+        g.dram_accesses as f64 / c.dram_accesses.max(1) as f64
+    );
+}

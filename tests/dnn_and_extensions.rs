@@ -1,0 +1,114 @@
+//! Integration tests for the DNN substrate and the beyond-the-paper
+//! extensions (design search, packet machine, executor stats) at the
+//! facade-crate level.
+
+use cake::core::api::CakeConfig;
+use cake::dnn::im2col::{direct_conv, im2col, ConvGeom};
+use cake::dnn::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU, Sequential, Tensor};
+use cake::matrix::{init, Matrix};
+
+#[test]
+fn cnn_forward_pass_end_to_end() {
+    let net = Sequential::new(CakeConfig::with_threads(2))
+        .push(Conv2d::random("c1", 3, 16, ConvGeom::same(3), 1))
+        .push(ReLU)
+        .push(MaxPool2d)
+        .push(Conv2d::random("c2", 16, 32, ConvGeom::same(3), 2))
+        .push(ReLU)
+        .push(GlobalAvgPool)
+        .push(Linear::random("fc", 32, 10, 3));
+
+    let input = Tensor::from_matrix(init::random::<f32>(3, 24 * 24, 7), 24, 24);
+    let (out, reports) = net.forward(&input);
+    assert_eq!(out.channels(), 10);
+    assert_eq!(reports.len(), 7);
+    assert!(out.as_matrix().as_slice().iter().all(|x| x.is_finite()));
+    // Shape propagation agrees with the dry-run API.
+    let shapes = net.shapes(3, 24, 24);
+    assert_eq!(shapes.last().copied().unwrap(), (10, 1, 1));
+}
+
+#[test]
+fn conv_as_gemm_equals_direct_convolution_through_facade() {
+    let input = Tensor::from_matrix(init::random::<f32>(4, 10 * 12, 11), 10, 12);
+    let geom = ConvGeom::square(3, 2, 1);
+    let weights = init::random::<f32>(6, 4 * 9, 12);
+
+    let patches = im2col(&input, &geom);
+    let (oh, ow) = geom.out_dims(10, 12);
+    let mut y = Matrix::<f32>::zeros(6, oh * ow);
+    cake::core::api::cake_sgemm(&weights, &patches, &mut y, &CakeConfig::with_threads(2));
+
+    let direct = direct_conv(&input, &weights, &geom);
+    cake::matrix::compare::assert_gemm_eq(&y, direct.as_matrix(), 36);
+}
+
+#[test]
+fn packet_machine_agrees_with_real_gemm() {
+    // The Section 6.2 validation path: the packet machine's product must
+    // equal the threaded library's product.
+    use cake::sim::packet::{simulate_packets, PacketSimConfig};
+    let (m, k, n) = (20, 16, 28);
+    let a = init::random::<f64>(m, k, 21);
+    let b = init::random::<f64>(k, n, 22);
+
+    let cfg = PacketSimConfig::balanced(2, 2, 2, 4.0);
+    let (c_packets, res) = simulate_packets(&a, &b, &cfg).unwrap();
+    assert_eq!(res.macs, (m * k * n) as u64);
+
+    let mut c_lib = Matrix::<f64>::zeros(m, n);
+    cake::core::api::cake_dgemm(&a, &b, &mut c_lib, &CakeConfig::with_threads(2));
+    cake::matrix::compare::assert_gemm_eq(&c_packets, &c_lib, k);
+}
+
+#[test]
+fn design_search_confirms_analytic_shape() {
+    use cake::sim::config::CpuConfig;
+    use cake::sim::search::{analytic_point, grid_search};
+    let cpu = CpuConfig::intel_i9_10900k();
+    let searched = grid_search(&cpu, 2304, 4, 4);
+    let analytic = analytic_point(&cpu, 2304, 4);
+    assert!(analytic.fits_llc);
+    assert!(analytic.seconds <= searched.best_point().seconds * 1.12);
+}
+
+#[test]
+fn executor_stats_reflect_snake_reuse() {
+    use cake::core::executor::execute_with_stats;
+    use cake::core::pool::ThreadPool;
+    use cake::core::shape::CbBlockShape;
+
+    let a = init::random::<f32>(64, 96, 1);
+    let b = init::random::<f32>(96, 64, 2);
+    let mut c = Matrix::<f32>::zeros(64, 64);
+    let shape = CbBlockShape::fixed(2, 16, 32, 32);
+    let pool = ThreadPool::new(2);
+    let ukr = cake::kernels::best_kernel::<f32>();
+    let stats = execute_with_stats(&a.view(), &b.view(), &mut c.view_mut(), &shape, &ukr, &pool);
+
+    // Grid: mb = 2, kb = 3, nb = 2 -> 12 blocks, 11 transitions.
+    assert_eq!(stats.blocks, 12);
+    // N-outer K-first: B skipped at each m-advance (2), A at each n-advance (1).
+    assert_eq!(stats.b_packs_skipped, 2);
+    assert_eq!(stats.a_packs_skipped, 1);
+
+    // And the result is still right.
+    let mut expected = Matrix::<f32>::zeros(64, 64);
+    cake::goto::naive::naive_gemm(&a, &b, &mut expected);
+    cake::matrix::compare::assert_gemm_eq(&c, &expected, 96);
+}
+
+#[test]
+fn blas_scalars_via_facade() {
+    use cake::core::api::cake_gemm_scaled;
+    let a = init::random::<f32>(12, 8, 31);
+    let b = init::random::<f32>(8, 9, 32);
+    let c0 = init::ones::<f32>(12, 9);
+    let mut c = c0.clone();
+    cake_gemm_scaled(3.0f32, &a, &b, 0.5, &mut c, &CakeConfig::with_threads(1));
+
+    let mut ab = Matrix::<f32>::zeros(12, 9);
+    cake::goto::naive::naive_gemm(&a, &b, &mut ab);
+    let expected = Matrix::from_fn(12, 9, |i, j| 3.0 * ab.get(i, j) + 0.5);
+    cake::matrix::compare::assert_gemm_eq(&c, &expected, 8);
+}

@@ -1,0 +1,140 @@
+//! Failure injection and degenerate inputs: the library must fail loudly
+//! on misuse and behave sanely at the edges.
+
+use cake::matrix::{init, Matrix};
+use cake::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    catch_unwind(f).is_err()
+}
+
+#[test]
+fn dimension_mismatches_panic() {
+    // A: 4x5, B: 4x4 (should be 5 rows).
+    assert!(panics(|| {
+        let a = Matrix::<f32>::zeros(4, 5);
+        let b = Matrix::<f32>::zeros(4, 4);
+        let mut c = Matrix::<f32>::zeros(4, 4);
+        cake_sgemm(&a, &b, &mut c, &CakeConfig::with_threads(1));
+    }));
+    // C has wrong shape.
+    assert!(panics(|| {
+        let a = Matrix::<f32>::zeros(4, 5);
+        let b = Matrix::<f32>::zeros(5, 4);
+        let mut c = Matrix::<f32>::zeros(3, 4);
+        cake_sgemm(&a, &b, &mut c, &CakeConfig::with_threads(1));
+    }));
+    // Same for GOTO.
+    assert!(panics(|| {
+        let a = Matrix::<f32>::zeros(4, 5);
+        let b = Matrix::<f32>::zeros(6, 4);
+        let mut c = Matrix::<f32>::zeros(4, 4);
+        goto_gemm(&a, &b, &mut c, &GotoConfig::with_threads(1));
+    }));
+}
+
+#[test]
+fn worker_panic_does_not_poison_future_calls() {
+    use cake::core::pool::ThreadPool;
+    let pool = ThreadPool::new(3);
+    let blew_up = catch_unwind(AssertUnwindSafe(|| {
+        pool.broadcast(|id| {
+            if id == 2 {
+                panic!("injected");
+            }
+        });
+    }))
+    .is_err();
+    assert!(blew_up);
+    // The pool still works and a real GEMM through a fresh pool is fine.
+    pool.broadcast(|_| {});
+    let a = init::random::<f32>(16, 16, 1);
+    let b = init::random::<f32>(16, 16, 2);
+    let mut c = Matrix::<f32>::zeros(16, 16);
+    cake_sgemm(&a, &b, &mut c, &CakeConfig::with_threads(3));
+    assert!(c.as_slice().iter().all(|x| x.is_finite()));
+}
+
+#[test]
+fn zero_dimensions_are_quiet_noops() {
+    let cfg = CakeConfig::with_threads(2);
+    for (m, k, n) in [(0usize, 8usize, 8usize), (8, 0, 8), (8, 8, 0), (0, 0, 0)] {
+        let a = Matrix::<f32>::zeros(m, k);
+        let b = Matrix::<f32>::zeros(k, n);
+        let mut c = init::ones::<f32>(m, n);
+        let before = c.sum_f64();
+        cake_sgemm(&a, &b, &mut c, &cfg);
+        assert_eq!(c.sum_f64(), before, "({m},{k},{n})");
+    }
+}
+
+#[test]
+fn degenerate_configs_still_compute_correctly() {
+    let a = init::random::<f32>(33, 29, 1);
+    let b = init::random::<f32>(29, 31, 2);
+    let mut reference = Matrix::<f32>::zeros(33, 31);
+    cake::goto::naive::naive_gemm(&a, &b, &mut reference);
+
+    // Pathologically small caches.
+    let tiny = CakeConfig {
+        threads: Some(2),
+        l2_bytes: 64,
+        llc_bytes: 256,
+        ..CakeConfig::default()
+    };
+    // Extreme alpha.
+    let wide = CakeConfig {
+        threads: Some(2),
+        alpha: Some(16.0),
+        ..CakeConfig::default()
+    };
+    // Starved DRAM hint.
+    let starved = CakeConfig {
+        threads: Some(2),
+        dram_bw_gbs: Some(0.1),
+        ..CakeConfig::default()
+    };
+    for cfg in [tiny, wide, starved] {
+        let mut c = Matrix::<f32>::zeros(33, 31);
+        cake_sgemm(&a, &b, &mut c, &cfg);
+        cake::matrix::compare::assert_gemm_eq(&c, &reference, 29);
+    }
+}
+
+#[test]
+fn more_threads_than_rows() {
+    let a = init::random::<f32>(3, 20, 1);
+    let b = init::random::<f32>(20, 5, 2);
+    let mut c = Matrix::<f32>::zeros(3, 5);
+    cake_sgemm(&a, &b, &mut c, &CakeConfig::with_threads(8));
+    let mut reference = Matrix::<f32>::zeros(3, 5);
+    cake::goto::naive::naive_gemm(&a, &b, &mut reference);
+    cake::matrix::compare::assert_gemm_eq(&c, &reference, 20);
+}
+
+#[test]
+fn nan_inputs_propagate_not_hang() {
+    let mut a = init::random::<f32>(8, 8, 1);
+    a.set(3, 3, f32::NAN);
+    let b = init::random::<f32>(8, 8, 2);
+    let mut c = Matrix::<f32>::zeros(8, 8);
+    cake_sgemm(&a, &b, &mut c, &CakeConfig::with_threads(2));
+    // Row 3 is poisoned, other rows are finite.
+    assert!((0..8).any(|j| c.get(3, j).is_nan()));
+    assert!((0..8).all(|j| c.get(0, j).is_finite()));
+}
+
+#[test]
+fn simulator_rejects_nothing_but_handles_extremes() {
+    use cake::sim::config::CpuConfig;
+    use cake::sim::engine::{simulate_cake, SimParams};
+    let cpu = CpuConfig::arm_cortex_a53();
+    // 1x1x1 problem.
+    let r = simulate_cake(&cpu, &SimParams::new(1, 1, 1, 4));
+    assert!(r.seconds > 0.0);
+    assert!(r.gflops > 0.0);
+    // Extremely skewed problem.
+    let r = simulate_cake(&cpu, &SimParams::new(1, 10000, 1, 2));
+    assert!(r.seconds.is_finite());
+}
