@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for the cake-rs workspace.
+#
+#   ./ci.sh            full gate: tier-1, all tests, clippy, bench snapshot
+#   ./ci.sh --fast     tier-1 + clippy only (skip the bench snapshot)
+#
+# The bench snapshot rewrites BENCH_gemm.json in the repo root so the
+# pipelined executor's throughput, allocation-freedom, and pack-overlap
+# numbers are tracked over time.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test --workspace -q
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "==> bench snapshot (writes BENCH_gemm.json)"
+    cargo run --release -p cake-bench --bin bench_snapshot -- --iters 10
+fi
+
+echo "==> ci.sh: all gates passed"

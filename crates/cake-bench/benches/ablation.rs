@@ -8,7 +8,8 @@
 //!   ignore it (fill the whole LLC) — real wall time, real caches.
 //! * `reuse_priority`: K-first vs the M-first/N-first generalization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cake_bench::harness::{BenchmarkId, Criterion};
+use cake_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cake_core::api::{cake_sgemm, CakeConfig};

@@ -4,7 +4,8 @@
 //! single-core sandbox these validate the sequential paths; on a real
 //! multi-core machine they reproduce the paper's native comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cake_bench::harness::{BenchmarkId, Criterion, Throughput};
+use cake_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cake_core::api::{cake_sgemm, CakeConfig};

@@ -1,6 +1,7 @@
 //! Microkernel benchmarks: SIMD vs portable, full vs edge tiles, packing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cake_bench::harness::{BenchmarkId, Criterion, Throughput};
+use cake_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cake_kernels::edge::run_tile;

@@ -1,7 +1,8 @@
 //! Scheduling machinery benchmarks: iteration, traffic accounting, shape
 //! derivation — the "no design search" cost CAKE replaces grid search with.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cake_bench::harness::{BenchmarkId, Criterion, Throughput};
+use cake_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cake_core::schedule::{BlockGrid, KFirstSchedule, OuterLoop};

@@ -1,6 +1,7 @@
 //! Simulator performance: cost of regenerating the paper's figures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cake_bench::harness::{BenchmarkId, Criterion};
+use cake_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cake_sim::cache::Hierarchy;

@@ -1,0 +1,221 @@
+//! `bench_snapshot` — fixed-shape performance snapshot, checked into the
+//! repo root as `BENCH_gemm.json`.
+//!
+//! Runs CAKE (pipelined executor), the GOTO baseline, and the naive
+//! reference at a few fixed GEMM shapes plus a small CNN forward pass, and
+//! records GFLOP/s, post-warmup allocation counts, and the pipeline's
+//! measured pack-overlap numbers. Intended to run via `ci.sh` so the
+//! snapshot tracks the executor's health over time.
+//!
+//! ```text
+//! bench_snapshot [--iters I] [--p P] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use cake_bench::output::arg_value;
+use cake_core::api::{CakeConfig, CakeGemm};
+use cake_core::tune::overlap_efficiency;
+use cake_dnn::im2col::ConvGeom;
+use cake_dnn::layers::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU};
+use cake_dnn::network::Sequential;
+use cake_dnn::tensor::Tensor;
+use cake_goto::api::{goto_gemm, GotoConfig};
+use cake_goto::naive::naive_gemm;
+use cake_matrix::{init, Matrix};
+
+/// Best-of-`iters` wall time for `f`, in seconds.
+fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One timed call, folded into a running best.
+fn time_once<F: FnMut()>(best: &mut f64, mut f: F) {
+    let t0 = Instant::now();
+    f();
+    *best = best.min(t0.elapsed().as_secs_f64());
+}
+
+fn gflops(m: usize, k: usize, n: usize, seconds: f64) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64 / seconds / 1e9
+}
+
+/// Minimal JSON emission — the container has no serde, and the snapshot
+/// schema is flat enough that hand-rolling stays honest.
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::from("{\n"))
+    }
+    fn field(&mut self, indent: usize, key: &str, value: &str, last: bool) {
+        self.0.push_str(&" ".repeat(indent));
+        self.0.push_str(&format!("\"{key}\": {value}"));
+        self.0.push_str(if last { "\n" } else { ",\n" });
+    }
+    fn finish(mut self) -> String {
+        self.0.push_str("}\n");
+        self.0
+    }
+}
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+struct ShapeResult {
+    m: usize,
+    k: usize,
+    n: usize,
+    cake_gflops: f64,
+    goto_gflops: f64,
+    naive_gflops: f64,
+    allocs_after_warmup: usize,
+    pack_fraction: f64,
+    overlap_efficiency: f64,
+    blocks: usize,
+    barriers: usize,
+}
+
+fn bench_shape(ctx: &CakeGemm, p: usize, m: usize, k: usize, n: usize, iters: usize) -> ShapeResult {
+    let a = init::random::<f32>(m, k, 1);
+    let b = init::random::<f32>(k, n, 2);
+
+    let goto_cfg = GotoConfig::with_threads(p);
+    let mut c = Matrix::<f32>::zeros(m, n);
+    let mut cg = Matrix::<f32>::zeros(m, n);
+    ctx.gemm(&a, &b, &mut c); // warmup: pool + workspace sized
+    goto_gemm(&a, &b, &mut cg, &goto_cfg); // warmup
+
+    // Interleave the contenders round-robin so clock drift (shared
+    // machines, turbo decay) hits both equally instead of biasing
+    // whichever phase ran while the core was fast.
+    let mut warm_allocs = 0;
+    let (mut cake_s, mut goto_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters {
+        time_once(&mut cake_s, || {
+            warm_allocs += ctx.gemm_with_stats(&a, &b, &mut c).allocations;
+        });
+        time_once(&mut goto_s, || goto_gemm(&a, &b, &mut cg, &goto_cfg));
+    }
+    let stats = ctx.last_stats();
+
+    let mut cn = Matrix::<f32>::zeros(m, n);
+    let naive_s = time_best(iters.min(2), || naive_gemm(&a, &b, &mut cn));
+
+    ShapeResult {
+        m,
+        k,
+        n,
+        cake_gflops: gflops(m, k, n, cake_s),
+        goto_gflops: gflops(m, k, n, goto_s),
+        naive_gflops: gflops(m, k, n, naive_s),
+        allocs_after_warmup: warm_allocs,
+        pack_fraction: stats.pack_fraction(),
+        overlap_efficiency: overlap_efficiency(stats.pack_ns, stats.compute_ns),
+        blocks: stats.blocks,
+        barriers: stats.barriers,
+    }
+}
+
+fn tiny_net(p: usize) -> Sequential {
+    Sequential::new(CakeConfig::with_threads(p))
+        .push(Conv2d::random("conv1", 3, 16, ConvGeom::same(3), 1))
+        .push(ReLU)
+        .push(MaxPool2d)
+        .push(Conv2d::random("conv2", 16, 32, ConvGeom::same(3), 2))
+        .push(ReLU)
+        .push(GlobalAvgPool)
+        .push(Linear::random("fc", 32, 10, 3))
+}
+
+fn main() {
+    let iters = arg_value("--iters").and_then(|v| v.parse().ok()).unwrap_or(3).max(1);
+    let p: usize = arg_value("--p").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_gemm.json".into());
+
+    let ctx = CakeGemm::new(CakeConfig::with_threads(p));
+    let shapes = [(256usize, 256usize, 256usize), (384, 256, 512), (512, 512, 512)];
+    let results: Vec<ShapeResult> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let r = bench_shape(&ctx, p, m, k, n, iters);
+            println!(
+                "{m}x{k}x{n}: cake {:.2} GF/s  goto {:.2} GF/s  naive {:.2} GF/s  \
+                 (pack {:.1}%, {} allocs warm)",
+                r.cake_gflops,
+                r.goto_gflops,
+                r.naive_gflops,
+                r.pack_fraction * 100.0,
+                r.allocs_after_warmup
+            );
+            r
+        })
+        .collect();
+
+    // CNN forward pass: cold (sizes every layer's workspace) then warm.
+    let net = tiny_net(p);
+    let input = Tensor::from_matrix(init::random::<f32>(3, 32 * 32, 9), 32, 32);
+    let flops = net.total_flops(3, 32, 32);
+    let t0 = Instant::now();
+    let _ = net.forward(&input);
+    let cold_s = t0.elapsed().as_secs_f64();
+    let mut warm_allocs = 0u64;
+    let warm_s = time_best(iters, || {
+        let (_, reports) = net.forward(&input);
+        warm_allocs += reports.iter().map(|r| r.gemm.allocations as u64).sum::<u64>();
+    });
+    println!(
+        "dnn forward (32x32x3, {flops} flops): cold {:.3} ms, warm {:.3} ms ({} allocs warm)",
+        cold_s * 1e3,
+        warm_s * 1e3,
+        warm_allocs
+    );
+
+    let mut j = Json::new();
+    j.field(2, "benchmark", "\"bench_snapshot\"", false);
+    j.field(2, "threads", &p.to_string(), false);
+    j.field(2, "iters", &iters.to_string(), false);
+    let mut rows = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        rows.push_str(&format!(
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"cake_gflops\": {}, \"goto_gflops\": {}, \
+             \"naive_gflops\": {}, \"allocs_after_warmup\": {}, \"pack_fraction\": {}, \
+             \"overlap_efficiency\": {}, \"blocks\": {}, \"barriers\": {}}}{}\n",
+            r.m,
+            r.k,
+            r.n,
+            f3(r.cake_gflops),
+            f3(r.goto_gflops),
+            f3(r.naive_gflops),
+            r.allocs_after_warmup,
+            f3(r.pack_fraction),
+            f3(r.overlap_efficiency),
+            r.blocks,
+            r.barriers,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    rows.push_str("  ]");
+    j.field(2, "gemm", &rows, false);
+    j.field(
+        2,
+        "dnn_forward",
+        &format!(
+            "{{\"input\": \"3x32x32\", \"flops\": {flops}, \"cold_seconds\": {:.6}, \
+             \"warm_seconds\": {:.6}, \"gflops_warm\": {}, \"allocs_warm\": {warm_allocs}}}",
+            cold_s,
+            warm_s,
+            f3(flops as f64 / warm_s / 1e9)
+        ),
+        true,
+    );
+    std::fs::write(&out, j.finish()).expect("write snapshot");
+    println!("wrote {out}");
+}

@@ -5,11 +5,17 @@
 //! cakectl simulate --cpu intel|amd|arm --p P --m M --k K --n N [--algo cake|goto]
 //! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
 //! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
+//! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats]
 //! ```
 //!
-//! Everything the paper derives analytically, queryable from the shell.
+//! Everything the paper derives analytically, queryable from the shell —
+//! plus `gemm`, which runs the *real* pipelined executor and (with
+//! `--stats`) prints its measured [`ExecStats`]: per-phase pack / compute /
+//! barrier-wait time, workspace footprint, allocations, and reuse skips.
 
-use cake_bench::output::{arg_value, render_table};
+use cake_bench::output::{arg_value, has_flag, render_table};
+use cake_core::api::{CakeConfig, CakeGemm};
+use cake_core::executor::ExecStats;
 use cake_core::model::CakeModel;
 use cake_core::schedule::{BlockGrid, KFirstSchedule};
 use cake_core::traffic::{dram_traffic, CResidency, TrafficParams};
@@ -164,6 +170,60 @@ fn cmd_traffic() {
     println!("  total            : {:>14} elements ({:.1} MiB as f32)", t.total(), t.total_bytes(4) as f64 / 1048576.0);
 }
 
+fn print_exec_stats(s: &ExecStats) {
+    let busy = (s.pack_ns + s.compute_ns + s.barrier_wait_ns).max(1) as f64;
+    println!("Executor stats (pipelined, measured):");
+    println!("  CB blocks        : {:>12}", s.blocks);
+    println!("  barrier waits    : {:>12}  (1 rotation barrier per block)", s.barriers);
+    println!("  A packs skipped  : {:>12}", s.a_packs_skipped);
+    println!("  B packs skipped  : {:>12}", s.b_packs_skipped);
+    println!("  B panel hits     : {:>12}  (ring held a revisited surface)", s.b_panel_hits);
+    println!(
+        "  pack time        : {:>9.3} ms  ({:>5.1}% of busy)",
+        s.pack_ns as f64 / 1e6,
+        s.pack_ns as f64 / busy * 100.0
+    );
+    println!(
+        "  compute time     : {:>9.3} ms  ({:>5.1}% of busy)",
+        s.compute_ns as f64 / 1e6,
+        s.compute_ns as f64 / busy * 100.0
+    );
+    println!(
+        "  barrier wait     : {:>9.3} ms  ({:>5.1}% of busy)",
+        s.barrier_wait_ns as f64 / 1e6,
+        s.barrier_wait_ns as f64 / busy * 100.0
+    );
+    println!(
+        "  overlap efficiency: {:>10.3}  (1.0 = packing fully hidden)",
+        cake_core::tune::overlap_efficiency(s.pack_ns, s.compute_ns)
+    );
+    println!("  workspace        : {:>9.1} KiB", s.workspace_bytes as f64 / 1024.0);
+    println!("  allocations      : {:>12}  (this call)", s.allocations);
+}
+
+fn cmd_gemm() {
+    let (m, k, n) = (req_usize("--m"), req_usize("--k"), req_usize("--n"));
+    let p = opt_usize("--p", 1);
+    let iters = opt_usize("--iters", 3).max(1);
+    let ctx = CakeGemm::new(CakeConfig::with_threads(p));
+    let a = cake_matrix::init::random::<f32>(m, k, 1);
+    let b = cake_matrix::init::random::<f32>(k, n, 2);
+    let mut c = cake_matrix::Matrix::<f32>::zeros(m, n);
+
+    ctx.gemm(&a, &b, &mut c); // warmup: sizes pool + workspace
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        ctx.gemm(&a, &b, &mut c);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let gflops = 2.0 * (m as f64) * (k as f64) * (n as f64) / best / 1e9;
+    println!("GEMM {m}x{k}x{n}, p = {p}: {:.3} ms best of {iters} ({gflops:.2} GFLOP/s)", best * 1e3);
+    if has_flag("--stats") {
+        print_exec_stats(&ctx.last_stats());
+    }
+}
+
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_default();
     match cmd.as_str() {
@@ -171,9 +231,10 @@ fn main() {
         "simulate" => cmd_simulate(),
         "search" => cmd_search(),
         "traffic" => cmd_traffic(),
+        "gemm" => cmd_gemm(),
         _ => {
             eprintln!(
-                "usage: cakectl <shape|simulate|search|traffic> [options]\n\
+                "usage: cakectl <shape|simulate|search|traffic|gemm> [options]\n\
                  see module docs (crates/cake-bench/src/bin/cakectl.rs) for flags"
             );
             std::process::exit(2);

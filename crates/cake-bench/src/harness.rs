@@ -1,0 +1,253 @@
+//! Minimal wall-clock benchmark harness with a criterion-like surface.
+//!
+//! The offline build container cannot fetch the `criterion` crate, so the
+//! `benches/` targets run on this in-tree stand-in instead. It keeps the
+//! subset of the criterion 0.5 API those benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! and reports mean wall time (plus derived throughput) per benchmark to
+//! stdout. No statistics beyond the mean: the point is a stable smoke-run
+//! of every benchmarked path, not confidence intervals.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level harness state; holds the default sample count.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// Units-of-work declaration used to derive a rate from the mean time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as GiB/s).
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark `name` with a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Label a benchmark by parameter value alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark label.
+pub trait IntoBenchmarkId {
+    /// Convert to the rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sample count and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &label, b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_label();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &label, b.mean_ns, self.throughput);
+        self
+    }
+
+    /// End the group (printing is immediate, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`: one untimed warmup, then `sample_size` timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.sample_size as f64;
+    }
+}
+
+fn report(group: &str, label: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let time = if mean_ns >= 1e9 {
+        format!("{:.3} s", mean_ns / 1e9)
+    } else if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} us", mean_ns / 1e3)
+    } else {
+        format!("{mean_ns:.0} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  {:>10.2} Melem/s", n as f64 / mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!(
+                "  {:>10.2} GiB/s",
+                n as f64 / mean_ns * 1e9 / (1u64 << 30) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{label:<28} {time:>12}{rate}");
+}
+
+/// Criterion-compatible group declaration: builds a `fn $name()` running
+/// every target against the given config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Criterion-compatible entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("harness_selftest");
+        let mut calls = 0u32;
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("count", 3), |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // 1 warmup + 3 timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("cake", 256).into_label(), "cake/256");
+        assert_eq!(BenchmarkId::from_parameter(2.5).into_label(), "2.5");
+        assert_eq!("plain".into_label(), "plain");
+    }
+}

@@ -18,4 +18,5 @@
 //! write `results/<name>.csv`.
 
 pub mod figures;
+pub mod harness;
 pub mod output;

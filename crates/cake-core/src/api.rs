@@ -9,13 +9,18 @@
 //! Semantics are `C += A * B` (BLAS `alpha = 1`, `beta = 1`). Zero `C`
 //! first for the `beta = 0` convention.
 
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use cake_kernels::select::KernelSelect;
 use cake_matrix::{Element, Matrix, MatrixView, MatrixViewMut};
 
-use crate::executor::execute;
+use crate::executor::{execute, execute_with_stats_in, ExecStats};
 use crate::pool::ThreadPool;
 use crate::shape::CbBlockShape;
 use crate::tune;
+use crate::workspace::GemmWorkspace;
 
 /// Configuration for a CAKE GEMM call. `Default` gives a sensible fully
 /// automatic setup.
@@ -181,11 +186,17 @@ pub fn cake_dgemm(a: &Matrix<f64>, b: &Matrix<f64>, c: &mut Matrix<f64>, cfg: &C
     cake_gemm(a, b, c, cfg);
 }
 
-/// A reusable GEMM context: keeps the worker pool alive across calls
-/// (e.g. one call per DNN layer).
+/// A reusable GEMM context: keeps the worker pool **and** one packed-operand
+/// [`GemmWorkspace`] per element type alive across calls (e.g. one call per
+/// DNN layer), so a steady stream of GEMMs performs zero heap allocations
+/// after the first call per shape class.
 pub struct CakeGemm {
     cfg: CakeConfig,
     pool: ThreadPool,
+    /// `TypeId::of::<T>() -> GemmWorkspace<T>`; interior mutability so the
+    /// hot call path stays `&self`.
+    workspaces: Mutex<HashMap<TypeId, Box<dyn Any + Send>>>,
+    last_stats: Mutex<ExecStats>,
 }
 
 impl CakeGemm {
@@ -195,6 +206,8 @@ impl CakeGemm {
         Self {
             cfg,
             pool: ThreadPool::new(p),
+            workspaces: Mutex::new(HashMap::new()),
+            last_stats: Mutex::new(ExecStats::default()),
         }
     }
 
@@ -203,8 +216,32 @@ impl CakeGemm {
         &self.cfg
     }
 
-    /// `C += A * B` reusing this context's pool.
+    /// Stats of the most recent [`gemm`](Self::gemm) call through this
+    /// context (all-zero before the first call or after a zero-dim call).
+    pub fn last_stats(&self) -> ExecStats {
+        *self.last_stats.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// [`last_stats`](Self::last_stats), resetting the record to all-zero —
+    /// lets a caller attribute GEMM work to a code region (e.g. one DNN
+    /// layer): take a reading after the region and any zero result means no
+    /// GEMM ran there.
+    pub fn take_stats(&self) -> ExecStats {
+        std::mem::take(&mut *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// `C += A * B` reusing this context's pool and workspace.
     pub fn gemm<T: Element + KernelSelect>(&self, a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+        let _ = self.gemm_with_stats(a, b, c);
+    }
+
+    /// [`gemm`](Self::gemm), returning the call's measured [`ExecStats`].
+    pub fn gemm_with_stats<T: Element + KernelSelect>(
+        &self,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        c: &mut Matrix<T>,
+    ) -> ExecStats {
         let ukr = if self.cfg.force_portable_kernel {
             cake_kernels::portable_kernel::<T>()
         } else {
@@ -212,7 +249,7 @@ impl CakeGemm {
         };
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         if m == 0 || k == 0 || n == 0 {
-            return;
+            return ExecStats::default();
         }
         let shape = self.cfg.resolve_shape(
             m,
@@ -225,7 +262,16 @@ impl CakeGemm {
         );
         let (av, bv) = (a.view(), b.view());
         let mut cv = c.view_mut();
-        execute(&av, &bv, &mut cv, &shape, &ukr, &self.pool);
+        let mut map = self.workspaces.lock().unwrap_or_else(|p| p.into_inner());
+        let ws = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(GemmWorkspace::<T>::new()) as Box<dyn Any + Send>)
+            .downcast_mut::<GemmWorkspace<T>>()
+            .expect("workspace map is keyed by element TypeId");
+        let stats = execute_with_stats_in(&av, &bv, &mut cv, &shape, &ukr, &self.pool, ws);
+        drop(map);
+        *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()) = stats;
+        stats
     }
 }
 
@@ -379,6 +425,33 @@ mod tests {
             assert_gemm_eq(&y, &naive(&w, &x), 16);
             x = y;
         }
+    }
+
+    #[test]
+    fn context_warm_calls_do_not_allocate() {
+        let ctx = CakeGemm::new(CakeConfig::with_threads(2));
+        let a = init::random::<f32>(48, 32, 41);
+        let b = init::random::<f32>(32, 40, 42);
+        let expected = naive(&a, &b);
+        for call in 0..10 {
+            let mut c = Matrix::<f32>::zeros(48, 40);
+            let stats = ctx.gemm_with_stats(&a, &b, &mut c);
+            if call == 0 {
+                assert!(stats.allocations > 0, "cold call sizes the workspace");
+            } else {
+                assert_eq!(stats.allocations, 0, "warm call {call} allocated");
+            }
+            assert_eq!(ctx.last_stats(), stats);
+            assert_gemm_eq(&c, &expected, 32);
+        }
+        // A second element type gets its own workspace without disturbing
+        // the f32 one.
+        let ad = init::random::<f64>(16, 16, 43);
+        let bd = init::random::<f64>(16, 16, 44);
+        let mut cd = Matrix::<f64>::zeros(16, 16);
+        assert!(ctx.gemm_with_stats(&ad, &bd, &mut cd).allocations > 0);
+        let mut c = Matrix::<f32>::zeros(48, 40);
+        assert_eq!(ctx.gemm_with_stats(&a, &b, &mut c).allocations, 0);
     }
 
     #[test]

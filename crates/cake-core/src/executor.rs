@@ -1,4 +1,4 @@
-//! The multithreaded CB-block GEMM engine.
+//! The multithreaded, software-pipelined CB-block GEMM engine.
 //!
 //! Executes the K-first snake schedule over constant-bandwidth blocks
 //! (paper Figure 6):
@@ -15,26 +15,61 @@
 //!   packed A; same `(k,n)` => keep packed B) skips redundant packing,
 //!   mirroring the DRAM-level reuse the schedule was designed for.
 //!
-//! All workers traverse the schedule in lockstep with two barriers per
-//! block: one so nobody repacks the shared B panel while another worker is
-//! still computing on it, one so nobody computes on a partially packed
-//! panel.
+//! # The pipeline
+//!
+//! The B panel is **double-buffered**: after computing on block `i`'s
+//! panel, a worker immediately packs its share of block `i+1`'s B slivers
+//! into the *alternate* panel and then waits at a single rotation barrier.
+//! Workers that finish computing early therefore pack the next panel while
+//! slower workers are still computing — the packing IO hides under compute
+//! exactly as the paper's constant-bandwidth model assumes (Section 3,
+//! Figure 4), and the old two-barriers-per-block lockstep collapses to
+//! **one barrier per block**:
+//!
+//! ```text
+//!            panel 0            panel 1            panel 0
+//! block i:   compute(i) ──► pack B(i+1) ──► barrier
+//! block i+1:                     compute(i+1) ──► pack B(i+2) ──► barrier
+//! ```
+//!
+//! When consecutive blocks share their B surface (an M-step in the snake),
+//! no pack is issued and the panel does **not** rotate, so the reuse-skip
+//! accounting is unchanged from the serial executor. The double buffer
+//! additionally generalizes to a small **panel ring** — `min(k-blocks,
+//! MAX_B_PANELS)` panels, never fewer than two — managed as an LRU cache of
+//! `(k, n)` surfaces: at a snake reversal the ring usually still holds the
+//! surface the next block needs, and the rotation happens without any
+//! packing at all ([`ExecStats::b_panel_hits`]). With the ring as deep as
+//! the problem's k-block count, B is packed exactly once per distinct
+//! surface — the same pack volume as the GOTO loop nest — while keeping
+//! CAKE's accumulate-in-LLC C traffic. A worker's private A strip has a
+//! single buffer; it is repacked after the worker's own compute finishes
+//! (no other worker reads it), which keeps it off the barrier's critical
+//! path as well.
+//!
+//! Packed buffers live in a caller-provided [`GemmWorkspace`] so repeated
+//! GEMMs reuse them without touching the allocator; [`execute_with_stats`]
+//! creates a throwaway workspace for one-shot calls.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
+use std::time::Instant;
 
 use cake_kernels::edge::run_tile;
-use cake_kernels::pack::{packed_a_size, packed_b_size};
+use cake_kernels::pack::{pack_a, pack_b};
 use cake_kernels::Ukr;
 use cake_matrix::{Element, MatrixView, MatrixViewMut};
 
 use crate::pool::ThreadPool;
 use crate::schedule::{BlockGrid, KFirstSchedule};
 use crate::shape::CbBlockShape;
-use crate::shared::{OutPtr, SharedBuf};
+use crate::shared::OutPtr;
+use crate::workspace::GemmWorkspace;
 
 /// Execution statistics for one CAKE GEMM call — observable evidence of
-/// the schedule's surface reuse on the *real* executor (the simulator
-/// measures the same quantities on the model).
+/// the schedule's surface reuse and the pipeline's pack/compute overlap on
+/// the *real* executor (the simulator measures the same quantities on the
+/// model).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// CB blocks executed.
@@ -42,11 +77,121 @@ pub struct ExecStats {
     /// Blocks whose shared B panel was reused from the previous block
     /// (an M-step in the snake: same `(k, n)`).
     pub b_packs_skipped: usize,
+    /// Additional B packs avoided because *another* ring panel still held
+    /// the needed `(k, n)` surface — the pipeline panels double as an LRU
+    /// panel cache, which pays off at every snake reversal.
+    pub b_panel_hits: usize,
     /// Blocks whose per-worker A strips were reused (an N-step: same
     /// `(m, k)`).
     pub a_packs_skipped: usize,
-    /// Barrier synchronizations per worker (2 per block).
+    /// Barrier waits actually performed by worker 0 — one rotation barrier
+    /// per block in the pipelined executor (measured, not derived).
     pub barriers: usize,
+    /// Nanoseconds spent packing A strips and B panels, summed over all
+    /// workers.
+    pub pack_ns: u64,
+    /// Nanoseconds spent in microkernel compute, summed over all workers.
+    pub compute_ns: u64,
+    /// Nanoseconds spent waiting at the rotation barrier, summed over all
+    /// workers — the pipeline's residual synchronization cost.
+    pub barrier_wait_ns: u64,
+    /// Workspace footprint in bytes (packed-A strips + the B panel ring).
+    pub workspace_bytes: usize,
+    /// Heap allocations performed by this call (0 once the workspace is
+    /// warm).
+    pub allocations: usize,
+}
+
+impl ExecStats {
+    /// Fraction of total busy time spent packing: `pack / (pack + compute)`.
+    /// Low values mean packing is effectively hidden under compute.
+    pub fn pack_fraction(&self) -> f64 {
+        let busy = self.pack_ns + self.compute_ns;
+        if busy == 0 {
+            return 0.0;
+        }
+        self.pack_ns as f64 / busy as f64
+    }
+}
+
+/// Per-block geometry: origin and live extents within the operand views.
+#[derive(Clone, Copy)]
+struct Blk {
+    m0: usize,
+    k0: usize,
+    n0: usize,
+    ml: usize,
+    kl: usize,
+    nl: usize,
+}
+
+/// What the B-panel ring does for the next block's `(k, n)` surface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PanelAction {
+    /// The live panel already holds it (adjacency share): no rotation.
+    Keep,
+    /// Another ring panel holds it (cache hit): rotate to it, no pack.
+    Rotate(usize),
+    /// Nowhere resident (miss): pack into this panel and rotate to it.
+    Pack(usize),
+}
+
+/// Deterministic LRU cache over the B panel ring, keyed by `(k, n)` block
+/// surface. Every worker advances an identical copy (the state is a pure
+/// function of the schedule), so all workers agree on which panel to read,
+/// which to fill, and — crucially for safety — the pack target is never the
+/// panel currently being computed from.
+struct PanelCache {
+    /// Which `(k, n)` surface each panel holds.
+    tags: Vec<Option<(usize, usize)>>,
+    /// Logical time of each panel's last use (0 = never touched).
+    last_use: Vec<u32>,
+    /// The live panel: the one block `bi` computes from.
+    cur: usize,
+    clock: u32,
+}
+
+impl PanelCache {
+    fn new(n_panels: usize) -> Self {
+        Self {
+            tags: vec![None; n_panels],
+            last_use: vec![0; n_panels],
+            cur: 0,
+            clock: 0,
+        }
+    }
+
+    /// Seed the ring with block 0's surface in panel 0 (the prologue pack).
+    fn seed(&mut self, want: (usize, usize)) {
+        self.clock += 1;
+        self.tags[0] = Some(want);
+        self.last_use[0] = self.clock;
+        self.cur = 0;
+    }
+
+    /// Decide how the next block's surface is served and rotate the ring.
+    fn advance(&mut self, want: (usize, usize)) -> PanelAction {
+        self.clock += 1;
+        if self.tags[self.cur] == Some(want) {
+            self.last_use[self.cur] = self.clock;
+            return PanelAction::Keep;
+        }
+        if let Some(j) = self.tags.iter().position(|t| *t == Some(want)) {
+            self.last_use[j] = self.clock;
+            self.cur = j;
+            return PanelAction::Rotate(j);
+        }
+        // Evict the least-recently-used panel that is NOT the live one —
+        // workers may still be computing from `cur` while this pack runs.
+        let victim = (0..self.tags.len())
+            .filter(|&j| j != self.cur)
+            .min_by_key(|&j| self.last_use[j])
+            .expect("ring has >= 2 panels");
+        self.tags[victim] = Some(want);
+        self.last_use[victim] = self.clock;
+        self.cur = victim;
+        PanelAction::Pack(victim)
+    }
 }
 
 /// Execute `C += A * B` with the CAKE CB-block schedule.
@@ -71,7 +216,8 @@ pub fn execute<T: Element>(
     let _ = execute_with_stats(a, b, c, shape, ukr, pool);
 }
 
-/// [`execute`], additionally returning per-call [`ExecStats`].
+/// [`execute`], additionally returning per-call [`ExecStats`]. Allocates a
+/// throwaway workspace; use [`execute_with_stats_in`] to reuse one.
 pub fn execute_with_stats<T: Element>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
@@ -79,6 +225,36 @@ pub fn execute_with_stats<T: Element>(
     shape: &CbBlockShape,
     ukr: &Ukr<T>,
     pool: &ThreadPool,
+) -> ExecStats {
+    let mut ws = GemmWorkspace::new();
+    execute_with_stats_in(a, b, c, shape, ukr, pool, &mut ws)
+}
+
+/// [`execute`] against a caller-owned reusable workspace.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_in<T: Element>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    shape: &CbBlockShape,
+    ukr: &Ukr<T>,
+    pool: &ThreadPool,
+    ws: &mut GemmWorkspace<T>,
+) {
+    let _ = execute_with_stats_in(a, b, c, shape, ukr, pool, ws);
+}
+
+/// The pipelined CB-block executor: packs into and computes from `ws`,
+/// returning measured [`ExecStats`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_stats_in<T: Element>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T>,
+    shape: &CbBlockShape,
+    ukr: &Ukr<T>,
+    pool: &ThreadPool,
+    ws: &mut GemmWorkspace<T>,
 ) -> ExecStats {
     let m = a.rows();
     let k = a.cols();
@@ -105,133 +281,105 @@ pub fn execute_with_stats<T: Element>(
     let schedule = KFirstSchedule::new(grid, m, n);
     let nblocks = schedule.len();
 
-    // Shared packed-B panel for the current block.
-    let pb_cap = packed_b_size(bk, bn, nr);
-    let packed_b = SharedBuf::<T>::zeroed(pb_cap);
-
-    // One packed-A strip per worker, in a single allocation.
-    let pa_stride = packed_a_size(shape.mc, bk, mr);
-    let packed_a = SharedBuf::<T>::zeroed(pa_stride * p);
+    // B panel ring: two panels are the pipelining floor; a ring as deep as
+    // the k-block count makes every snake reversal a cache hit (B packed
+    // once per distinct surface), capped so the LLC footprint stays small.
+    let n_panels = grid.kb.clamp(2, crate::workspace::MAX_B_PANELS);
+    let allocations = ws.prepare(shape, mr, nr, n_panels);
+    let pa_stride = ws.pa_stride;
+    let packed_a = &ws.packed_a;
+    let panels: Vec<&crate::shared::SharedBuf<T>> =
+        ws.packed_b.iter().take(n_panels).collect();
+    let panels = panels.as_slice();
 
     let barrier = Barrier::new(p);
     // SAFETY: the pointer lives as long as `c`; workers write disjoint rows.
     let out = unsafe { OutPtr::new(c.ptr_at_mut(0, 0)) };
     let (rsc, csc) = (c.row_stride(), c.col_stride());
 
+    // Cross-worker stat sinks (each worker accumulates locally and folds in
+    // once at the end, so the hot loop touches no shared cache lines).
+    let pack_total = AtomicU64::new(0);
+    let compute_total = AtomicU64::new(0);
+    let wait_total = AtomicU64::new(0);
+    let barrier_count = AtomicUsize::new(0);
+
     pool.broadcast(|wid| {
         // Per-worker re-created schedule iterator (cheap: pure arithmetic).
         let sched = schedule.clone();
-        let mut prev: Option<crate::schedule::BlockCoord> = None;
+        let strip0 = wid * shape.mc;
 
-        for bi in 0..nblocks {
+        let blk = |bi: usize| {
             let coord = sched.coord_at(bi);
             let (m0, k0, n0) = (coord.m * bm, coord.k * bk, coord.n * bn);
-            let ml = bm.min(m - m0);
-            let kl = bk.min(k - k0);
-            let nl = bn.min(n - n0);
-
-            let share_a = prev.is_some_and(|pc| pc.m == coord.m && pc.k == coord.k);
-            let share_b = prev.is_some_and(|pc| pc.k == coord.k && pc.n == coord.n);
-            prev = Some(coord);
-
-            // Strip owned by this worker within the block's M extent.
-            let strip0 = wid * shape.mc;
-            let strip_len = if strip0 < ml { shape.mc.min(ml - strip0) } else { 0 };
-
-            // Phase 1: everyone has finished computing on the previous
-            // panels; safe to overwrite them.
-            barrier.wait();
-
-            if !share_b {
-                // Cooperatively pack B slivers t = wid, wid+p, wid+2p, ...
-                // Workers carve disjoint raw sub-slices out of the shared
-                // buffer: no two `&mut` regions ever overlap.
-                // Raw base pointer without forming a `&mut` (several workers
-                // hold raw pointers into the buffer simultaneously).
-                let pb_base = packed_b.base_ptr();
-                let nslivers = nl.div_ceil(nr);
-                let mut t = wid;
-                while t < nslivers {
-                    let col0 = n0 + t * nr;
-                    let live = nr.min(n0 + nl - col0);
-                    // SAFETY: sliver t occupies [t*nr*kl, (t+1)*nr*kl), within
-                    // capacity since t < nslivers <= bn/nr and kl <= bk; sliver
-                    // ranges of distinct t are disjoint and each t has one owner.
-                    let sliver: &mut [T] =
-                        unsafe { std::slice::from_raw_parts_mut(pb_base.add(t * nr * kl), nr * kl) };
-                    for kk in 0..kl {
-                        let dst = &mut sliver[kk * nr..(kk + 1) * nr];
-                        // Fast path: row-major B rows copy as slices.
-                        if let Some(src) = b.contiguous_row(k0 + kk, col0, live) {
-                            dst[..live].copy_from_slice(src);
-                            dst[live..].fill(T::ZERO);
-                        } else {
-                            for (j, d) in dst.iter_mut().enumerate() {
-                                *d = if j < live {
-                                    // SAFETY: k0+kk < k, col0+j < n.
-                                    unsafe { b.get_unchecked(k0 + kk, col0 + j) }
-                                } else {
-                                    T::ZERO
-                                };
-                            }
-                        }
-                    }
-                    t += p;
-                }
+            Blk {
+                m0,
+                k0,
+                n0,
+                ml: bm.min(m - m0),
+                kl: bk.min(k - k0),
+                nl: bn.min(n - n0),
             }
+        };
 
-            if !share_a && strip_len > 0 {
-                // Pack this worker's private A strip (k-major mr slivers).
-                // SAFETY: each worker owns the disjoint range
-                // [wid*pa_stride, (wid+1)*pa_stride) of the shared buffer.
-                let pa: &mut [T] = unsafe {
-                    std::slice::from_raw_parts_mut(
-                        packed_a.base_ptr().add(wid * pa_stride),
-                        pa_stride,
-                    )
+        // Cooperatively pack block `g`'s B slivers t = wid, wid+p, ... into
+        // the panel at `pb_base`. Workers carve disjoint raw sub-slices out
+        // of the shared buffer: no two `&mut` regions ever overlap.
+        let pack_b_coop = |g: &Blk, pb_base: *mut T| {
+            let nslivers = g.nl.div_ceil(nr);
+            let mut t = wid;
+            while t < nslivers {
+                let col0 = g.n0 + t * nr;
+                let live = nr.min(g.n0 + g.nl - col0);
+                // SAFETY: sliver t occupies [t*nr*kl, (t+1)*nr*kl), within
+                // capacity since t < nslivers <= bn/nr and kl <= bk; sliver
+                // ranges of distinct t are disjoint and each t has one owner.
+                let sliver: &mut [T] = unsafe {
+                    std::slice::from_raw_parts_mut(pb_base.add(t * nr * g.kl), nr * g.kl)
                 };
-                let nsliv = strip_len.div_ceil(mr);
-                for s in 0..nsliv {
-                    let row0 = m0 + strip0 + s * mr;
-                    let live = mr.min(m0 + strip0 + strip_len - row0);
-                    let base = s * mr * kl;
-                    for kk in 0..kl {
-                        let dst = &mut pa[base + kk * mr..base + (kk + 1) * mr];
-                        for (i, d) in dst.iter_mut().enumerate() {
-                            *d = if i < live {
-                                // SAFETY: row0+i < m, k0+kk < k.
-                                unsafe { a.get_unchecked(row0 + i, k0 + kk) }
-                            } else {
-                                T::ZERO
-                            };
-                        }
-                    }
-                }
+                pack_b(&b.sub(g.k0, col0, g.kl, live), sliver, nr);
+                t += p;
             }
+        };
 
-            // Phase 2: all packing complete; safe to read shared B.
-            barrier.wait();
-
-            if strip_len == 0 {
-                continue; // edge block narrower than this worker's strip
+        // Pack this worker's private A strip for block `g` (k-major `mr`
+        // slivers — the packed-A format over the strip sub-view).
+        let pack_a_own = |g: &Blk| {
+            if strip0 >= g.ml {
+                return;
             }
+            let strip_len = shape.mc.min(g.ml - strip0);
+            // SAFETY: each worker owns the disjoint range
+            // [wid*pa_stride, (wid+1)*pa_stride) of the shared buffer.
+            let pa: &mut [T] = unsafe {
+                std::slice::from_raw_parts_mut(
+                    packed_a.base_ptr().add(wid * pa_stride),
+                    pa_stride,
+                )
+            };
+            pack_a(&a.sub(g.m0 + strip0, g.k0, strip_len, g.kl), pa, mr);
+        };
 
+        // Compute this worker's strip x the whole panel, B-sliver
+        // stationary: the strip (mc x kc) is L2-resident by construction
+        // (the paper's per-core A region), so sweeping it per B sliver
+        // reads every LLC-resident panel element exactly once while all A
+        // traffic stays in L2.
+        let compute = |g: &Blk, pb_base: *const T| {
+            if strip0 >= g.ml {
+                return; // edge block narrower than this worker's strip
+            }
+            let strip_len = shape.mc.min(g.ml - strip0);
             // Read-only phase: raw pointers, no outstanding `&mut`.
-            let pb_ptr = packed_b.base_ptr() as *const T;
             let pa_ptr = unsafe { packed_a.base_ptr().add(wid * pa_stride) as *const T };
-
             let a_slivers = strip_len.div_ceil(mr);
-            let b_slivers = nl.div_ceil(nr);
-
-            // A-stationary: keep one A sliver in registers/L1 while sweeping
-            // the whole N extent of the block (paper: "each core sequentially
-            // reusing one A tile with many B tiles").
-            for s in 0..a_slivers {
-                let mrows = mr.min(strip_len - s * mr);
-                let row = m0 + strip0 + s * mr;
-                for t in 0..b_slivers {
-                    let ncols = nr.min(nl - t * nr);
-                    let col = n0 + t * nr;
+            let b_slivers = g.nl.div_ceil(nr);
+            for t in 0..b_slivers {
+                let ncols = nr.min(g.nl - t * nr);
+                let col = g.n0 + t * nr;
+                for s in 0..a_slivers {
+                    let mrows = mr.min(strip_len - s * mr);
+                    let row = g.m0 + strip0 + s * mr;
                     // SAFETY: packed slivers are zero-padded full tiles;
                     // C indices (row, col) + (mrows, ncols) are in bounds;
                     // each worker's rows are disjoint from all others'.
@@ -239,9 +387,9 @@ pub fn execute_with_stats<T: Element>(
                         let cptr = out.get().add(row * rsc + col * csc);
                         run_tile(
                             ukr,
-                            kl,
-                            pa_ptr.add(s * mr * kl),
-                            pb_ptr.add(t * nr * kl),
+                            g.kl,
+                            pa_ptr.add(s * mr * g.kl),
+                            pb_base.add(t * nr * g.kl),
                             cptr,
                             rsc,
                             csc,
@@ -251,24 +399,105 @@ pub fn execute_with_stats<T: Element>(
                     }
                 }
             }
+        };
+
+        let (mut pack_ns, mut compute_ns, mut wait_ns) = (0u64, 0u64, 0u64);
+        let mut waits = 0usize;
+        // The ring state evolves as a pure function of the schedule, so
+        // every worker tracks an identical copy and all agree on which
+        // panel is live and which gets packed.
+        let mut cache = PanelCache::new(panels.len());
+
+        for bi in 0..nblocks {
+            let g = blk(bi);
+
+            if bi == 0 {
+                // Prologue: fill panel 0 and our A strip for block 0. The
+                // single barrier separates these writes from all reads.
+                let c0 = sched.coord_at(0);
+                cache.seed((c0.k, c0.n));
+                let t0 = Instant::now();
+                pack_b_coop(&g, panels[0].base_ptr());
+                pack_a_own(&g);
+                pack_ns += t0.elapsed().as_nanos() as u64;
+                let t1 = Instant::now();
+                barrier.wait();
+                wait_ns += t1.elapsed().as_nanos() as u64;
+                waits += 1;
+            }
+
+            let t0 = Instant::now();
+            compute(&g, panels[cache.cur].base_ptr() as *const T);
+            compute_ns += t0.elapsed().as_nanos() as u64;
+
+            if bi + 1 < nblocks {
+                // Pipeline: pack block bi+1's surfaces while other workers
+                // may still be computing block bi. A miss fills an idle
+                // ring panel (the LRU victim is never the one still being
+                // read); the private A strip is safe to overwrite after our
+                // own compute.
+                let cn = sched.coord_at(bi + 1);
+                let cp = sched.coord_at(bi);
+                let share_a = cp.m == cn.m && cp.k == cn.k;
+
+                let gn = blk(bi + 1);
+                let t1 = Instant::now();
+                if let PanelAction::Pack(next) = cache.advance((cn.k, cn.n)) {
+                    pack_b_coop(&gn, panels[next].base_ptr());
+                }
+                if !share_a {
+                    pack_a_own(&gn);
+                }
+                pack_ns += t1.elapsed().as_nanos() as u64;
+
+                // Rotation barrier: block bi's reads are done everywhere,
+                // block bi+1's panel is complete everywhere.
+                let t2 = Instant::now();
+                barrier.wait();
+                wait_ns += t2.elapsed().as_nanos() as u64;
+                waits += 1;
+            }
+        }
+
+        pack_total.fetch_add(pack_ns, Ordering::Relaxed);
+        compute_total.fetch_add(compute_ns, Ordering::Relaxed);
+        wait_total.fetch_add(wait_ns, Ordering::Relaxed);
+        if wid == 0 {
+            barrier_count.store(waits, Ordering::Relaxed);
         }
     });
 
-    // Statistics are a pure function of the schedule; tally them once.
+    // Reuse-skip counts are a pure function of the schedule; tally once.
     let mut stats = ExecStats {
         blocks: nblocks,
-        barriers: 2 * nblocks,
+        barriers: barrier_count.load(Ordering::Relaxed),
+        pack_ns: pack_total.load(Ordering::Relaxed),
+        compute_ns: compute_total.load(Ordering::Relaxed),
+        barrier_wait_ns: wait_total.load(Ordering::Relaxed),
+        workspace_bytes: ws.bytes(),
+        allocations,
         ..ExecStats::default()
     };
+    // Replay the panel ring the workers ran (same pure function of the
+    // schedule) to attribute each avoided B pack to adjacency sharing vs a
+    // panel-cache hit.
     let mut sprev: Option<crate::schedule::BlockCoord> = None;
+    let mut cache = PanelCache::new(n_panels);
     for bi in 0..nblocks {
         let coord = schedule.coord_at(bi);
+        let want = (coord.k, coord.n);
+        if bi == 0 {
+            cache.seed(want);
+        } else {
+            match cache.advance(want) {
+                PanelAction::Keep => stats.b_packs_skipped += 1,
+                PanelAction::Rotate(_) => stats.b_panel_hits += 1,
+                PanelAction::Pack(_) => {}
+            }
+        }
         if let Some(pc) = sprev {
             if pc.m == coord.m && pc.k == coord.k {
                 stats.a_packs_skipped += 1;
-            }
-            if pc.k == coord.k && pc.n == coord.n {
-                stats.b_packs_skipped += 1;
             }
         }
         sprev = Some(coord);
@@ -489,6 +718,36 @@ mod tests {
         reference(&a, &b, &mut expected);
         assert_gemm_eq(&c.to_layout(Layout::RowMajor), &expected, k);
     }
+
+    #[test]
+    fn workspace_reuse_is_allocation_free_and_correct() {
+        let shape = CbBlockShape::fixed(2, 8, 8, 16);
+        let pool = ThreadPool::new(2);
+        let ukr = best_kernel::<f32>();
+        let mut ws = GemmWorkspace::new();
+        for round in 0..5 {
+            let a = init::random::<f32>(24, 24, 10 + round);
+            let b = init::random::<f32>(24, 24, 20 + round);
+            let mut c = Matrix::<f32>::zeros(24, 24);
+            let stats = execute_with_stats_in(
+                &a.view(),
+                &b.view(),
+                &mut c.view_mut(),
+                &shape,
+                &ukr,
+                &pool,
+                &mut ws,
+            );
+            if round == 0 {
+                assert!(stats.allocations > 0, "first call must allocate");
+            } else {
+                assert_eq!(stats.allocations, 0, "warm calls must not allocate");
+            }
+            let mut expected = Matrix::<f32>::zeros(24, 24);
+            reference(&a, &b, &mut expected);
+            assert_gemm_eq(&c, &expected, 24);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -515,10 +774,22 @@ mod stats_tests {
 
     #[test]
     fn stats_count_blocks_and_barriers() {
-        // 2x3x2 block grid = 12 blocks.
+        // 2x3x2 block grid = 12 blocks. The pipelined executor pays ONE
+        // rotation barrier per block (the old lockstep paid two).
         let s = run_stats(32, 48, 32, 1, 16, 16, 16);
         assert_eq!(s.blocks, 12);
-        assert_eq!(s.barriers, 24);
+        assert_eq!(s.barriers, 12);
+    }
+
+    #[test]
+    fn phase_timings_are_measured() {
+        let s = run_stats(32, 48, 32, 2, 16, 16, 16);
+        assert!(s.compute_ns > 0, "compute time must be measured");
+        assert!(s.pack_ns > 0, "pack time must be measured");
+        assert!(s.workspace_bytes > 0);
+        assert!(s.allocations > 0, "fresh workspace allocates");
+        let f = s.pack_fraction();
+        assert!((0.0..=1.0).contains(&f), "pack fraction {f} out of range");
     }
 
     #[test]
@@ -526,16 +797,25 @@ mod stats_tests {
         // Grid (mb=2, kb=3, nb=2), N-outer: transitions = 11 total.
         // M-steps (same k,n): 2 (one per n stripe) -> B skipped twice.
         // N-steps (same m,k): 1 -> A skipped once.
+        // The panel ring is as deep as the k-block count (3), so every
+        // revisited surface is still resident: the remaining non-pack
+        // transitions are all cache hits, and B is packed exactly once per
+        // distinct (k, n) surface — 3 k-blocks x 2 n-stripes = 6 packs out
+        // of 12 blocks.
         let s = run_stats(32, 48, 32, 1, 16, 16, 16);
         assert_eq!(s.b_packs_skipped, 2);
         assert_eq!(s.a_packs_skipped, 1);
+        assert_eq!(s.b_panel_hits, 4);
+        let b_packs = s.blocks - s.b_packs_skipped - s.b_panel_hits;
+        assert_eq!(b_packs, 6, "one B pack per distinct surface");
     }
 
     #[test]
     fn single_block_has_no_skips() {
         let s = run_stats(16, 16, 16, 1, 16, 16, 16);
         assert_eq!(s.blocks, 1);
-        assert_eq!(s.a_packs_skipped + s.b_packs_skipped, 0);
+        assert_eq!(s.barriers, 1, "single block: just the prologue barrier");
+        assert_eq!(s.a_packs_skipped + s.b_packs_skipped + s.b_panel_hits, 0);
     }
 
     #[test]

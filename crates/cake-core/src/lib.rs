@@ -14,7 +14,10 @@
 //!   schedule, used by tests, the ablation benches, and the simulator.
 //! * [`pool`] — a persistent worker pool with static core-to-strip
 //!   assignment (CAKE pins one `A` region per core).
-//! * [`executor`] — the multithreaded CB-block GEMM engine.
+//! * [`executor`] — the multithreaded, software-pipelined CB-block GEMM
+//!   engine (double-buffered B panels, one rotation barrier per block).
+//! * [`workspace`] — reusable packed-operand buffers so repeated GEMMs are
+//!   allocation-free after warmup.
 //! * [`api`] — drop-in entry points [`api::cake_sgemm`] / [`api::cake_dgemm`].
 //! * [`tune`] — `alpha` selection from available DRAM bandwidth (Section 3.2).
 
@@ -27,8 +30,11 @@ pub mod shared;
 pub mod shape;
 pub mod traffic;
 pub mod tune;
+pub mod workspace;
 
 pub use api::{cake_dgemm, cake_gemm, cake_sgemm, CakeConfig};
+pub use executor::ExecStats;
 pub use model::CakeModel;
 pub use schedule::{BlockCoord, BlockGrid, Dim, KFirstSchedule, SnakeSchedule};
 pub use shape::CbBlockShape;
+pub use workspace::GemmWorkspace;

@@ -22,8 +22,6 @@
 //!   `BW_int` grows linearly in `p` (Eq. 6), and `MEM_local` grows
 //!   quadratically (Eq. 5).
 
-use serde::{Deserialize, Serialize};
-
 use crate::shape::CbBlockShape;
 
 // ----------------------------------------------------------------------------
@@ -63,7 +61,7 @@ pub fn alpha_min_for_bw_factor(r: f64) -> f64 {
 // ----------------------------------------------------------------------------
 
 /// CPU-level CAKE model for a concrete CB block shape, kernel, and clock.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CakeModel {
     /// CB block shape (provides `p`, `mc`, `kc`, `nc`, `alpha`).
     pub shape: CbBlockShape,

@@ -12,9 +12,9 @@
 //! pay thread-spawn cost once.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, Receiver, Sender};
 
 /// Type-erased pointer to a caller-owned `Fn(usize) + Sync` job.
 ///
@@ -46,7 +46,10 @@ enum Msg {
 /// A fixed-size pool of worker threads supporting blocking broadcasts.
 pub struct ThreadPool {
     txs: Vec<Sender<Msg>>,
-    done_rx: Receiver<Result<(), String>>,
+    // `mpsc::Receiver` is `!Sync`; the mutex restores `ThreadPool: Sync` so
+    // a pool can be shared behind `&` (e.g. a `CakeGemm` context). Only the
+    // broadcasting thread ever locks it, so there is no contention.
+    done_rx: Mutex<Receiver<Result<(), String>>>,
     handles: Vec<JoinHandle<()>>,
     size: usize,
 }
@@ -58,14 +61,14 @@ impl ThreadPool {
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "pool needs at least one worker");
-        let (done_tx, done_rx) = bounded::<Result<(), String>>(size);
+        let (done_tx, done_rx) = channel::<Result<(), String>>();
         let mut txs = Vec::with_capacity(size);
         let mut handles = Vec::with_capacity(size);
         // A single-worker pool runs jobs inline on the caller; spawning a
         // thread would only add latency to small GEMMs.
         let spawn_count = if size == 1 { 0 } else { size };
         for id in 0..spawn_count {
-            let (tx, rx) = bounded::<Msg>(1);
+            let (tx, rx) = channel::<Msg>();
             let done = done_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("cake-worker-{id}"))
@@ -76,7 +79,7 @@ impl ThreadPool {
         }
         Self {
             txs,
-            done_rx,
+            done_rx: Mutex::new(done_rx),
             handles,
             size,
         }
@@ -107,10 +110,19 @@ impl ThreadPool {
                 .expect("worker channel closed unexpectedly");
         }
         let mut errors = Vec::new();
-        for _ in 0..self.size {
-            match self.done_rx.recv().expect("done channel closed") {
-                Ok(()) => {}
-                Err(e) => errors.push(e),
+        {
+            // A previous broadcast may have poisoned the mutex by panicking
+            // (propagating a worker panic) with the lock held; the receiver
+            // itself is still valid, so recover it.
+            let done_rx = self
+                .done_rx
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            for _ in 0..self.size {
+                match done_rx.recv().expect("done channel closed") {
+                    Ok(()) => {}
+                    Err(e) => errors.push(e),
+                }
             }
         }
         // `f` is only dropped after every worker acknowledged: safe.

@@ -21,10 +21,8 @@
 //! when the grid extents are even, and remains adjacency-correct for odd
 //! extents as well.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of one CB block within the block grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockCoord {
     /// M-dimension block index.
     pub m: usize,
@@ -35,7 +33,7 @@ pub struct BlockCoord {
 }
 
 /// The extents of the block grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockGrid {
     /// Number of blocks along M.
     pub mb: usize,
@@ -68,7 +66,7 @@ impl BlockGrid {
 }
 
 /// Which of the outer two loops runs outermost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OuterLoop {
     /// `for n { for m { for k } } }` — reuses B across M-steps; optimal
     /// when `N >= M` (B surface at least as large as A).
@@ -79,7 +77,7 @@ pub enum OuterLoop {
 }
 
 /// An IO surface of a block (paper Section 2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Surface {
     /// Input surface from matrix A (`m x k` face).
     A,
@@ -384,7 +382,7 @@ mod tests {
 
 
 /// One dimension of the block grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dim {
     /// Row-block dimension.
     M,

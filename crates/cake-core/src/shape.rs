@@ -18,10 +18,8 @@
 //! the LLC with headroom for the *next* block's inputs,
 //! `C + 2(A + B) <= S`.
 
-use serde::{Deserialize, Serialize};
-
 /// Shape of one constant-bandwidth block on a CPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CbBlockShape {
     /// Cores cooperating on a block.
     pub p: usize,

@@ -23,6 +23,30 @@ impl<T: Copy + Default> SharedBuf<T> {
         Self(UnsafeCell::new(AlignedBuf::zeroed(len)))
     }
 
+    /// An empty buffer (no allocation) — the starting state of a reusable
+    /// workspace.
+    pub fn empty() -> Self {
+        Self::zeroed(0)
+    }
+
+    /// Ensure capacity for at least `len` elements, growing geometrically
+    /// (at least 2x) so a sequence of growing GEMMs triggers O(log n)
+    /// reallocations. Contents are **not** preserved and the new buffer is
+    /// only zeroed when freshly allocated — packing routines overwrite
+    /// every element they later read, including zero padding.
+    ///
+    /// Returns `true` when a new allocation was made. Requires `&mut self`,
+    /// so no worker can hold a pointer into the old buffer across a call.
+    pub fn reserve(&mut self, len: usize) -> bool {
+        let cur = self.len();
+        if len <= cur {
+            return false;
+        }
+        let new_len = len.max(cur.saturating_mul(2));
+        *self.0.get_mut() = AlignedBuf::zeroed(new_len);
+        true
+    }
+
     /// Raw base pointer (method access, so closures capture `&SharedBuf`
     /// rather than the inner `UnsafeCell` field — precise closure capture
     /// would otherwise bypass the `Sync` impl above).
@@ -115,6 +139,20 @@ mod tests {
     fn empty_buffer() {
         let buf = SharedBuf::<f64>::zeroed(0);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reserve_grows_geometrically_and_reports_allocations() {
+        let mut buf = SharedBuf::<f32>::empty();
+        assert!(buf.reserve(10));
+        assert!(buf.len() >= 10);
+        // Within capacity: no allocation.
+        assert!(!buf.reserve(5));
+        assert!(!buf.reserve(10));
+        let cap = buf.len();
+        // Growth is at least a doubling, so +1 over capacity jumps to 2x.
+        assert!(buf.reserve(cap + 1));
+        assert!(buf.len() >= 2 * cap);
     }
 
     #[test]

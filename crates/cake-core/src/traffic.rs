@@ -23,12 +23,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::schedule::BlockCoord;
 
 /// Problem and block extents needed to size surfaces.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrafficParams {
     /// Full problem extents.
     pub m: usize,
@@ -60,7 +58,7 @@ impl TrafficParams {
 }
 
 /// What happens to partial C panels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CResidency {
     /// Partial panels held in local memory until complete (CAKE).
     HoldInLlc,
@@ -69,7 +67,7 @@ pub enum CResidency {
 }
 
 /// DRAM traffic tally, in elements.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Traffic {
     /// Elements of A fetched from DRAM.
     pub a_loads: u64,

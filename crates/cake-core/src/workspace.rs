@@ -1,0 +1,151 @@
+//! Reusable GEMM workspace: packed-A strips plus the pipeline's B panels.
+//!
+//! The pipelined executor double-buffers the shared B panel (pack block
+//! `i+1` while computing on block `i`), and generalizes the pair into a
+//! small *panel ring*: up to [`MAX_B_PANELS`] panels sized for the largest
+//! `kc x nc` block seen so far, plus one packed-A strip per worker. With
+//! `min(k-blocks, MAX_B_PANELS)` panels resident, the K-first snake's
+//! reversals find their B surface still packed and skip the pack entirely —
+//! for the common case of a few `kc` panels per problem, B is packed the
+//! GOTO-minimal once-per-surface. Buffers grow geometrically via
+//! [`SharedBuf::reserve`] and are never zeroed on reuse — the packing
+//! routines overwrite every element they later read, including the zero
+//! padding of edge slivers.
+//!
+//! Create one workspace per [`ThreadPool`](crate::pool::ThreadPool) (or let
+//! [`CakeGemm`](crate::api::CakeGemm) keep one per element type) and thread
+//! it through repeated calls: after warmup, a steady-shape GEMM stream
+//! performs **zero** heap allocations.
+
+use cake_kernels::pack::{packed_a_size, packed_b_size};
+use cake_matrix::Element;
+
+use crate::shape::CbBlockShape;
+use crate::shared::SharedBuf;
+
+/// Upper bound on the B-panel ring. Two panels are the pipelining floor
+/// (compute one, pack the other); extra panels are pure cache, and each
+/// costs `kc * nc` elements of LLC-resident footprint, so the ring stays
+/// small.
+pub const MAX_B_PANELS: usize = 4;
+
+/// Packed-operand buffers reused across GEMM calls.
+pub struct GemmWorkspace<T> {
+    /// One packed-A strip per worker, in a single allocation of
+    /// `p * pa_stride` elements.
+    pub(crate) packed_a: SharedBuf<T>,
+    /// The B-panel ring of the software pipeline (>= 2 entries once
+    /// prepared; grown on demand up to [`MAX_B_PANELS`]).
+    pub(crate) packed_b: Vec<SharedBuf<T>>,
+    /// Per-worker packed-A stride the buffers were last prepared for.
+    pub(crate) pa_stride: usize,
+    /// Heap allocations performed over the workspace's lifetime.
+    allocations: usize,
+}
+
+impl<T: Element> GemmWorkspace<T> {
+    /// An empty workspace; buffers are allocated lazily by [`prepare`].
+    ///
+    /// [`prepare`]: Self::prepare
+    pub fn new() -> Self {
+        Self {
+            packed_a: SharedBuf::empty(),
+            packed_b: Vec::new(),
+            pa_stride: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Size the buffers for one CB-block shape and kernel (`mr x nr`) with
+    /// an `n_panels`-entry B ring, growing only when the current capacity
+    /// is insufficient. Returns the number of fresh allocations this call
+    /// performed (0 after warmup).
+    pub fn prepare(&mut self, shape: &CbBlockShape, mr: usize, nr: usize, n_panels: usize) -> usize {
+        let n_panels = n_panels.clamp(2, MAX_B_PANELS);
+        let pa_stride = packed_a_size(shape.mc, shape.k_block(), mr);
+        let pb_len = packed_b_size(shape.k_block(), shape.n_block(), nr);
+        let mut fresh = 0;
+        fresh += usize::from(self.packed_a.reserve(pa_stride * shape.p));
+        while self.packed_b.len() < n_panels {
+            self.packed_b.push(SharedBuf::empty());
+        }
+        for panel in self.packed_b.iter_mut().take(n_panels) {
+            fresh += usize::from(panel.reserve(pb_len));
+        }
+        self.pa_stride = pa_stride;
+        self.allocations += fresh;
+        fresh
+    }
+
+    /// Total heap allocations performed since construction.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Current workspace footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        let panels: usize = self.packed_b.iter().map(|b| b.len()).sum();
+        (self.packed_a.len() + panels) * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Element> Default for GemmWorkspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_allocates_once_per_shape_class() {
+        let mut ws = GemmWorkspace::<f32>::new();
+        let shape = CbBlockShape::fixed(2, 16, 16, 32);
+        let first = ws.prepare(&shape, 6, 16, 2);
+        assert_eq!(first, 3, "A strips + two B panels");
+        // Same shape again: fully warm.
+        assert_eq!(ws.prepare(&shape, 6, 16, 2), 0);
+        // Smaller shape fits in existing capacity.
+        let small = CbBlockShape::fixed(2, 8, 8, 16);
+        assert_eq!(ws.prepare(&small, 6, 16, 2), 0);
+        assert_eq!(ws.allocations(), 3);
+        assert!(ws.bytes() > 0);
+    }
+
+    #[test]
+    fn prepare_grows_for_larger_shapes() {
+        let mut ws = GemmWorkspace::<f64>::new();
+        let small = CbBlockShape::fixed(1, 8, 8, 8);
+        let big = CbBlockShape::fixed(1, 64, 64, 128);
+        assert!(ws.prepare(&small, 4, 8, 2) > 0);
+        let before = ws.bytes();
+        assert!(ws.prepare(&big, 4, 8, 2) > 0);
+        assert!(ws.bytes() > before);
+        // And shrinking back performs no work.
+        assert_eq!(ws.prepare(&small, 4, 8, 2), 0);
+    }
+
+    #[test]
+    fn panel_ring_grows_on_demand_and_is_capped() {
+        let mut ws = GemmWorkspace::<f32>::new();
+        let shape = CbBlockShape::fixed(1, 8, 8, 16);
+        assert_eq!(ws.prepare(&shape, 6, 16, 2), 3, "A + 2 panels");
+        // A deeper ring for the same shape only allocates the new panels.
+        assert_eq!(ws.prepare(&shape, 6, 16, 4), 2, "2 more panels");
+        assert_eq!(ws.prepare(&shape, 6, 16, 4), 0);
+        // Requests beyond MAX_B_PANELS (and below 2) are clamped.
+        assert_eq!(ws.prepare(&shape, 6, 16, 99), 0);
+        assert_eq!(ws.packed_b.len(), MAX_B_PANELS);
+        assert_eq!(ws.prepare(&shape, 6, 16, 0), 0);
+    }
+
+    #[test]
+    fn pa_stride_tracks_last_prepared_shape() {
+        let mut ws = GemmWorkspace::<f32>::new();
+        let shape = CbBlockShape::fixed(3, 12, 16, 32);
+        ws.prepare(&shape, 6, 16, 2);
+        assert_eq!(ws.pa_stride, packed_a_size(12, 16, 6));
+    }
+}

@@ -1,4 +1,13 @@
 //! Network layers, all GEMMs routed through a shared CAKE context.
+//!
+//! Because every [`Conv2d`] and [`Linear`] GEMM goes through the same
+//! [`CakeGemm`] context, they share its persistent [`GemmWorkspace`]
+//! (packed-A strips + the B panel ring): after the first forward pass has
+//! sized the workspace for the largest layer, subsequent passes run the
+//! pipelined executor with **zero** heap allocations — see
+//! `LayerReport::gemm` for the per-layer evidence.
+//!
+//! [`GemmWorkspace`]: cake_core::workspace::GemmWorkspace
 
 use cake_core::api::CakeGemm;
 use cake_matrix::Matrix;

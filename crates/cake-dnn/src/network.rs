@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use cake_core::api::{CakeConfig, CakeGemm};
+use cake_core::executor::ExecStats;
 
 use crate::layers::Layer;
 use crate::tensor::Tensor;
@@ -18,6 +19,11 @@ pub struct LayerReport {
     pub flops: u64,
     /// Wall time, seconds.
     pub seconds: f64,
+    /// Stats of the layer's GEMM call (the last one, for layers that issue
+    /// several); all-zero for GEMM-free layers like pooling and ReLU. After
+    /// the first forward pass `gemm.allocations` is 0 for every layer — the
+    /// context's workspace is warm.
+    pub gemm: ExecStats,
 }
 
 /// A feed-forward stack of layers sharing one CAKE GEMM context.
@@ -83,6 +89,7 @@ impl Sequential {
         for layer in &self.layers {
             let (c, h, w) = (x.channels(), x.height(), x.width());
             let flops = layer.flops(c, h, w);
+            let _ = self.ctx.take_stats(); // attribute GEMMs to this layer
             let t0 = Instant::now();
             let y = layer.forward(&self.ctx, &x);
             reports.push(LayerReport {
@@ -90,6 +97,7 @@ impl Sequential {
                 out_shape: (y.channels(), y.height(), y.width()),
                 flops,
                 seconds: t0.elapsed().as_secs_f64(),
+                gemm: self.ctx.take_stats(),
             });
             x = y;
         }
@@ -159,6 +167,27 @@ mod tests {
         let (a, _) = net.forward(&input);
         let (b, _) = net.forward(&input);
         assert_eq!(a.as_matrix().as_slice(), b.as_matrix().as_slice());
+    }
+
+    #[test]
+    fn layer_reports_attribute_gemm_stats() {
+        let net = tiny_net();
+        let input = Tensor::from_matrix(cake_matrix::init::random::<f32>(3, 256, 11), 16, 16);
+        let (_, cold) = net.forward(&input);
+        for r in &cold {
+            if r.name.starts_with("conv") || r.name == "fc" {
+                assert!(r.gemm.blocks > 0, "{} ran a GEMM", r.name);
+            } else {
+                assert_eq!(r.gemm, cake_core::ExecStats::default(), "{}", r.name);
+            }
+        }
+        // First pass sizes the shared workspace; a second pass over the same
+        // shapes must be allocation-free in every layer.
+        assert!(cold.iter().any(|r| r.gemm.allocations > 0));
+        let (_, warm) = net.forward(&input);
+        for r in &warm {
+            assert_eq!(r.gemm.allocations, 0, "layer {} allocated when warm", r.name);
+        }
     }
 
     #[test]

@@ -17,14 +17,12 @@
 //! loop nest and tallies exact element traffic, including the partial-C
 //! round trips the closed form averages away.
 
-use serde::{Deserialize, Serialize};
-
 use cake_core::traffic::Traffic;
 
 use crate::params::GotoParams;
 
 /// CPU-level GOTO resource model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GotoModel {
     /// Blocking parameters (provides `p`, `mc`, `kc`, `nc`).
     pub params: GotoParams,

@@ -7,10 +7,8 @@
 //!   to *fill* it ("GOTO uses all of the L3 cache for B", Section 4.4).
 //! * `mr x nr` register tiles come from the kernel.
 
-use serde::{Deserialize, Serialize};
-
 /// GOTO blocking parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GotoParams {
     /// Cores used (each computes an independent `mc x nc` C panel).
     pub p: usize,

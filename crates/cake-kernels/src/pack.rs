@@ -62,10 +62,41 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
         let row0 = s * mr;
         let live = mr.min(mc - row0);
         let base = a_sliver_offset(s, kc, mr);
-        for k in 0..kc {
-            let out = &mut dst[base + k * mr..base + (k + 1) * mr];
-            for (i, o) in out.iter_mut().enumerate() {
-                *o = if i < live { src.get(row0 + i, k) } else { T::ZERO };
+        let sliv = &mut dst[base..base + mr * kc];
+        if src.row_stride() == 1 {
+            // Column-major A: the `mr` rows of one k are contiguous —
+            // exactly one packed-A sliver column, a straight memcpy.
+            for k in 0..kc {
+                let out = &mut sliv[k * mr..(k + 1) * mr];
+                let col = src.contiguous_col(k, row0, live).expect("unit row stride");
+                out[..live].copy_from_slice(col);
+                // Edge tail handled once per k, outside the element loop.
+                out[live..].fill(T::ZERO);
+            }
+        } else if src.col_stride() == 1 {
+            // Row-major A: each source row is contiguous along k, so the
+            // sliver is an `live x kc` transpose — stream each row once
+            // with an `mr`-strided scatter instead of per-element 2-D
+            // indexing.
+            for i in 0..live {
+                let row = src.contiguous_row(row0 + i, 0, kc).expect("unit col stride");
+                for (k, &v) in row.iter().enumerate() {
+                    sliv[k * mr + i] = v;
+                }
+            }
+            if live < mr {
+                for k in 0..kc {
+                    sliv[k * mr + live..(k + 1) * mr].fill(T::ZERO);
+                }
+            }
+        } else {
+            // General strided view: element-wise gather.
+            for k in 0..kc {
+                let out = &mut sliv[k * mr..(k + 1) * mr];
+                for (i, o) in out[..live].iter_mut().enumerate() {
+                    *o = src.get(row0 + i, k);
+                }
+                out[live..].fill(T::ZERO);
             }
         }
     }
@@ -85,10 +116,38 @@ pub fn pack_b<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], nr: usize) {
         let col0 = t * nr;
         let live = nr.min(nc - col0);
         let base = b_sliver_offset(t, kc, nr);
-        for k in 0..kc {
-            let out = &mut dst[base + k * nr..base + (k + 1) * nr];
-            for (j, o) in out.iter_mut().enumerate() {
-                *o = if j < live { src.get(k, col0 + j) } else { T::ZERO };
+        let sliv = &mut dst[base..base + nr * kc];
+        if src.col_stride() == 1 {
+            // Row-major B: the `nr` columns of one k are contiguous —
+            // exactly one packed-B sliver row, a straight memcpy.
+            for k in 0..kc {
+                let out = &mut sliv[k * nr..(k + 1) * nr];
+                let row = src.contiguous_row(k, col0, live).expect("unit col stride");
+                out[..live].copy_from_slice(row);
+                out[live..].fill(T::ZERO);
+            }
+        } else if src.row_stride() == 1 {
+            // Column-major B: each source column is contiguous along k —
+            // stream each column once with an `nr`-strided scatter.
+            for j in 0..live {
+                let col = src.contiguous_col(col0 + j, 0, kc).expect("unit row stride");
+                for (k, &v) in col.iter().enumerate() {
+                    sliv[k * nr + j] = v;
+                }
+            }
+            if live < nr {
+                for k in 0..kc {
+                    sliv[k * nr + live..(k + 1) * nr].fill(T::ZERO);
+                }
+            }
+        } else {
+            // General strided view: element-wise gather.
+            for k in 0..kc {
+                let out = &mut sliv[k * nr..(k + 1) * nr];
+                for (j, o) in out[..live].iter_mut().enumerate() {
+                    *o = src.get(k, col0 + j);
+                }
+                out[live..].fill(T::ZERO);
             }
         }
     }
@@ -204,6 +263,54 @@ mod tests {
         let m = init::ones::<f32>(8, 8);
         let mut buf = vec![0.0; 10];
         pack_a(&m.view(), &mut buf, 4);
+    }
+
+    #[test]
+    fn pack_a_fast_path_matches_strided_paths() {
+        // Same logical matrix through three source layouts: row-major
+        // (row-transpose path), column-major (contiguous_col memcpy path),
+        // and a transposed row-major view (also unit row stride).
+        let rm = init::random::<f32>(13, 9, 5);
+        let cm = rm.to_layout(cake_matrix::Layout::ColMajor);
+        let tr = rm.transposed(); // 9x13 row-major; .t() view is 13x9
+        for mr in [1usize, 2, 4, 6, 8] {
+            let size = packed_a_size(13, 9, mr);
+            let (mut slow, mut fast, mut trans) =
+                (vec![-1.0; size], vec![-1.0; size], vec![-1.0; size]);
+            pack_a(&rm.view(), &mut slow, mr);
+            pack_a(&cm.view(), &mut fast, mr);
+            pack_a(&tr.view().t(), &mut trans, mr);
+            assert_eq!(slow, fast, "mr={mr}: col-major fast path diverged");
+            assert_eq!(slow, trans, "mr={mr}: transposed-view path diverged");
+        }
+    }
+
+    #[test]
+    fn pack_b_fast_path_matches_strided_paths() {
+        let rm = init::random::<f64>(7, 21, 6);
+        let cm = rm.to_layout(cake_matrix::Layout::ColMajor);
+        for nr in [1usize, 4, 8, 16] {
+            let size = packed_b_size(7, 21, nr);
+            let (mut fast, mut slow) = (vec![-1.0; size], vec![-1.0; size]);
+            pack_b(&rm.view(), &mut fast, nr); // contiguous_row fast path
+            pack_b(&cm.view(), &mut slow, nr); // strided element path
+            assert_eq!(fast, slow, "nr={nr}: B fast path diverged");
+        }
+    }
+
+    #[test]
+    fn pack_a_fast_path_on_subview() {
+        // The executor packs strips via sub-views; offsets must be honoured
+        // by the contiguous_col path.
+        let cm = init::sequential::<f32>(16, 12).to_layout(cake_matrix::Layout::ColMajor);
+        let sub = cm.view().sub(3, 2, 10, 7);
+        let rm_sub = init::sequential::<f32>(16, 12);
+        let sub_rm = rm_sub.view().sub(3, 2, 10, 7);
+        let size = packed_a_size(10, 7, 4);
+        let (mut a, mut b) = (vec![0.0; size], vec![0.0; size]);
+        pack_a(&sub, &mut a, 4);
+        pack_a(&sub_rm, &mut b, 4);
+        assert_eq!(a, b);
     }
 
     proptest! {

@@ -1,16 +1,39 @@
 //! Deterministic matrix initializers for tests, examples, and benchmarks.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::element::Element;
 use crate::matrix::Matrix;
 
+/// Minimal deterministic PRNG (splitmix64) so initializers need no external
+/// crates; statistically fine for test/benchmark data, not cryptography.
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// Uniformly random matrix in `[-1, 1)`, seeded for reproducibility.
 pub fn random<T: Element>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| {
-        T::from_f64(rng.random_range(-1.0f64..1.0))
+        T::from_f64(rng.next_unit_f64() * 2.0 - 1.0)
     })
 }
 
@@ -19,9 +42,9 @@ pub fn random<T: Element>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
 /// Small-integer matrices make GEMM results exactly representable, so tests
 /// can compare against the reference with zero tolerance for modest K.
 pub fn random_ints<T: Element>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| {
-        T::from_f64(rng.random_range(-2i32..=2) as f64)
+        T::from_f64((rng.next_u64() % 5) as f64 - 2.0)
     })
 }
 

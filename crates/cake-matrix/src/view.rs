@@ -143,6 +143,19 @@ impl<'a, T: Element> MatrixView<'a, T> {
         Some(&self.data[start..start + len])
     }
 
+    /// A contiguous slice of column `j` starting at row `i0`, when the
+    /// view has unit row stride (a column-major source — the packed-A fast
+    /// path, symmetric to [`Self::contiguous_row`]). `None` for strided
+    /// rows.
+    pub fn contiguous_col(&self, j: usize, i0: usize, len: usize) -> Option<&'a [T]> {
+        if self.row_stride != 1 {
+            return None;
+        }
+        assert!(j < self.cols && i0 + len <= self.rows, "col slice out of bounds");
+        let start = j * self.col_stride + i0;
+        Some(&self.data[start..start + len])
+    }
+
     /// The transposed view (free: swaps dims and strides).
     pub fn t(&self) -> MatrixView<'a, T> {
         MatrixView {
@@ -340,6 +353,19 @@ mod tests {
         assert_eq!(v.get(0, 0), 0.0);
         assert_eq!(v.get(1, 2), 6.0);
         assert_eq!(v.get(2, 3), 11.0);
+    }
+
+    #[test]
+    fn contiguous_col_mirrors_contiguous_row_on_transpose() {
+        let data = seq(12);
+        let v = MatrixView::row_major(&data, 3, 4, 4);
+        // Row-major: rows are contiguous, columns are not.
+        assert_eq!(v.contiguous_row(1, 1, 3), Some(&data[5..8]));
+        assert_eq!(v.contiguous_col(1, 0, 3), None);
+        // The transpose flips which axis is contiguous.
+        let t = v.t();
+        assert_eq!(t.contiguous_row(0, 0, 2), None);
+        assert_eq!(t.contiguous_col(1, 1, 3), Some(&data[5..8]));
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Simulated CPU configurations (paper Table 2) and internal-bandwidth
 //! curves (pmbw measurements, Figures 10c / 11c / 12c).
 
-use serde::{Deserialize, Serialize};
-
 const KIB: usize = 1024;
 const MIB: usize = 1024 * 1024;
 
@@ -10,7 +8,7 @@ const MIB: usize = 1024 * 1024;
 ///
 /// The paper measured these with pmbw; the three evaluation CPUs show three
 /// qualitatively different shapes, which drive the three figures' stories.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InternalBwCurve {
     /// Linear at `gbs_per_core` up to `knee` cores, then a shallower
     /// `gbs_per_core_past_knee` slope (Intel i9-10900K: saturates past ~6
@@ -81,7 +79,7 @@ impl InternalBwCurve {
 
 /// A simulated CPU: Table 2 entries plus kernel/clock characteristics used
 /// by the timing engine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuConfig {
     /// Human-readable name.
     pub name: String,
@@ -306,10 +304,9 @@ mod tests {
     }
 
     #[test]
-    fn configs_serialize_round_trip() {
+    fn configs_clone_round_trip() {
         let c = CpuConfig::intel_i9_10900k();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: CpuConfig = serde_json::from_str(&json).unwrap();
+        let back = c.clone();
         assert_eq!(back.name, c.name);
         assert_eq!(back.cores, c.cores);
         assert_eq!(back.internal_bw, c.internal_bw);

@@ -24,10 +24,8 @@
 
 use cake_core::schedule::{BlockGrid, KFirstSchedule};
 use cake_matrix::Matrix;
-use serde::{Deserialize, Serialize};
-
 /// Hardware module addresses for packet routing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Module {
     /// External DRAM.
     ExternalMemory,
@@ -38,7 +36,7 @@ pub enum Module {
 }
 
 /// What a packet carries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Payload {
     /// A tile of matrix A at computation-space coords `(m, k)`.
     ATile(f64),
@@ -49,7 +47,7 @@ pub enum Payload {
 }
 
 /// A communication packet (paper: source-routed with tile indices).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Originating module.
     pub src: Module,
@@ -66,7 +64,7 @@ pub struct Packet {
 }
 
 /// Configuration of the abstract CB machine.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PacketSimConfig {
     /// Rows of the core grid (`m = p * k_grid` tiles per block M-extent;
     /// paper's `p`).
@@ -117,7 +115,7 @@ impl PacketSimConfig {
 }
 
 /// Counters and outputs of a packet simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PacketSimResult {
     /// Total cycles (with IO/compute overlap across blocks).
     pub cycles: u64,

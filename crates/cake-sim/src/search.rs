@@ -16,13 +16,11 @@
 //! of profiled runs).
 
 use cake_core::shape::CbBlockShape;
-use serde::{Deserialize, Serialize};
-
 use crate::config::CpuConfig;
 use crate::engine::{resolve_cake_shape, simulate_cake_with_shape, SimParams};
 
 /// One evaluated design point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DesignPoint {
     /// The candidate CB block shape.
     pub shape: CbBlockShape,
@@ -37,7 +35,7 @@ pub struct DesignPoint {
 }
 
 /// Result of a grid search.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SearchResult {
     /// Every evaluated point (in evaluation order).
     pub points: Vec<DesignPoint>,
