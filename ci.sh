@@ -1,14 +1,37 @@
 #!/usr/bin/env bash
 # CI gate for the cake-rs workspace.
 #
-#   ./ci.sh            full gate: tier-1, all tests, clippy, bench snapshot
-#   ./ci.sh --fast     tier-1 + clippy only (skip the bench snapshot)
+#   ./ci.sh            full gate: tier-1, all tests, clippy, verify, bench snapshot
+#   ./ci.sh --fast     tier-1 + clippy only (skip verify + bench snapshot)
+#   ./ci.sh --verify   verification suite only (cakectl verify, 256 fuzz cases)
 #
 # The bench snapshot rewrites BENCH_gemm.json in the repo root so the
 # pipelined executor's throughput, allocation-freedom, and pack-overlap
 # numbers are tracked over time.
+#
+# The verify stage runs the cake-verify harness: 256-case differential
+# fuzzing (CAKE vs GOTO vs naive; seed via CAKE_TEST_SEED), the
+# model-conformance oracle (measured executor counters == analytic traffic
+# == simulator, Eq. 4 p-invariance), and the deterministic interleaving
+# checker for the panel-ring protocol.
+#
+# Opt-in ThreadSanitizer pass (needs a nightly toolchain with rust-src;
+# not part of the gate because the container pins stable):
+#   RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
+#     --target x86_64-unknown-linux-gnu -p cake-core
 set -euo pipefail
 cd "$(dirname "$0")"
+
+run_verify() {
+    echo "==> verification suite (cakectl verify)"
+    cargo run --release -p cake-bench --bin cakectl -- verify --cases 256
+}
+
+if [[ "${1:-}" == "--verify" ]]; then
+    run_verify
+    echo "==> ci.sh: verification passed"
+    exit 0
+fi
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
@@ -21,6 +44,8 @@ echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [[ "${1:-}" != "--fast" ]]; then
+    run_verify
+
     echo "==> bench snapshot (writes BENCH_gemm.json)"
     cargo run --release -p cake-bench --bin bench_snapshot -- --iters 10
 fi

@@ -6,12 +6,18 @@
 //! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
 //! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
 //! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats]
+//! cakectl verify   [--cases C] [--seed S]
 //! ```
 //!
 //! Everything the paper derives analytically, queryable from the shell —
 //! plus `gemm`, which runs the *real* pipelined executor and (with
 //! `--stats`) prints its measured [`ExecStats`]: per-phase pack / compute /
 //! barrier-wait time, workspace footprint, allocations, and reuse skips.
+//!
+//! `verify` runs the full `cake-verify` harness: the differential fuzzer
+//! (default 256 cases; `--seed` or `CAKE_TEST_SEED` perturbs the stream),
+//! the model-conformance oracle, and the deterministic interleaving
+//! checker. Exit status 1 on any failure.
 
 use cake_bench::output::{arg_value, has_flag, render_table};
 use cake_core::api::{CakeConfig, CakeGemm};
@@ -199,6 +205,34 @@ fn print_exec_stats(s: &ExecStats) {
     );
     println!("  workspace        : {:>9.1} KiB", s.workspace_bytes as f64 / 1024.0);
     println!("  allocations      : {:>12}  (this call)", s.allocations);
+    // Element counters are live only with cake-core's `traffic-counters`
+    // feature (enabled here transitively through cake-verify).
+    if s.a_elems_loaded + s.b_elems_loaded + s.c_elems_updated > 0 {
+        println!("  A elems loaded   : {:>12}", s.a_elems_loaded);
+        println!("  B elems loaded   : {:>12}", s.b_elems_loaded);
+        println!("  C elems updated  : {:>12}", s.c_elems_updated);
+    }
+}
+
+fn cmd_verify() {
+    let cases = opt_usize("--cases", 256) as u32;
+    let seed = arg_value("--seed").and_then(|v| v.parse::<u64>().ok());
+    println!("cake-verify: {cases} fuzz cases, conformance oracle, interleaving checker");
+    match cake_verify::verify_all(cases, seed) {
+        Ok(outcomes) => {
+            for o in outcomes {
+                println!("[{}] PASS", o.name);
+                for line in o.lines {
+                    println!("    {line}");
+                }
+            }
+            println!("verification suite passed");
+        }
+        Err(msg) => {
+            eprintln!("verification FAILED:\n{msg}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn cmd_gemm() {
@@ -232,9 +266,10 @@ fn main() {
         "search" => cmd_search(),
         "traffic" => cmd_traffic(),
         "gemm" => cmd_gemm(),
+        "verify" => cmd_verify(),
         _ => {
             eprintln!(
-                "usage: cakectl <shape|simulate|search|traffic|gemm> [options]\n\
+                "usage: cakectl <shape|simulate|search|traffic|gemm|verify> [options]\n\
                  see module docs (crates/cake-bench/src/bin/cakectl.rs) for flags"
             );
             std::process::exit(2);

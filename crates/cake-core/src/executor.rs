@@ -60,6 +60,8 @@ use cake_kernels::pack::{pack_a, pack_b};
 use cake_kernels::Ukr;
 use cake_matrix::{Element, MatrixView, MatrixViewMut};
 
+use crate::counters::Tally;
+use crate::panel::{ring_depth, PanelAction, PanelCache};
 use crate::pool::ThreadPool;
 use crate::schedule::{BlockGrid, KFirstSchedule};
 use crate::shape::CbBlockShape;
@@ -100,6 +102,19 @@ pub struct ExecStats {
     /// Heap allocations performed by this call (0 once the workspace is
     /// warm).
     pub allocations: usize,
+    /// A elements actually packed from the source view — the executor's
+    /// measured external A traffic. Populated only when `cake-core` is
+    /// built with the `traffic-counters` feature; 0 otherwise.
+    pub a_elems_loaded: u64,
+    /// B elements actually packed from the source view (measured external
+    /// B traffic). Requires the `traffic-counters` feature; 0 otherwise.
+    pub b_elems_loaded: u64,
+    /// C elements updated in place (one per microkernel-accumulated output
+    /// element per block visit: `kb * M * N` over a full GEMM) — the
+    /// executor's measured local-memory C traffic, of which exactly
+    /// `1 / kb` reaches DRAM as final writes. Requires the
+    /// `traffic-counters` feature; 0 otherwise.
+    pub c_elems_updated: u64,
 }
 
 impl ExecStats {
@@ -123,75 +138,6 @@ struct Blk {
     ml: usize,
     kl: usize,
     nl: usize,
-}
-
-/// What the B-panel ring does for the next block's `(k, n)` surface.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum PanelAction {
-    /// The live panel already holds it (adjacency share): no rotation.
-    Keep,
-    /// Another ring panel holds it (cache hit): rotate to it, no pack.
-    Rotate(usize),
-    /// Nowhere resident (miss): pack into this panel and rotate to it.
-    Pack(usize),
-}
-
-/// Deterministic LRU cache over the B panel ring, keyed by `(k, n)` block
-/// surface. Every worker advances an identical copy (the state is a pure
-/// function of the schedule), so all workers agree on which panel to read,
-/// which to fill, and — crucially for safety — the pack target is never the
-/// panel currently being computed from.
-struct PanelCache {
-    /// Which `(k, n)` surface each panel holds.
-    tags: Vec<Option<(usize, usize)>>,
-    /// Logical time of each panel's last use (0 = never touched).
-    last_use: Vec<u32>,
-    /// The live panel: the one block `bi` computes from.
-    cur: usize,
-    clock: u32,
-}
-
-impl PanelCache {
-    fn new(n_panels: usize) -> Self {
-        Self {
-            tags: vec![None; n_panels],
-            last_use: vec![0; n_panels],
-            cur: 0,
-            clock: 0,
-        }
-    }
-
-    /// Seed the ring with block 0's surface in panel 0 (the prologue pack).
-    fn seed(&mut self, want: (usize, usize)) {
-        self.clock += 1;
-        self.tags[0] = Some(want);
-        self.last_use[0] = self.clock;
-        self.cur = 0;
-    }
-
-    /// Decide how the next block's surface is served and rotate the ring.
-    fn advance(&mut self, want: (usize, usize)) -> PanelAction {
-        self.clock += 1;
-        if self.tags[self.cur] == Some(want) {
-            self.last_use[self.cur] = self.clock;
-            return PanelAction::Keep;
-        }
-        if let Some(j) = self.tags.iter().position(|t| *t == Some(want)) {
-            self.last_use[j] = self.clock;
-            self.cur = j;
-            return PanelAction::Rotate(j);
-        }
-        // Evict the least-recently-used panel that is NOT the live one —
-        // workers may still be computing from `cur` while this pack runs.
-        let victim = (0..self.tags.len())
-            .filter(|&j| j != self.cur)
-            .min_by_key(|&j| self.last_use[j])
-            .expect("ring has >= 2 panels");
-        self.tags[victim] = Some(want);
-        self.last_use[victim] = self.clock;
-        self.cur = victim;
-        PanelAction::Pack(victim)
-    }
 }
 
 /// Execute `C += A * B` with the CAKE CB-block schedule.
@@ -284,7 +230,7 @@ pub fn execute_with_stats_in<T: Element>(
     // B panel ring: two panels are the pipelining floor; a ring as deep as
     // the k-block count makes every snake reversal a cache hit (B packed
     // once per distinct surface), capped so the LLC footprint stays small.
-    let n_panels = grid.kb.clamp(2, crate::workspace::MAX_B_PANELS);
+    let n_panels = ring_depth(grid.kb);
     let allocations = ws.prepare(shape, mr, nr, n_panels);
     let pa_stride = ws.pa_stride;
     let packed_a = &ws.packed_a;
@@ -303,6 +249,8 @@ pub fn execute_with_stats_in<T: Element>(
     let compute_total = AtomicU64::new(0);
     let wait_total = AtomicU64::new(0);
     let barrier_count = AtomicUsize::new(0);
+    // Measured element traffic (no-op unless `traffic-counters` is on).
+    let tally = Tally::new();
 
     pool.broadcast(|wid| {
         // Per-worker re-created schedule iterator (cheap: pure arithmetic).
@@ -327,6 +275,7 @@ pub fn execute_with_stats_in<T: Element>(
         // of the shared buffer: no two `&mut` regions ever overlap.
         let pack_b_coop = |g: &Blk, pb_base: *mut T| {
             let nslivers = g.nl.div_ceil(nr);
+            let mut loaded = 0usize;
             let mut t = wid;
             while t < nslivers {
                 let col0 = g.n0 + t * nr;
@@ -338,8 +287,10 @@ pub fn execute_with_stats_in<T: Element>(
                     std::slice::from_raw_parts_mut(pb_base.add(t * nr * g.kl), nr * g.kl)
                 };
                 pack_b(&b.sub(g.k0, col0, g.kl, live), sliver, nr);
+                loaded += g.kl * live;
                 t += p;
             }
+            tally.add_b(loaded);
         };
 
         // Pack this worker's private A strip for block `g` (k-major `mr`
@@ -358,6 +309,7 @@ pub fn execute_with_stats_in<T: Element>(
                 )
             };
             pack_a(&a.sub(g.m0 + strip0, g.k0, strip_len, g.kl), pa, mr);
+            tally.add_a(strip_len * g.kl);
         };
 
         // Compute this worker's strip x the whole panel, B-sliver
@@ -399,6 +351,7 @@ pub fn execute_with_stats_in<T: Element>(
                     }
                 }
             }
+            tally.add_c(strip_len * g.nl);
         };
 
         let (mut pack_ns, mut compute_ns, mut wait_ns) = (0u64, 0u64, 0u64);
@@ -427,7 +380,7 @@ pub fn execute_with_stats_in<T: Element>(
             }
 
             let t0 = Instant::now();
-            compute(&g, panels[cache.cur].base_ptr() as *const T);
+            compute(&g, panels[cache.cur()].base_ptr() as *const T);
             compute_ns += t0.elapsed().as_nanos() as u64;
 
             if bi + 1 < nblocks {
@@ -468,6 +421,7 @@ pub fn execute_with_stats_in<T: Element>(
     });
 
     // Reuse-skip counts are a pure function of the schedule; tally once.
+    let (a_elems_loaded, b_elems_loaded, c_elems_updated) = tally.snapshot();
     let mut stats = ExecStats {
         blocks: nblocks,
         barriers: barrier_count.load(Ordering::Relaxed),
@@ -476,6 +430,9 @@ pub fn execute_with_stats_in<T: Element>(
         barrier_wait_ns: wait_total.load(Ordering::Relaxed),
         workspace_bytes: ws.bytes(),
         allocations,
+        a_elems_loaded,
+        b_elems_loaded,
+        c_elems_updated,
         ..ExecStats::default()
     };
     // Replay the panel ring the workers ran (same pure function of the

@@ -16,14 +16,18 @@
 //!   assignment (CAKE pins one `A` region per core).
 //! * [`executor`] — the multithreaded, software-pipelined CB-block GEMM
 //!   engine (double-buffered B panels, one rotation barrier per block).
+//! * [`panel`] — the deterministic LRU B-panel ring state machine, public
+//!   so verifiers can replay exactly what the executor runs.
 //! * [`workspace`] — reusable packed-operand buffers so repeated GEMMs are
 //!   allocation-free after warmup.
 //! * [`api`] — drop-in entry points [`api::cake_sgemm`] / [`api::cake_dgemm`].
 //! * [`tune`] — `alpha` selection from available DRAM bandwidth (Section 3.2).
 
 pub mod api;
+mod counters;
 pub mod executor;
 pub mod model;
+pub mod panel;
 pub mod pool;
 pub mod schedule;
 pub mod shared;
@@ -35,6 +39,7 @@ pub mod workspace;
 pub use api::{cake_dgemm, cake_gemm, cake_sgemm, CakeConfig};
 pub use executor::ExecStats;
 pub use model::CakeModel;
+pub use panel::{ring_depth, PanelAction, PanelCache};
 pub use schedule::{BlockCoord, BlockGrid, Dim, KFirstSchedule, SnakeSchedule};
 pub use shape::CbBlockShape;
 pub use workspace::GemmWorkspace;

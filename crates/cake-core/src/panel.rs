@@ -1,0 +1,183 @@
+//! The B-panel ring: a deterministic LRU cache of `(k, n)` block surfaces.
+//!
+//! The pipelined executor double-buffers the LLC-resident B panel and
+//! generalizes the pair to a small **ring** of `ring_depth(kb)` panels.
+//! Which panel is live, which gets packed, and which rotation is a cache
+//! hit is decided by [`PanelCache`] — a pure function of the block
+//! schedule, so every worker replays an identical copy and all agree
+//! without communicating.
+//!
+//! The module is public so external verifiers (the `cake-verify` crate)
+//! can replay the *exact* state machine the executor runs: the ring-aware
+//! traffic oracle ([`crate::traffic::dram_traffic_with_panel_ring`]) and
+//! the deterministic interleaving harness both consume it directly rather
+//! than re-deriving an approximation that could drift from the real code.
+
+/// B panels in the executor's ring for a problem with `kb` k-blocks:
+/// `kb` panels — enough to make every snake reversal a cache hit — but
+/// never fewer than two (the pipelining floor) and capped at
+/// [`crate::workspace::MAX_B_PANELS`] so the LLC footprint stays small.
+pub fn ring_depth(kb: usize) -> usize {
+    kb.clamp(2, crate::workspace::MAX_B_PANELS)
+}
+
+/// What the B-panel ring does for the next block's `(k, n)` surface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PanelAction {
+    /// The live panel already holds it (adjacency share): no rotation.
+    Keep,
+    /// Another ring panel holds it (cache hit): rotate to it, no pack.
+    Rotate(usize),
+    /// Nowhere resident (miss): pack into this panel and rotate to it.
+    Pack(usize),
+}
+
+/// Deterministic LRU cache over the B panel ring, keyed by `(k, n)` block
+/// surface. Every worker advances an identical copy (the state is a pure
+/// function of the schedule), so all workers agree on which panel to read,
+/// which to fill, and — crucially for safety — the pack target is never the
+/// panel currently being computed from.
+#[derive(Clone, Debug)]
+pub struct PanelCache {
+    /// Which `(k, n)` surface each panel holds.
+    tags: Vec<Option<(usize, usize)>>,
+    /// Logical time of each panel's last use (0 = never touched).
+    last_use: Vec<u32>,
+    /// The live panel: the one the current block computes from.
+    cur: usize,
+    clock: u32,
+}
+
+impl PanelCache {
+    /// An empty ring of `n_panels` panels (at least 2 for evictions to
+    /// have a victim distinct from the live panel).
+    pub fn new(n_panels: usize) -> Self {
+        Self {
+            tags: vec![None; n_panels],
+            last_use: vec![0; n_panels],
+            cur: 0,
+            clock: 0,
+        }
+    }
+
+    /// Seed the ring with block 0's surface in panel 0 (the prologue pack).
+    pub fn seed(&mut self, want: (usize, usize)) {
+        self.clock += 1;
+        self.tags[0] = Some(want);
+        self.last_use[0] = self.clock;
+        self.cur = 0;
+    }
+
+    /// Decide how the next block's surface is served and rotate the ring.
+    pub fn advance(&mut self, want: (usize, usize)) -> PanelAction {
+        self.clock += 1;
+        if self.tags[self.cur] == Some(want) {
+            self.last_use[self.cur] = self.clock;
+            return PanelAction::Keep;
+        }
+        if let Some(j) = self.tags.iter().position(|t| *t == Some(want)) {
+            self.last_use[j] = self.clock;
+            self.cur = j;
+            return PanelAction::Rotate(j);
+        }
+        // Evict the least-recently-used panel that is NOT the live one —
+        // workers may still be computing from `cur` while this pack runs.
+        let victim = (0..self.tags.len())
+            .filter(|&j| j != self.cur)
+            .min_by_key(|&j| self.last_use[j])
+            .expect("ring has >= 2 panels");
+        self.tags[victim] = Some(want);
+        self.last_use[victim] = self.clock;
+        self.cur = victim;
+        PanelAction::Pack(victim)
+    }
+
+    /// Index of the live panel (the one the current block computes from).
+    pub fn cur(&self) -> usize {
+        self.cur
+    }
+
+    /// Number of panels in the ring.
+    pub fn depth(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The `(k, n)` surface currently held by panel `j`, if any.
+    pub fn tag(&self, j: usize) -> Option<(usize, usize)> {
+        self.tags[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_depth_is_clamped() {
+        assert_eq!(ring_depth(0), 2);
+        assert_eq!(ring_depth(1), 2);
+        assert_eq!(ring_depth(2), 2);
+        assert_eq!(ring_depth(3), 3);
+        assert_eq!(ring_depth(4), 4);
+        assert_eq!(ring_depth(100), crate::workspace::MAX_B_PANELS);
+    }
+
+    #[test]
+    fn adjacency_share_keeps_live_panel() {
+        let mut c = PanelCache::new(2);
+        c.seed((0, 0));
+        assert_eq!(c.advance((0, 0)), PanelAction::Keep);
+        assert_eq!(c.cur(), 0);
+    }
+
+    #[test]
+    fn miss_packs_a_non_live_panel() {
+        let mut c = PanelCache::new(3);
+        c.seed((0, 0));
+        let PanelAction::Pack(v) = c.advance((1, 0)) else {
+            panic!("distinct surface must miss");
+        };
+        assert_ne!(v, 0, "victim must not be the panel being read");
+        assert_eq!(c.cur(), v);
+    }
+
+    #[test]
+    fn snake_reversal_hits_the_ring() {
+        // k = 0, 1, 1, 0: the reversal back to k=0 finds panel 0 resident.
+        let mut c = PanelCache::new(2);
+        c.seed((0, 0));
+        assert!(matches!(c.advance((1, 0)), PanelAction::Pack(_)));
+        assert_eq!(c.advance((1, 0)), PanelAction::Keep);
+        assert_eq!(c.advance((0, 0)), PanelAction::Rotate(0));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_among_non_live() {
+        let mut c = PanelCache::new(3);
+        c.seed((0, 0)); // panel 0
+        assert!(matches!(c.advance((1, 0)), PanelAction::Pack(1)));
+        assert!(matches!(c.advance((2, 0)), PanelAction::Pack(2)));
+        // All panels full; live = 2. LRU among {0, 1} is 0.
+        assert!(matches!(c.advance((3, 0)), PanelAction::Pack(0)));
+        assert_eq!(c.tag(0), Some((3, 0)));
+        assert_eq!(c.tag(1), Some((1, 0)));
+    }
+
+    #[test]
+    fn pack_victim_is_never_live_under_any_workload() {
+        // Pseudo-random surface stream: the invariant the interleaving
+        // harness depends on must hold unconditionally.
+        let mut c = PanelCache::new(3);
+        c.seed((0, 0));
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let before = c.cur();
+            if let PanelAction::Pack(v) = c.advance(((x % 5) as usize, ((x >> 8) % 5) as usize)) {
+                assert_ne!(v, before, "pack target may never be the panel being read");
+            }
+        }
+    }
+}

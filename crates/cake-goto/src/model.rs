@@ -264,6 +264,30 @@ mod tests {
     }
 
     #[test]
+    fn traffic_is_p_invariant_but_bandwidth_demand_grows() {
+        // The distinction the paper's Section 4.1 analysis turns on: at a
+        // fixed blocking, GOTO moves the same bytes no matter how many
+        // cores run it (the loop nest is the same), but it moves them in
+        // 1/p the time — so the *bandwidth demand*, not the traffic, is
+        // what grows with p. Verify both halves: element-identical traffic
+        // across p, strictly growing closed-form bandwidth.
+        let (m, k, n) = (96, 96, 96);
+        let base = goto_dram_traffic(m, k, n, &GotoParams::fixed(1, 32, 32, 96));
+        let mut last_bw = 0.0;
+        for p in [1usize, 2, 4, 8] {
+            let params = GotoParams::fixed(p, 32, 32, 96);
+            assert_eq!(
+                goto_dram_traffic(m, k, n, &params),
+                base,
+                "p={p}: traffic changed with core count at fixed blocking"
+            );
+            let bw = GotoModel::new(params, 6, 16, 4, 3.7).ext_bw_elems_per_cycle();
+            assert!(bw > last_bw, "p={p}: bandwidth demand must grow, {bw} <= {last_bw}");
+            last_bw = bw;
+        }
+    }
+
+    #[test]
     fn zero_problem_has_zero_traffic() {
         let t = goto_dram_traffic(0, 8, 8, &GotoParams::fixed(1, 4, 4, 4));
         assert_eq!(t.total(), 0);

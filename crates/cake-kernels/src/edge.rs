@@ -135,6 +135,74 @@ mod tests {
         run_small(7, 64, 7);
     }
 
+    /// Exhaustive tail sweep for one kernel: every `(m_tail, n_tail)` in
+    /// `1..=mr x 1..=nr` (the full tile included as the final pair) against
+    /// the naive f64-accumulating reference, at a couple of depths so both
+    /// short and long K runs cross the scratch-tile path.
+    fn sweep_tails<T: cake_matrix::Element>(ukr: &crate::Ukr<T>) {
+        let (mr, nr) = (ukr.mr(), ukr.nr());
+        for k in [1usize, 9] {
+            for m in 1..=mr {
+                for n in 1..=nr {
+                    let a = init::random::<T>(m, k, (m * 31 + n) as u64);
+                    let b = init::random::<T>(k, n, (m * 37 + n + 1) as u64);
+                    let mut pa = vec![T::ZERO; packed_a_size(m, k, mr)];
+                    let mut pb = vec![T::ZERO; packed_b_size(k, n, nr)];
+                    pack_a(&a.view(), &mut pa, mr);
+                    pack_b(&b.view(), &mut pb, nr);
+
+                    let mut c = Matrix::<T>::zeros(m, n);
+                    let ld = c.cols();
+                    unsafe {
+                        run_tile(
+                            ukr,
+                            k,
+                            pa.as_ptr(),
+                            pb.as_ptr(),
+                            c.as_mut_slice().as_mut_ptr(),
+                            ld,
+                            1,
+                            m,
+                            n,
+                        );
+                    }
+
+                    let mut expected = Matrix::<T>::zeros(m, n);
+                    for i in 0..m {
+                        for j in 0..n {
+                            let mut s = 0.0f64;
+                            for kk in 0..k {
+                                s += a.get(i, kk).to_f64() * b.get(kk, j).to_f64();
+                            }
+                            expected.set(i, j, T::from_f64(s));
+                        }
+                    }
+                    cake_matrix::compare::assert_gemm_eq(&c, &expected, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_f32_portable() {
+        sweep_tails(&crate::select::portable_kernel::<f32>());
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_f32_best() {
+        sweep_tails(&crate::select::best_kernel::<f32>());
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_f64_portable() {
+        sweep_tails(&crate::select::portable_kernel::<f64>());
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_f64_best() {
+        sweep_tails(&crate::select::best_kernel::<f64>());
+    }
+
     #[test]
     fn zero_region_is_noop() {
         let ukr = portable_f32_8x8();

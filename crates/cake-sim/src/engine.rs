@@ -422,6 +422,44 @@ mod tests {
     }
 
     #[test]
+    fn traffic_exactly_matches_analytic_model_on_kfirst_schedules() {
+        // Stronger than the ratio check above: for K-first schedules the
+        // engine's per-block accounting (adjacency-shared A/B, one final C
+        // write per completed panel, write-allocate factor) is the *same
+        // function* as cake_core::traffic — so the byte totals must be
+        // u64-equal, ragged edges and all, on both write-allocate settings.
+        use cake_core::traffic::{dram_traffic, CResidency, TrafficParams};
+        for cpu in [intel(), arm()] {
+            let wa: u64 = if cpu.write_allocate { 2 } else { 1 };
+            for (m, k, n, p, mc, kc, nc) in
+                [(48, 24, 48, 4, 4, 8, 16), (50, 23, 41, 2, 8, 8, 24), (16, 64, 16, 1, 16, 16, 16)]
+            {
+                let sp = SimParams::new(m, k, n, p);
+                let shape = cake_core::shape::CbBlockShape::fixed(p, mc, kc, nc);
+                let rep = simulate_cake_with_shape(&cpu, &sp, &shape);
+
+                let tp = TrafficParams {
+                    m,
+                    k,
+                    n,
+                    bm: shape.m_block(),
+                    bk: shape.k_block(),
+                    bn: shape.n_block(),
+                };
+                let grid = BlockGrid::for_problem(m, k, n, tp.bm, tp.bk, tp.bn);
+                let t = dram_traffic(KFirstSchedule::new(grid, m, n), tp, CResidency::HoldInLlc);
+                let analytic = (t.a_loads + t.b_loads + t.c_final_writes * wa)
+                    * sp.elem_bytes as u64;
+                assert_eq!(
+                    rep.dram_bytes, analytic,
+                    "{}: {m}x{k}x{n} p={p} engine bytes != analytic (wa={wa})",
+                    cpu.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn zero_problem_reports_zero() {
         let cpu = intel();
         let r = simulate_cake(&cpu, &SimParams::new(0, 128, 128, 2));

@@ -1,0 +1,586 @@
+//! Differential GEMM fuzzer: CAKE vs GOTO vs the naive reference.
+//!
+//! Each seeded case draws a problem (`M/K/N` with degenerate 0/1 extents
+//! over-represented), a CB-block/GOTO geometry, a thread count, operand
+//! presentation (A transposed, B a strided sub-view, C row- or
+//! column-major), an element type (f32/f64), and a data class (uniform
+//! reals, or small integers that every correct GEMM must reproduce *bit
+//! exactly*). The three engines run on identical inputs and are compared
+//! per element with a ULP bound scaled by `K`, falling back to the
+//! workspace's relative `gemm_tolerance` bound only where cancellation
+//! makes ULP distance meaningless.
+//!
+//! On failure the case is **shrunk**: dimensions halved/decremented,
+//! threads dropped to 1, view and layout flags cleared — greedily, while
+//! the mismatch persists — so the report carries a minimal reproducer
+//! plus the seed (`CAKE_TEST_SEED`) that regenerates it.
+
+use cake_core::executor::execute_in;
+use cake_core::pool::ThreadPool;
+use cake_core::shape::CbBlockShape;
+use cake_core::workspace::GemmWorkspace;
+use cake_goto::api::{goto_gemm_views, GotoConfig};
+use cake_goto::naive::naive_gemm_views;
+use cake_kernels::select::KernelSelect;
+use cake_kernels::{best_kernel, portable_kernel};
+use cake_matrix::{init, Element, Layout, Matrix};
+use proptest::test_runner::TestRng;
+
+/// Elements with a meaningful ULP metric (ordered-integer bit distance).
+pub trait UlpElement: Element {
+    /// Units-in-the-last-place between `a` and `b` in this type's own
+    /// precision; 0 iff bit-equal (or both zeros), `u64::MAX` when either
+    /// is non-finite and they differ.
+    fn ulp_distance(a: Self, b: Self) -> u64;
+}
+
+impl UlpElement for f32 {
+    fn ulp_distance(a: Self, b: Self) -> u64 {
+        if a == b {
+            return 0;
+        }
+        if !a.is_finite() || !b.is_finite() {
+            return u64::MAX;
+        }
+        // Map the IEEE bit pattern to a monotonically ordered integer.
+        let ord = |x: f32| -> i32 {
+            let bits = x.to_bits() as i32;
+            if bits < 0 {
+                i32::MIN - bits
+            } else {
+                bits
+            }
+        };
+        u64::from(ord(a).abs_diff(ord(b)))
+    }
+}
+
+impl UlpElement for f64 {
+    fn ulp_distance(a: Self, b: Self) -> u64 {
+        if a == b {
+            return 0;
+        }
+        if !a.is_finite() || !b.is_finite() {
+            return u64::MAX;
+        }
+        let ord = |x: f64| -> i64 {
+            let bits = x.to_bits() as i64;
+            if bits < 0 {
+                i64::MIN - bits
+            } else {
+                bits
+            }
+        };
+        ord(a).abs_diff(ord(b))
+    }
+}
+
+/// Element type of a fuzz case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scalar {
+    /// Single precision.
+    F32,
+    /// Double precision.
+    F64,
+}
+
+/// One generated differential-test case; `Debug` output is the reproducer.
+#[derive(Clone, Debug)]
+pub struct GemmCase {
+    /// Problem extents (0 and 1 included).
+    pub m: usize,
+    /// Reduction extent.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Worker threads for the CAKE executor and GOTO.
+    pub p: usize,
+    /// CB block: per-core A rows.
+    pub mc: usize,
+    /// CB block: reduction depth.
+    pub kc: usize,
+    /// CB block: panel width.
+    pub nc: usize,
+    /// Present A as the transpose of a `k x m` stored matrix.
+    pub a_transposed: bool,
+    /// Present B as a strided sub-view of a larger parent.
+    pub b_strided: bool,
+    /// Column-major output storage.
+    pub c_colmajor: bool,
+    /// Use the portable microkernel instead of the ISA-best one.
+    pub portable: bool,
+    /// Small-integer entries: results must match the reference exactly.
+    pub int_data: bool,
+    /// Element type.
+    pub scalar: Scalar,
+    /// Seed for the operand data streams.
+    pub data_seed: u64,
+}
+
+/// First diverging element found for a case.
+#[derive(Clone, Debug)]
+pub struct Mismatch {
+    /// Which engine diverged from the naive reference.
+    pub engine: &'static str,
+    /// Output row of the diverging element.
+    pub row: usize,
+    /// Output column of the diverging element.
+    pub col: usize,
+    /// The engine's value (as f64).
+    pub got: f64,
+    /// The reference value (as f64).
+    pub want: f64,
+    /// ULP distance between them (in the case's own precision).
+    pub ulps: u64,
+}
+
+/// Fuzzer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Number of cases to generate and check.
+    pub cases: u32,
+    /// Stream seed; perturbs every case (0 = the historical default
+    /// stream). [`crate::verify_all`] defaults this to `CAKE_TEST_SEED`.
+    pub seed: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            seed: proptest::test_runner::env_seed(),
+        }
+    }
+}
+
+/// Statistics from a clean fuzzing run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Cases checked.
+    pub cases: u32,
+    /// Cases with at least one 0/1 extent.
+    pub degenerate: u32,
+    /// f64 cases.
+    pub f64_cases: u32,
+    /// Exact-integer cases (compared at 0 ULP).
+    pub int_cases: u32,
+    /// Worst accepted ULP distance observed across all comparisons.
+    pub max_ulps_seen: u64,
+}
+
+impl FuzzReport {
+    /// Human-readable summary for the CLI.
+    pub fn summary_lines(&self) -> Vec<String> {
+        vec![
+            format!(
+                "{} cases, zero mismatches ({} degenerate-extent, {} f64, {} exact-integer)",
+                self.cases, self.degenerate, self.f64_cases, self.int_cases
+            ),
+            format!("worst accepted error: {} ULP", self.max_ulps_seen),
+        ]
+    }
+}
+
+/// A mismatch, shrunk to a minimal reproducer.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// Seed that regenerates the failing stream.
+    pub seed: u64,
+    /// Index of the failing case within the stream.
+    pub case_index: u32,
+    /// The case as originally generated.
+    pub original: GemmCase,
+    /// The greedily shrunk case that still fails.
+    pub minimal: GemmCase,
+    /// The divergence observed on the minimal case.
+    pub mismatch: Mismatch,
+}
+
+impl std::fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "differential fuzzer: {} diverged from the naive reference at \
+             C[{}][{}]: got {:e}, want {:e} ({} ULP)",
+            self.mismatch.engine,
+            self.mismatch.row,
+            self.mismatch.col,
+            self.mismatch.got,
+            self.mismatch.want,
+            self.mismatch.ulps
+        )?;
+        writeln!(f, "minimal reproducer: {:?}", self.minimal)?;
+        writeln!(f, "original case     : {:?}", self.original)?;
+        write!(
+            f,
+            "reproduce with CAKE_TEST_SEED={} (case {} of the stream)",
+            self.seed, self.case_index
+        )
+    }
+}
+
+fn gen_dim(rng: &mut TestRng) -> usize {
+    // Degenerate extents are the historical bug nests; over-represent them.
+    match rng.next_u64() % 16 {
+        0 | 1 => 0,
+        2 | 3 => 1,
+        4 => 2,
+        _ => 2 + (rng.next_u64() % 32) as usize,
+    }
+}
+
+fn gen_case(rng: &mut TestRng) -> GemmCase {
+    GemmCase {
+        m: gen_dim(rng),
+        k: gen_dim(rng),
+        n: gen_dim(rng),
+        p: 1 + (rng.next_u64() % 3) as usize,
+        mc: 2 + (rng.next_u64() % 11) as usize,
+        kc: 2 + (rng.next_u64() % 11) as usize,
+        nc: 4 + (rng.next_u64() % 17) as usize,
+        a_transposed: rng.next_u64() & 1 == 1,
+        b_strided: rng.next_u64() & 1 == 1,
+        c_colmajor: rng.next_u64() & 1 == 1,
+        portable: rng.next_u64() & 1 == 1,
+        int_data: rng.next_u64().is_multiple_of(4),
+        scalar: if rng.next_u64() & 1 == 1 {
+            Scalar::F64
+        } else {
+            Scalar::F32
+        },
+        data_seed: rng.next_u64() | 1,
+    }
+}
+
+fn gen_matrix<T: Element>(rows: usize, cols: usize, seed: u64, int_data: bool) -> Matrix<T> {
+    if int_data {
+        init::random_ints::<T>(rows, cols, seed)
+    } else {
+        init::random::<T>(rows, cols, seed)
+    }
+}
+
+/// Per-element acceptance: exact for integer data; otherwise a ULP bound
+/// scaled by the reduction depth, with a relative-error fallback (the
+/// workspace-wide `gemm_tolerance`) for catastrophic cancellation, where
+/// a tiny absolute error spans astronomically many ULPs.
+fn acceptable<T: UlpElement>(got: T, want: T, k: usize, int_data: bool) -> (bool, u64) {
+    let ulps = T::ulp_distance(got, want);
+    if int_data {
+        return (ulps == 0, ulps);
+    }
+    if ulps <= 16 * (k as u64).max(1) {
+        return (true, ulps);
+    }
+    let (x, y) = (got.to_f64(), want.to_f64());
+    if !x.is_finite() || !y.is_finite() {
+        return (false, ulps);
+    }
+    let tol = cake_matrix::compare::gemm_tolerance::<T>(k).to_f64();
+    let denom = x.abs().max(y.abs()).max(1.0);
+    ((x - y).abs() <= tol * denom, ulps)
+}
+
+fn compare<T: UlpElement>(
+    engine: &'static str,
+    got: &Matrix<T>,
+    want: &Matrix<T>,
+    k: usize,
+    int_data: bool,
+    max_ulps: &mut u64,
+) -> Option<Mismatch> {
+    for i in 0..want.rows() {
+        for j in 0..want.cols() {
+            let (ok, ulps) = acceptable(got.get(i, j), want.get(i, j), k, int_data);
+            if !ok {
+                return Some(Mismatch {
+                    engine,
+                    row: i,
+                    col: j,
+                    got: got.get(i, j).to_f64(),
+                    want: want.get(i, j).to_f64(),
+                    ulps,
+                });
+            }
+            *max_ulps = (*max_ulps).max(ulps);
+        }
+    }
+    None
+}
+
+fn check_typed<T: UlpElement + KernelSelect>(case: &GemmCase, max_ulps: &mut u64) -> Option<Mismatch> {
+    let (m, k, n) = (case.m, case.k, case.n);
+
+    // A: either stored dense (m x k) or stored transposed and viewed.
+    let a_store = if case.a_transposed {
+        gen_matrix::<T>(k, m, case.data_seed, case.int_data)
+    } else {
+        gen_matrix::<T>(m, k, case.data_seed, case.int_data)
+    };
+    let av = if case.a_transposed {
+        a_store.view().t()
+    } else {
+        a_store.view()
+    };
+
+    // B: dense, or a strided window of a larger parent.
+    let b_store = if case.b_strided {
+        gen_matrix::<T>(k + 3, n + 5, case.data_seed ^ 0xb, case.int_data)
+    } else {
+        gen_matrix::<T>(k, n, case.data_seed ^ 0xb, case.int_data)
+    };
+    let bv = if case.b_strided {
+        b_store.view().sub(2, 4, k, n)
+    } else {
+        b_store.view()
+    };
+
+    // Ground truth from the same views.
+    let mut c_ref = Matrix::<T>::zeros(m, n);
+    naive_gemm_views(&av, &bv, &mut c_ref.view_mut());
+
+    let layout = if case.c_colmajor {
+        Layout::ColMajor
+    } else {
+        Layout::RowMajor
+    };
+    let ukr = if case.portable {
+        portable_kernel::<T>()
+    } else {
+        best_kernel::<T>()
+    };
+
+    // CAKE: the real pipelined executor with the case's explicit CB shape.
+    let shape = CbBlockShape::fixed(case.p, case.mc, case.kc, case.nc);
+    let pool = ThreadPool::new(case.p);
+    let mut ws = GemmWorkspace::new();
+    let mut c_cake = Matrix::<T>::zeros_with_layout(m, n, layout);
+    execute_in(&av, &bv, &mut c_cake.view_mut(), &shape, &ukr, &pool, &mut ws);
+    let c_cake = c_cake.to_layout(Layout::RowMajor);
+    if let Some(mm) = compare("CAKE", &c_cake, &c_ref, k, case.int_data, max_ulps) {
+        return Some(mm);
+    }
+
+    // GOTO (loops5): same views, its own blocking derivation.
+    let mut goto_cfg = GotoConfig::with_threads(case.p);
+    goto_cfg.force_portable_kernel = case.portable;
+    let mut c_goto = Matrix::<T>::zeros_with_layout(m, n, layout);
+    goto_gemm_views(&av, &bv, &mut c_goto.view_mut(), &goto_cfg);
+    let c_goto = c_goto.to_layout(Layout::RowMajor);
+    compare("GOTO", &c_goto, &c_ref, k, case.int_data, max_ulps)
+}
+
+/// Run one case through all three engines; `Some` on divergence.
+pub fn check_case(case: &GemmCase) -> Option<Mismatch> {
+    let mut max_ulps = 0u64;
+    match case.scalar {
+        Scalar::F32 => check_typed::<f32>(case, &mut max_ulps),
+        Scalar::F64 => check_typed::<f64>(case, &mut max_ulps),
+    }
+}
+
+fn check_case_tracking(case: &GemmCase, max_ulps: &mut u64) -> Option<Mismatch> {
+    match case.scalar {
+        Scalar::F32 => check_typed::<f32>(case, max_ulps),
+        Scalar::F64 => check_typed::<f64>(case, max_ulps),
+    }
+}
+
+type DimGet = fn(&GemmCase) -> usize;
+type DimSet = fn(&mut GemmCase, usize);
+
+fn shrink_candidates(c: &GemmCase) -> Vec<GemmCase> {
+    let mut out = Vec::new();
+    let dims: [(DimGet, DimSet); 6] = [
+        (|c| c.m, |c, v| c.m = v),
+        (|c| c.k, |c, v| c.k = v),
+        (|c| c.n, |c, v| c.n = v),
+        (|c| c.mc, |c, v| c.mc = v.max(1)),
+        (|c| c.kc, |c, v| c.kc = v.max(1)),
+        (|c| c.nc, |c, v| c.nc = v.max(1)),
+    ];
+    for (get, set) in dims {
+        let v = get(c);
+        if v > 0 {
+            for smaller in [v / 2, v - 1] {
+                if smaller < v {
+                    let mut cand = c.clone();
+                    set(&mut cand, smaller);
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    if c.p > 1 {
+        let mut cand = c.clone();
+        cand.p = 1;
+        out.push(cand);
+    }
+    for flag in 0..4 {
+        let mut cand = c.clone();
+        let on = match flag {
+            0 => std::mem::replace(&mut cand.a_transposed, false),
+            1 => std::mem::replace(&mut cand.b_strided, false),
+            2 => std::mem::replace(&mut cand.c_colmajor, false),
+            _ => std::mem::replace(&mut cand.portable, false),
+        };
+        if on {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Greedily shrink a failing case while it keeps failing (bounded re-runs).
+pub fn shrink(case: &GemmCase) -> GemmCase {
+    let mut cur = case.clone();
+    let mut budget = 200usize;
+    'outer: loop {
+        for cand in shrink_candidates(&cur) {
+            if budget == 0 {
+                return cur;
+            }
+            budget -= 1;
+            if check_case(&cand).is_some() {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Run the differential fuzzer: `cfg.cases` seeded cases across all three
+/// engines. On divergence, returns the shrunk reproducer.
+pub fn run(cfg: &FuzzConfig) -> Result<FuzzReport, Box<FuzzFailure>> {
+    let mut rng = TestRng::for_test_with_seed("cake_verify::fuzz", cfg.seed);
+    let mut report = FuzzReport {
+        cases: cfg.cases,
+        ..FuzzReport::default()
+    };
+    for idx in 0..cfg.cases {
+        let case = gen_case(&mut rng);
+        if case.m.min(case.k).min(case.n) <= 1 {
+            report.degenerate += 1;
+        }
+        if case.scalar == Scalar::F64 {
+            report.f64_cases += 1;
+        }
+        if case.int_data {
+            report.int_cases += 1;
+        }
+        if check_case_tracking(&case, &mut report.max_ulps_seen).is_some() {
+            let minimal = shrink(&case);
+            let mismatch = check_case(&minimal)
+                .expect("shrunk case must still fail (shrink re-checks every step)");
+            return Err(Box::new(FuzzFailure {
+                seed: cfg.seed,
+                case_index: idx,
+                original: case,
+                minimal,
+                mismatch,
+            }));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(f32::ulp_distance(1.0, 1.0), 0);
+        assert_eq!(f32::ulp_distance(0.0, -0.0), 0);
+        assert_eq!(f32::ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        // Across zero: -min_denormal to +min_denormal is 2 ULP.
+        assert_eq!(f32::ulp_distance(f32::from_bits(1), -f32::from_bits(1)), 2);
+        assert_eq!(f32::ulp_distance(f32::NAN, 1.0), u64::MAX);
+        assert_eq!(f64::ulp_distance(1.0, 1.0 + f64::EPSILON), 1);
+    }
+
+    #[test]
+    fn exact_integer_cases_require_zero_ulps() {
+        let (ok, ulps) = acceptable(6.0f32, 6.0f32, 10, true);
+        assert!(ok && ulps == 0);
+        let one_off = f32::from_bits(6.0f32.to_bits() + 1);
+        let (ok, _) = acceptable(one_off, 6.0f32, 10, true);
+        assert!(!ok, "integer data admits no rounding at all");
+    }
+
+    #[test]
+    fn real_cases_accept_k_scaled_ulps_but_not_gross_error() {
+        let want = 1.0f32;
+        let near = f32::from_bits(want.to_bits() + 8);
+        assert!(acceptable(near, want, 4, false).0);
+        assert!(!acceptable(1.5f32, want, 4, false).0);
+    }
+
+    #[test]
+    fn generated_stream_is_deterministic_per_seed() {
+        let mut r1 = TestRng::for_test_with_seed("cake_verify::fuzz", 5);
+        let mut r2 = TestRng::for_test_with_seed("cake_verify::fuzz", 5);
+        for _ in 0..10 {
+            let (a, b) = (gen_case(&mut r1), gen_case(&mut r2));
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean() {
+        let rep = run(&FuzzConfig { cases: 32, seed: 0 }).expect("no mismatches");
+        assert_eq!(rep.cases, 32);
+    }
+
+    #[test]
+    fn degenerate_extents_are_covered() {
+        let mut rng = TestRng::for_test_with_seed("cake_verify::fuzz", 0);
+        let mut any_zero = false;
+        let mut any_one = false;
+        for _ in 0..256 {
+            let c = gen_case(&mut rng);
+            any_zero |= c.m == 0 || c.k == 0 || c.n == 0;
+            any_one |= c.m == 1 || c.k == 1 || c.n == 1;
+        }
+        assert!(any_zero && any_one, "stream must include 0 and 1 extents");
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_synthetic_failure() {
+        // Failure predicate stand-in: `check_case` is only consulted via
+        // the real engines, so instead shrink a case that "fails" because
+        // of a property the candidates preserve — here we just verify the
+        // candidate generator proposes strictly simpler cases.
+        let case = GemmCase {
+            m: 8,
+            k: 8,
+            n: 8,
+            p: 2,
+            mc: 4,
+            kc: 4,
+            nc: 8,
+            a_transposed: true,
+            b_strided: true,
+            c_colmajor: true,
+            portable: true,
+            int_data: false,
+            scalar: Scalar::F32,
+            data_seed: 1,
+        };
+        for cand in shrink_candidates(&case) {
+            let simpler = cand.m < case.m
+                || cand.k < case.k
+                || cand.n < case.n
+                || cand.mc < case.mc
+                || cand.kc < case.kc
+                || cand.nc < case.nc
+                || cand.p < case.p
+                || (!cand.a_transposed && case.a_transposed)
+                || (!cand.b_strided && case.b_strided)
+                || (!cand.c_colmajor && case.c_colmajor)
+                || (!cand.portable && case.portable);
+            assert!(simpler, "candidate {cand:?} is not simpler than {case:?}");
+        }
+    }
+}

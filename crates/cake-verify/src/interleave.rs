@@ -1,0 +1,545 @@
+//! Deterministic interleaving harness for the executor's panel-ring
+//! protocol — a loom-style model checker, in-tree and dependency-free.
+//!
+//! The pipelined executor's concurrency skeleton (see
+//! `cake_core::executor`) is small: `p` workers walk the same K-first
+//! schedule in lockstep; each block's B panel lives in a ring slot chosen
+//! by the shared [`PanelCache`] replay; workers cooperatively pack the
+//! *next* block's panel while others may still be computing the current
+//! one; a single rotation barrier per block separates "everyone done
+//! reading block `i`" from "block `i+1`'s panel is complete". Its safety
+//! rests on two claims:
+//!
+//! 1. no worker begins computing from a panel sliver before the pack of
+//!    that sliver (for that block's surface) has completed, and
+//! 2. no worker packs into a panel another worker is still reading — which
+//!    holds because the LRU victim is never the panel live for the
+//!    *current* block.
+//!
+//! This module re-expresses each worker as a short program of atomic steps
+//! (`PackB` / `Barrier` / `BeginCompute` / `EndCompute`) over a shared
+//! machine state, then runs a DFS over **all** interleavings (deduplicated
+//! by state, bounded by `max_states`), flagging any schedule that violates
+//! either claim — plus deadlocks. Per-worker A strips are private by
+//! construction and are not modeled.
+//!
+//! Two seeded **mutants** prove the checker has teeth: removing the
+//! barriers ([`Mutant::SkipBarriers`]) and evicting the live panel on a
+//! ring miss ([`Mutant::EvictLive`]) must each produce violations.
+
+use std::collections::HashSet;
+
+use cake_core::panel::{PanelAction, PanelCache};
+use cake_core::schedule::{BlockCoord, BlockGrid, KFirstSchedule, OuterLoop};
+
+/// Protocol mutation injected into the generated programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutant {
+    /// The faithful protocol.
+    None,
+    /// Drop every barrier (prologue and rotation).
+    SkipBarriers,
+    /// On a ring miss, evict the panel live for the *previous* block
+    /// instead of the LRU non-live slot.
+    EvictLive,
+}
+
+/// One model-checking scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct InterleaveSpec {
+    /// Worker (virtual thread) count.
+    pub p: usize,
+    /// Block grid driven through the K-first snake schedule.
+    pub grid: BlockGrid,
+    /// Outer loop direction of the snake.
+    pub outer: OuterLoop,
+    /// B-panel slivers per panel (cooperative pack granularity; sliver `t`
+    /// is owned by worker `t % p`).
+    pub slivers: usize,
+    /// Panel-ring depth (>= 2).
+    pub ring: usize,
+    /// Protocol mutation, if any.
+    pub mutant: Mutant,
+    /// State-count bound; exploration past it reports `complete = false`.
+    pub max_states: usize,
+}
+
+/// Result of exploring one spec's interleaving space.
+#[derive(Debug)]
+pub struct InterleaveReport {
+    /// Distinct machine states visited.
+    pub states: usize,
+    /// Whether the state space was exhausted within `max_states`.
+    pub complete: bool,
+    /// Protocol violations found (empty for a correct protocol).
+    pub violations: Vec<String>,
+    /// Snake reversals served by ring rotation (no repack) in the replay.
+    pub rotate_hits: usize,
+    /// B-panel packs after the prologue in the replay.
+    pub b_packs: usize,
+}
+
+/// What one block needs from the ring.
+#[derive(Clone, Copy, Debug)]
+struct BlockInfo {
+    /// Ring slot read during compute.
+    panel: usize,
+    /// Surface id expected in that slot.
+    surface: u16,
+    /// Ring slot to pack *for this block* (None: already resident).
+    pack: Option<usize>,
+}
+
+/// One atomic step of a worker program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Step {
+    PackB { panel: u8, sliver: u8, surface: u16 },
+    Barrier,
+    BeginCompute { panel: u8, surface: u16 },
+    EndCompute { panel: u8 },
+}
+
+/// Shared machine state, hashable for DFS deduplication.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MachState {
+    /// Per-worker program counter.
+    pc: Vec<u16>,
+    /// Per-worker "arrived at barrier, waiting" flag.
+    at_barrier: Vec<bool>,
+    /// `tags[panel][sliver]`: surface id last packed into the sliver.
+    tags: Vec<Vec<Option<u16>>>,
+    /// Active computes reading each panel.
+    readers: Vec<u8>,
+}
+
+/// Replay the ring decision sequence for a schedule (the executor computes
+/// the identical pure function on every worker).
+fn ring_decisions(
+    coords: &[BlockCoord],
+    ring: usize,
+    evict_live: bool,
+) -> (Vec<BlockInfo>, usize, usize) {
+    let mut surfaces: Vec<(usize, usize)> = Vec::new();
+    let mut surface_id = |want: (usize, usize)| -> u16 {
+        if let Some(i) = surfaces.iter().position(|&s| s == want) {
+            return i as u16;
+        }
+        surfaces.push(want);
+        (surfaces.len() - 1) as u16
+    };
+
+    let mut info = Vec::with_capacity(coords.len());
+    let (mut rotate_hits, mut b_packs) = (0usize, 0usize);
+
+    if evict_live {
+        // Local replay: identical to PanelCache except the miss victim is
+        // the live panel (the bug the real cache is designed to rule out —
+        // PanelCache itself forbids it, so the mutant lives here).
+        let mut tags: Vec<Option<(usize, usize)>> = vec![None; ring];
+        let mut cur = 0usize;
+        for (bi, c) in coords.iter().enumerate() {
+            let want = (c.k, c.n);
+            let sid = surface_id(want);
+            if bi == 0 {
+                tags[0] = Some(want);
+                info.push(BlockInfo { panel: 0, surface: sid, pack: Some(0) });
+                continue;
+            }
+            if tags[cur] == Some(want) {
+                info.push(BlockInfo { panel: cur, surface: sid, pack: None });
+            } else if let Some(j) = tags.iter().position(|&t| t == Some(want)) {
+                cur = j;
+                rotate_hits += 1;
+                info.push(BlockInfo { panel: cur, surface: sid, pack: None });
+            } else {
+                tags[cur] = Some(want); // victim = live panel: the injected bug
+                b_packs += 1;
+                info.push(BlockInfo { panel: cur, surface: sid, pack: Some(cur) });
+            }
+        }
+    } else {
+        let mut cache = PanelCache::new(ring);
+        for (bi, c) in coords.iter().enumerate() {
+            let want = (c.k, c.n);
+            let sid = surface_id(want);
+            if bi == 0 {
+                cache.seed(want);
+                info.push(BlockInfo { panel: cache.cur(), surface: sid, pack: Some(cache.cur()) });
+                continue;
+            }
+            match cache.advance(want) {
+                PanelAction::Keep => {
+                    info.push(BlockInfo { panel: cache.cur(), surface: sid, pack: None });
+                }
+                PanelAction::Rotate(j) => {
+                    rotate_hits += 1;
+                    info.push(BlockInfo { panel: j, surface: sid, pack: None });
+                }
+                PanelAction::Pack(v) => {
+                    b_packs += 1;
+                    info.push(BlockInfo { panel: v, surface: sid, pack: Some(v) });
+                }
+            }
+        }
+    }
+    (info, rotate_hits, b_packs)
+}
+
+/// Build each worker's step program, mirroring the executor's loop:
+/// prologue pack of block 0's panel + barrier, then per block
+/// compute-then-pack-next-then-barrier.
+fn build_programs(spec: &InterleaveSpec, info: &[BlockInfo]) -> Vec<Vec<Step>> {
+    let barriers = spec.mutant != Mutant::SkipBarriers;
+    (0..spec.p)
+        .map(|w| {
+            let mut prog = Vec::new();
+            let owned: Vec<usize> = (0..spec.slivers).filter(|t| t % spec.p == w).collect();
+            let pack_all = |prog: &mut Vec<Step>, panel: usize, surface: u16| {
+                for &t in &owned {
+                    prog.push(Step::PackB { panel: panel as u8, sliver: t as u8, surface });
+                }
+            };
+
+            if let Some(first) = info.first() {
+                pack_all(&mut prog, first.pack.expect("block 0 always packs"), first.surface);
+                if barriers {
+                    prog.push(Step::Barrier);
+                }
+            }
+            for (bi, b) in info.iter().enumerate() {
+                prog.push(Step::BeginCompute { panel: b.panel as u8, surface: b.surface });
+                prog.push(Step::EndCompute { panel: b.panel as u8 });
+                if bi + 1 < info.len() {
+                    let next = &info[bi + 1];
+                    if let Some(target) = next.pack {
+                        pack_all(&mut prog, target, next.surface);
+                    }
+                    if barriers {
+                        prog.push(Step::Barrier);
+                    }
+                }
+            }
+            prog
+        })
+        .collect()
+}
+
+/// Execute worker `w`'s next step on a copy of `st`; `Err` is a violation.
+fn apply(st: &MachState, w: usize, progs: &[Vec<Step>]) -> Result<MachState, String> {
+    let mut st = st.clone();
+    match progs[w][st.pc[w] as usize] {
+        Step::PackB { panel, sliver, surface } => {
+            let p = panel as usize;
+            if st.readers[p] > 0 {
+                return Err(format!(
+                    "worker {w} packed surface {surface} into panel {p} (sliver {sliver}) \
+                     while {} worker(s) were still computing from it",
+                    st.readers[p]
+                ));
+            }
+            st.tags[p][sliver as usize] = Some(surface);
+            st.pc[w] += 1;
+        }
+        Step::Barrier => {
+            st.at_barrier[w] = true;
+            // A real barrier releases only when all p workers arrive; a
+            // finished worker never will (that is a deadlock, and the
+            // empty-enabled check below reports it).
+            let releasable = (0..progs.len()).all(|v| st.at_barrier[v]);
+            if releasable {
+                for v in 0..progs.len() {
+                    if st.at_barrier[v] {
+                        st.at_barrier[v] = false;
+                        st.pc[v] += 1;
+                    }
+                }
+            }
+        }
+        Step::BeginCompute { panel, surface } => {
+            let p = panel as usize;
+            for (t, tag) in st.tags[p].iter().enumerate() {
+                if *tag != Some(surface) {
+                    return Err(format!(
+                        "worker {w} began computing surface {surface} from panel {p}, \
+                         but sliver {t} holds {tag:?} — read before pack completed"
+                    ));
+                }
+            }
+            st.readers[p] += 1;
+            st.pc[w] += 1;
+        }
+        Step::EndCompute { panel } => {
+            st.readers[panel as usize] -= 1;
+            st.pc[w] += 1;
+        }
+    }
+    Ok(st)
+}
+
+/// Explore every interleaving of the spec's worker programs.
+pub fn explore(spec: &InterleaveSpec) -> InterleaveReport {
+    assert!(spec.p >= 1 && spec.ring >= 2 && spec.slivers >= 1);
+    let coords: Vec<BlockCoord> = KFirstSchedule::with_outer(spec.grid, spec.outer).collect();
+    let (info, rotate_hits, b_packs) =
+        ring_decisions(&coords, spec.ring, spec.mutant == Mutant::EvictLive);
+    let progs = build_programs(spec, &info);
+
+    let initial = MachState {
+        pc: vec![0; spec.p],
+        at_barrier: vec![false; spec.p],
+        tags: vec![vec![None; spec.slivers]; spec.ring],
+        readers: vec![0; spec.ring],
+    };
+
+    let mut seen: HashSet<MachState> = HashSet::new();
+    let mut stack = vec![initial.clone()];
+    seen.insert(initial);
+    let mut violations: Vec<String> = Vec::new();
+    let mut complete = true;
+
+    while let Some(st) = stack.pop() {
+        if seen.len() > spec.max_states {
+            complete = false;
+            break;
+        }
+        let enabled: Vec<usize> = (0..spec.p)
+            .filter(|&w| (st.pc[w] as usize) < progs[w].len() && !st.at_barrier[w])
+            .collect();
+        if enabled.is_empty() {
+            if (0..spec.p).any(|w| (st.pc[w] as usize) < progs[w].len()) {
+                let msg = "deadlock: live workers with no enabled step".to_string();
+                if !violations.contains(&msg) {
+                    violations.push(msg);
+                }
+            }
+            continue;
+        }
+        for w in enabled {
+            match apply(&st, w, &progs) {
+                Ok(next) => {
+                    if seen.insert(next.clone()) {
+                        stack.push(next);
+                    }
+                }
+                Err(v) => {
+                    if violations.len() < 16 && !violations.contains(&v) {
+                        violations.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    InterleaveReport { states: seen.len(), complete, violations, rotate_hits, b_packs }
+}
+
+/// Outcome of the default scenario suite.
+#[derive(Debug, Default)]
+pub struct SuiteReport {
+    /// One line per scenario.
+    pub lines: Vec<String>,
+}
+
+impl SuiteReport {
+    /// Human-readable summary for the CLI.
+    pub fn summary_lines(&self) -> Vec<String> {
+        self.lines.clone()
+    }
+}
+
+fn base_spec(p: usize, grid: BlockGrid) -> InterleaveSpec {
+    InterleaveSpec {
+        p,
+        grid,
+        outer: OuterLoop::NOuter,
+        slivers: p.max(2),
+        ring: 2,
+        mutant: Mutant::None,
+        max_states: 400_000,
+    }
+}
+
+/// The standing scenario suite: the faithful protocol must exhaust its
+/// interleaving space violation-free (including a snake-reversal rotate
+/// hit), and both mutants must be caught.
+pub fn run_default_suite() -> Result<SuiteReport, String> {
+    let mut report = SuiteReport::default();
+
+    // Snake reversal over K: (m0: k0,k1), (m1: k1,k0) — the k0 panel must
+    // still be resident on the reversal (a Rotate, not a repack).
+    let reversal = base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 });
+    let r = explore(&reversal);
+    if !r.complete || !r.violations.is_empty() {
+        return Err(format!(
+            "interleave [reversal]: complete={} violations={:?}",
+            r.complete, r.violations
+        ));
+    }
+    if r.rotate_hits == 0 {
+        return Err("interleave [reversal]: snake reversal never hit the ring".into());
+    }
+    report.lines.push(format!(
+        "p=2 2x2x1 exhausted: {} states, 0 violations, {} ring rotate hit(s)",
+        r.states, r.rotate_hits
+    ));
+
+    // N-dimension movement at kb > 1: keeps + packs mix.
+    let nwalk = base_spec(2, BlockGrid { mb: 1, kb: 2, nb: 2 });
+    let r = explore(&nwalk);
+    if !r.complete || !r.violations.is_empty() {
+        return Err(format!(
+            "interleave [n-walk]: complete={} violations={:?}",
+            r.complete, r.violations
+        ));
+    }
+    report.lines.push(format!(
+        "p=2 1x2x2 exhausted: {} states, 0 violations, {} pack(s) after prologue",
+        r.states, r.b_packs
+    ));
+
+    // Three workers: wider interleaving space, bounded exploration allowed.
+    let wide = InterleaveSpec { max_states: 600_000, ..base_spec(3, BlockGrid { mb: 2, kb: 2, nb: 1 }) };
+    let r = explore(&wide);
+    if !r.violations.is_empty() {
+        return Err(format!("interleave [p=3]: violations={:?}", r.violations));
+    }
+    report.lines.push(format!(
+        "p=3 2x2x1: {} states ({}), 0 violations",
+        r.states,
+        if r.complete { "exhausted" } else { "bounded" }
+    ));
+
+    // Mutant self-validation: the checker must catch a barrier-free
+    // protocol and a live-panel eviction, or its green runs mean nothing.
+    let no_barriers = InterleaveSpec { mutant: Mutant::SkipBarriers, ..reversal };
+    let r = explore(&no_barriers);
+    if r.violations.is_empty() {
+        return Err("interleave [mutant]: removing barriers went undetected".into());
+    }
+    let evict_grid = BlockGrid { mb: 1, kb: 1, nb: 3 };
+    let clean = explore(&base_spec(2, evict_grid));
+    if !clean.complete || !clean.violations.is_empty() {
+        return Err(format!(
+            "interleave [evict-baseline]: complete={} violations={:?}",
+            clean.complete, clean.violations
+        ));
+    }
+    let evict = InterleaveSpec { mutant: Mutant::EvictLive, ..base_spec(2, evict_grid) };
+    let r = explore(&evict);
+    if r.violations.is_empty() {
+        return Err("interleave [mutant]: evicting the live panel went undetected".into());
+    }
+    report.lines.push("mutants caught: SkipBarriers, EvictLive (baselines clean)".into());
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_passes() {
+        let rep = run_default_suite().expect("interleaving suite must pass");
+        assert_eq!(rep.lines.len(), 4);
+    }
+
+    #[test]
+    fn faithful_protocol_is_violation_free_and_exhaustive() {
+        let r = explore(&base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 }));
+        assert!(r.complete, "tiny spec must be exhaustible");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.states > 10, "trivial state space suggests a broken model");
+    }
+
+    #[test]
+    fn skip_barriers_mutant_is_caught() {
+        let spec = InterleaveSpec {
+            mutant: Mutant::SkipBarriers,
+            ..base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 })
+        };
+        let r = explore(&spec);
+        assert!(
+            r.violations.iter().any(|v| v.contains("read before pack")),
+            "expected a read-before-pack violation, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn evict_live_mutant_is_caught() {
+        let spec = InterleaveSpec {
+            mutant: Mutant::EvictLive,
+            ..base_spec(2, BlockGrid { mb: 1, kb: 1, nb: 3 })
+        };
+        let r = explore(&spec);
+        assert!(
+            r.violations.iter().any(|v| v.contains("still computing")),
+            "expected a pack-into-live-panel violation, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn replay_rotate_hits_match_the_real_executor() {
+        use cake_core::executor::execute_with_stats_in;
+        use cake_core::pool::ThreadPool;
+        use cake_core::shape::CbBlockShape;
+        use cake_core::workspace::GemmWorkspace;
+        use cake_matrix::{init, Matrix};
+
+        // 16x16x8 with block 8x8x8: grid 2x2x1 — same geometry as the
+        // reversal spec. The model's replay and the executor's measured
+        // panel-cache hits must agree.
+        let (m, k, n) = (16usize, 16usize, 8usize);
+        let a = init::random::<f32>(m, k, 1);
+        let b = init::random::<f32>(k, n, 2);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let shape = CbBlockShape::fixed(2, 4, 8, 8);
+        let pool = ThreadPool::new(2);
+        let ukr = cake_kernels::best_kernel::<f32>();
+        let mut ws = GemmWorkspace::new();
+        let stats =
+            execute_with_stats_in(&a.view(), &b.view(), &mut c.view_mut(), &shape, &ukr, &pool, &mut ws);
+
+        let grid = BlockGrid::for_problem(m, k, n, 8, 8, 8);
+        // The executor picks its outer loop from (m, n): m > n => MOuter.
+        let coords: Vec<BlockCoord> = KFirstSchedule::new(grid, m, n).collect();
+        let (_, rotate_hits, _) = ring_decisions(&coords, 2, false);
+        assert_eq!(rotate_hits, stats.b_panel_hits, "model replay diverged from executor");
+        assert!(rotate_hits >= 1);
+    }
+
+    #[test]
+    fn deadlock_detection_fires_on_unbalanced_barriers() {
+        // Hand-built programs: worker 0 has a barrier, worker 1 does not —
+        // worker 0 waits forever once worker 1 finishes.
+        let progs = vec![vec![Step::Barrier], vec![]];
+        let initial = MachState {
+            pc: vec![0; 2],
+            at_barrier: vec![false; 2],
+            tags: vec![vec![None; 1]; 2],
+            readers: vec![0; 2],
+        };
+        // Inline mini-DFS over the two-step space.
+        let mut stack = vec![initial];
+        let mut deadlocked = false;
+        while let Some(st) = stack.pop() {
+            let enabled: Vec<usize> = (0..2)
+                .filter(|&w| (st.pc[w] as usize) < progs[w].len() && !st.at_barrier[w])
+                .collect();
+            if enabled.is_empty() {
+                if (0..2).any(|w| (st.pc[w] as usize) < progs[w].len()) {
+                    deadlocked = true;
+                }
+                continue;
+            }
+            for w in enabled {
+                if let Ok(next) = apply(&st, w, &progs) {
+                    stack.push(next);
+                }
+            }
+        }
+        assert!(deadlocked, "lone barrier must deadlock");
+    }
+}

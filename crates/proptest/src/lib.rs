@@ -8,7 +8,10 @@
 //! * no shrinking — a failing case panics with the sampled arguments in the
 //!   normal assertion message instead of a minimized counterexample;
 //! * sampling is deterministic per test (seeded from the test's module
-//!   path + name), so failures reproduce across runs;
+//!   path + name), so failures reproduce across runs; setting the
+//!   `CAKE_TEST_SEED` environment variable (a `u64`) perturbs every
+//!   test's stream, and a failing case prints the seed and case index
+//!   needed to reproduce it locally;
 //! * only the strategies the workspace uses are implemented: integer
 //!   ranges (half-open and inclusive), `any::<bool>()`, and
 //!   `prop::sample::select(Vec<T>)`.
@@ -179,14 +182,28 @@ pub mod test_runner {
     }
 
     impl TestRng {
-        /// RNG for the named test (FNV-1a hash of the name as seed).
+        /// RNG for the named test: FNV-1a hash of the name, perturbed by
+        /// the `CAKE_TEST_SEED` environment variable so CI can re-roll
+        /// every property's stream and failures stay reproducible.
         pub fn for_test(name: &str) -> Self {
+            Self::for_test_with_seed(name, env_seed())
+        }
+
+        /// RNG for the named test with an explicit extra seed (what
+        /// [`TestRng::for_test`] does with the `CAKE_TEST_SEED` value).
+        pub fn for_test_with_seed(name: &str, seed: u64) -> Self {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in name.bytes() {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
-            Self { state: h }
+            Self { state: h ^ seed }
+        }
+
+        /// RNG from a raw 64-bit seed (for non-macro consumers such as
+        /// the `cake-verify` differential fuzzer).
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
         }
 
         /// Next 64 random bits (splitmix64).
@@ -197,6 +214,19 @@ pub mod test_runner {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         }
+    }
+
+    /// The `CAKE_TEST_SEED` environment value (0 when unset or invalid),
+    /// read once and cached so a process sees one consistent seed even if
+    /// the environment is mutated mid-run.
+    pub fn env_seed() -> u64 {
+        static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+        *SEED.get_or_init(|| {
+            std::env::var("CAKE_TEST_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0)
+        })
     }
 }
 
@@ -231,7 +261,20 @@ macro_rules! __proptest_items {
             );
             for __case in 0..__cfg.cases {
                 $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut __rng);)*
-                $body
+                let __outcome = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest shim: {} failed at case {} of {}; reproduce with \
+                         CAKE_TEST_SEED={}",
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                        __cfg.cases,
+                        $crate::test_runner::env_seed(),
+                    );
+                    std::panic::resume_unwind(__panic);
+                }
             }
         }
         $crate::__proptest_items! { @cfg ($cfg) $($rest)* }
@@ -260,6 +303,35 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn explicit_seed_perturbs_the_stream_deterministically() {
+        let mut base = crate::test_runner::TestRng::for_test_with_seed("x", 0);
+        let mut same = crate::test_runner::TestRng::for_test_with_seed("x", 0);
+        let mut other = crate::test_runner::TestRng::for_test_with_seed("x", 1234);
+        assert_eq!(base.next_u64(), same.next_u64());
+        assert_ne!(base.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn for_test_uses_the_env_seed() {
+        // In a clean environment the cached seed is 0, so `for_test` and
+        // the explicit-seed constructor agree; either way they must match
+        // the process-wide cached value.
+        let seed = crate::test_runner::env_seed();
+        let mut a = crate::test_runner::TestRng::for_test("consistency");
+        let mut b = crate::test_runner::TestRng::for_test_with_seed("consistency", seed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn from_seed_is_a_raw_splitmix_stream() {
+        let mut a = crate::test_runner::TestRng::from_seed(42);
+        let mut b = crate::test_runner::TestRng::from_seed(42);
+        let mut c = crate::test_runner::TestRng::from_seed(43);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
 
     #[test]
     fn rng_is_deterministic_per_name() {

@@ -123,3 +123,64 @@ fn hundred_gemms_share_one_workspace() {
     // (three k-blocks at bk = 12) deepens the ring.
     assert_eq!(ws.allocations(), 4);
 }
+
+/// 100 back-to-back GEMMs with *shrinking* shapes — problem extents AND
+/// CB-block geometry both monotonically non-increasing — through one
+/// workspace. The first (largest) call sizes every buffer; all 99 later
+/// calls must be allocation-free, and each result must be byte-identical
+/// to the same GEMM run through a fresh workspace: shrinking `pa_stride`
+/// and panel sizes over buffers still holding larger stale panels must
+/// never leak a single stale bit into the output.
+#[test]
+fn shrinking_shapes_are_alloc_free_and_byte_identical() {
+    let p = 2;
+    let pool = ThreadPool::new(p);
+    let ukr = cake::kernels::best_kernel::<f32>();
+    let mut warm = GemmWorkspace::new();
+
+    for call in 0..100usize {
+        // 64 down to 8, never increasing; block geometry shrinks with it.
+        let s = 64 - (call * 56) / 99;
+        let (m, k, n) = (s, s.max(9) - 1, s + 3);
+        let shape = CbBlockShape::fixed(p, (s / 8).max(2), (s / 8).max(2), (s / 4).max(4));
+
+        let a = init::random::<f32>(m, k, call as u64);
+        let b = init::random::<f32>(k, n, call as u64 + 5000);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let stats = execute_with_stats_in(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &ukr,
+            &pool,
+            &mut warm,
+        );
+        if call == 0 {
+            assert!(stats.allocations > 0, "largest-first call must size the workspace");
+        } else {
+            assert_eq!(
+                stats.allocations, 0,
+                "call {call} ({m}x{k}x{n}, {shape}) allocated on a shrinking shape"
+            );
+        }
+
+        let mut fresh = GemmWorkspace::new();
+        let mut c_fresh = Matrix::<f32>::zeros(m, n);
+        execute_in(
+            &a.view(),
+            &b.view(),
+            &mut c_fresh.view_mut(),
+            &shape,
+            &ukr,
+            &pool,
+            &mut fresh,
+        );
+        let warm_bits: Vec<u32> = c.as_slice().iter().map(|v| v.to_bits()).collect();
+        let fresh_bits: Vec<u32> = c_fresh.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            warm_bits, fresh_bits,
+            "call {call} ({m}x{k}x{n}): reused workspace changed the result bits"
+        );
+    }
+}
