@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate for the cake-rs workspace.
 #
-#   ./ci.sh            full gate: tier-1, all tests, clippy, verify, bench snapshot
-#   ./ci.sh --fast     tier-1 + clippy only (skip verify + bench snapshot)
-#   ./ci.sh --verify   verification suite only (cakectl verify, 256 fuzz cases)
+#   ./ci.sh                full gate: tier-1, all tests, clippy, verify, bench snapshot
+#   ./ci.sh --fast         tier-1 + clippy only (skip verify + bench snapshot)
+#   ./ci.sh --verify       verification suite only (cakectl verify, 256 fuzz cases)
+#   ./ci.sh --scale-smoke  one p=4 GEMM sweep asserting pack counters match p=1
 #
 # The bench snapshot rewrites BENCH_gemm.json in the repo root so the
 # pipelined executor's throughput, allocation-freedom, and pack-overlap
@@ -15,10 +16,18 @@
 # == simulator, Eq. 4 p-invariance), and the deterministic interleaving
 # checker for the panel-ring protocol.
 #
+# The scale-smoke gate is the CB-block bandwidth claim in one command:
+# the executor at p=4 must move exactly the same packed elements as p=1
+# (measured traffic-counters, fixed block grid), or cakectl exits 1.
+#
 # Opt-in ThreadSanitizer pass (needs a nightly toolchain with rust-src;
-# not part of the gate because the container pins stable):
+# not part of the gate because the container pins stable). This covers
+# cake-core's sync module — the sense-reversing SpinBarrier's tests drive
+# multi-threaded episodes under an oversubscribed pool, exactly the
+# schedule TSan needs to observe the Release/Acquire pairs:
 #   RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
-#     --target x86_64-unknown-linux-gnu -p cake-core
+#     --target x86_64-unknown-linux-gnu -p cake-core sync::
+# (drop the trailing `sync::` filter to sweep the whole crate).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,9 +36,21 @@ run_verify() {
     cargo run --release -p cake-bench --bin cakectl -- verify --cases 256
 }
 
+run_scale_smoke() {
+    echo "==> scale smoke: p in {1,4} sweep, pack counters must be p-invariant"
+    cargo run --release -p cake-bench --bin cakectl -- \
+        gemm --m 192 --k 192 --n 192 --threads 1,4 --check-counters
+}
+
 if [[ "${1:-}" == "--verify" ]]; then
     run_verify
     echo "==> ci.sh: verification passed"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--scale-smoke" ]]; then
+    run_scale_smoke
+    echo "==> ci.sh: scale smoke passed"
     exit 0
 fi
 
@@ -45,6 +66,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 if [[ "${1:-}" != "--fast" ]]; then
     run_verify
+    run_scale_smoke
 
     echo "==> bench snapshot (writes BENCH_gemm.json)"
     cargo run --release -p cake-bench --bin bench_snapshot -- --iters 10

@@ -4,8 +4,12 @@
 //! Runs CAKE (pipelined executor), the GOTO baseline, and the naive
 //! reference at a few fixed GEMM shapes plus a small CNN forward pass, and
 //! records GFLOP/s, post-warmup allocation counts, and the pipeline's
-//! measured pack-overlap numbers. Intended to run via `ci.sh` so the
-//! snapshot tracks the executor's health over time.
+//! measured pack-overlap numbers. A `scaling` section then sweeps
+//! `p in {1, 2, 4, 8}` over each shape on a fixed block grid (see
+//! `cake_bench::scaling`), recording speedup over `p = 1`, scaling
+//! efficiency, and the measured pack-element counters — which must be
+//! identical at every `p` (the run aborts if they diverge). Intended to
+//! run via `ci.sh` so the snapshot tracks the executor's health over time.
 //!
 //! ```text
 //! bench_snapshot [--iters I] [--p P] [--out PATH]
@@ -14,6 +18,7 @@
 use std::time::Instant;
 
 use cake_bench::output::arg_value;
+use cake_bench::scaling::{counters_invariant, sweep_shape, ScalePoint};
 use cake_core::api::{CakeConfig, CakeGemm};
 use cake_core::tune::overlap_efficiency;
 use cake_dnn::im2col::ConvGeom;
@@ -159,6 +164,28 @@ fn main() {
         })
         .collect();
 
+    // Multicore p-sweep per shape: fixed block grid, so the element
+    // counters are comparable (and must be equal) across p.
+    const SWEEP_P: [usize; 4] = [1, 2, 4, 8];
+    let scaling: Vec<(usize, usize, usize, Vec<ScalePoint>)> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let points = sweep_shape(m, k, n, &SWEEP_P, iters, false);
+            for pt in &points {
+                println!(
+                    "{m}x{k}x{n} p={}: {:.2} GF/s  speedup {:.2}x  efficiency {:.2}  \
+                     imbalance {:.2}",
+                    pt.p, pt.gflops, pt.speedup, pt.efficiency, pt.imbalance
+                );
+            }
+            if let Err(msg) = counters_invariant(&points) {
+                eprintln!("scaling sweep {m}x{k}x{n}: {msg}");
+                std::process::exit(1);
+            }
+            (m, k, n, points)
+        })
+        .collect();
+
     // CNN forward pass: cold (sizes every layer's workspace) then warm.
     let net = tiny_net(p);
     let input = Tensor::from_matrix(init::random::<f32>(3, 32 * 32, 9), 32, 32);
@@ -204,6 +231,34 @@ fn main() {
     }
     rows.push_str("  ]");
     j.field(2, "gemm", &rows, false);
+    let mut sc = String::from("[\n");
+    for (si, (m, k, n, points)) in scaling.iter().enumerate() {
+        sc.push_str(&format!("    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"points\": [\n"));
+        for (i, pt) in points.iter().enumerate() {
+            sc.push_str(&format!(
+                "      {{\"p\": {}, \"cake_gflops\": {}, \"speedup\": {}, \"efficiency\": {}, \
+                 \"a_elems\": {}, \"b_elems\": {}, \"c_elems\": {}, \
+                 \"barrier_wait_ns_max\": {}, \"barrier_wait_ns_sum\": {}, \"imbalance\": {}}}{}\n",
+                pt.p,
+                f3(pt.gflops),
+                f3(pt.speedup),
+                f3(pt.efficiency),
+                pt.a_elems,
+                pt.b_elems,
+                pt.c_elems,
+                pt.barrier_wait_ns_max,
+                pt.barrier_wait_ns_sum,
+                f3(pt.imbalance),
+                if i + 1 == points.len() { "" } else { "," }
+            ));
+        }
+        sc.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 == scaling.len() { "" } else { "," }
+        ));
+    }
+    sc.push_str("  ]");
+    j.field(2, "scaling", &sc, false);
     j.field(
         2,
         "dnn_forward",

@@ -5,14 +5,24 @@
 //! cakectl simulate --cpu intel|amd|arm --p P --m M --k K --n N [--algo cake|goto]
 //! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
 //! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
-//! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats]
+//! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats] [--pin]
+//!                  [--threads P | --threads P1,P2,...] [--check-counters]
 //! cakectl verify   [--cases C] [--seed S]
 //! ```
 //!
 //! Everything the paper derives analytically, queryable from the shell —
 //! plus `gemm`, which runs the *real* pipelined executor and (with
 //! `--stats`) prints its measured [`ExecStats`]: per-phase pack / compute /
-//! barrier-wait time, workspace footprint, allocations, and reuse skips.
+//! barrier-wait time (sum and slowest-worker max), compute imbalance,
+//! workspace footprint, allocations, and reuse skips. `--pin` pins workers
+//! to cores (Linux; best-effort elsewhere).
+//!
+//! `--threads` switches `gemm` into a strong-scaling sweep on a fixed
+//! block grid (one `p` per comma-separated entry — a single entry is a
+//! one-row sweep): per-`p` GFLOP/s, speedup over the first entry, scaling
+//! efficiency, and pack-element counters. `--check-counters` exits 1 if
+//! the counters differ across `p` — the CB-block bandwidth claim as a CI
+//! gate (`ci.sh --scale-smoke`).
 //!
 //! `verify` runs the full `cake-verify` harness: the differential fuzzer
 //! (default 256 cases; `--seed` or `CAKE_TEST_SEED` perturbs the stream),
@@ -20,6 +30,7 @@
 //! checker. Exit status 1 on any failure.
 
 use cake_bench::output::{arg_value, has_flag, render_table};
+use cake_bench::scaling::{counters_invariant, sweep_shape};
 use cake_core::api::{CakeConfig, CakeGemm};
 use cake_core::executor::ExecStats;
 use cake_core::model::CakeModel;
@@ -180,24 +191,36 @@ fn print_exec_stats(s: &ExecStats) {
     let busy = (s.pack_ns + s.compute_ns + s.barrier_wait_ns).max(1) as f64;
     println!("Executor stats (pipelined, measured):");
     println!("  CB blocks        : {:>12}", s.blocks);
+    println!("  workers          : {:>12}", s.workers);
     println!("  barrier waits    : {:>12}  (1 rotation barrier per block)", s.barriers);
     println!("  A packs skipped  : {:>12}", s.a_packs_skipped);
     println!("  B packs skipped  : {:>12}", s.b_packs_skipped);
     println!("  B panel hits     : {:>12}  (ring held a revisited surface)", s.b_panel_hits);
     println!(
-        "  pack time        : {:>9.3} ms  ({:>5.1}% of busy)",
+        "  pack time        : {:>9.3} ms  ({:>5.1}% of busy, worker max {:.3} ms)",
         s.pack_ns as f64 / 1e6,
-        s.pack_ns as f64 / busy * 100.0
+        s.pack_ns as f64 / busy * 100.0,
+        s.pack_ns_max as f64 / 1e6
     );
     println!(
-        "  compute time     : {:>9.3} ms  ({:>5.1}% of busy)",
+        "  compute time     : {:>9.3} ms  ({:>5.1}% of busy, worker max {:.3} / min {:.3} ms)",
         s.compute_ns as f64 / 1e6,
-        s.compute_ns as f64 / busy * 100.0
+        s.compute_ns as f64 / busy * 100.0,
+        s.compute_ns_max as f64 / 1e6,
+        s.compute_ns_min as f64 / 1e6
     );
     println!(
-        "  barrier wait     : {:>9.3} ms  ({:>5.1}% of busy)",
+        "  barrier wait sum : {:>9.3} ms  ({:>5.1}% of busy)",
         s.barrier_wait_ns as f64 / 1e6,
         s.barrier_wait_ns as f64 / busy * 100.0
+    );
+    println!(
+        "  barrier wait max : {:>9.3} ms  (slowest single worker)",
+        s.barrier_wait_ns_max as f64 / 1e6
+    );
+    println!(
+        "  compute imbalance: {:>10.3}  (max * workers / sum; 1.0 = even)",
+        s.compute_imbalance()
     );
     println!(
         "  overlap efficiency: {:>10.3}  (1.0 = packing fully hidden)",
@@ -237,9 +260,62 @@ fn cmd_verify() {
 
 fn cmd_gemm() {
     let (m, k, n) = (req_usize("--m"), req_usize("--k"), req_usize("--n"));
-    let p = opt_usize("--p", 1);
     let iters = opt_usize("--iters", 3).max(1);
-    let ctx = CakeGemm::new(CakeConfig::with_threads(p));
+    let pin = has_flag("--pin");
+
+    if let Some(list) = arg_value("--threads") {
+        let threads: Vec<usize> = list
+            .split(',')
+            .map(|t| match t.trim().parse::<usize>() {
+                Ok(p) if p > 0 => p,
+                _ => {
+                    eprintln!("invalid --threads entry '{t}' (want positive integers)");
+                    std::process::exit(2);
+                }
+            })
+            .collect();
+        let points = sweep_shape(m, k, n, &threads, iters, pin);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|pt| {
+                vec![
+                    pt.p.to_string(),
+                    format!("{:.2}", pt.gflops),
+                    format!("{:.2}", pt.speedup),
+                    format!("{:.2}", pt.efficiency),
+                    format!("{:.3}", pt.imbalance),
+                    format!("{:.3}", pt.barrier_wait_ns_max as f64 / 1e6),
+                    pt.a_elems.to_string(),
+                    pt.b_elems.to_string(),
+                ]
+            })
+            .collect();
+        println!("GEMM {m}x{k}x{n} strong-scaling sweep (fixed block grid, best of {iters}):\n");
+        println!(
+            "{}",
+            render_table(
+                &["p", "GFLOP/s", "speedup", "effic.", "imbal.", "bar max ms", "A elems", "B elems"],
+                &rows
+            )
+        );
+        if has_flag("--check-counters") {
+            match counters_invariant(&points) {
+                Ok(()) => println!("pack counters invariant across p: OK"),
+                Err(msg) => {
+                    eprintln!("counter invariance FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    let p = opt_usize("--p", 1);
+    let cfg = CakeConfig {
+        pin_cores: pin,
+        ..CakeConfig::with_threads(p)
+    };
+    let ctx = CakeGemm::new(cfg);
     let a = cake_matrix::init::random::<f32>(m, k, 1);
     let b = cake_matrix::init::random::<f32>(k, n, 2);
     let mut c = cake_matrix::Matrix::<f32>::zeros(m, n);

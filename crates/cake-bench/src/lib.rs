@@ -15,8 +15,11 @@
 //! | `sweep`   | (native)       | real-machine CAKE vs GOTO vs naive timing |
 //!
 //! Each runner returns typed rows; binaries print an aligned table and
-//! write `results/<name>.csv`.
+//! write `results/<name>.csv`. [`scaling`] holds the multicore p-sweep
+//! (Figure 13's strong-scaling measurement plus the counter-invariance
+//! gate) shared by `bench_snapshot` and `cakectl gemm --threads`.
 
 pub mod figures;
 pub mod harness;
 pub mod output;
+pub mod scaling;

@@ -1,0 +1,204 @@
+//! Multicore p-sweep: strong-scaling measurement over a fixed block grid.
+//!
+//! The paper's Figure 13 argument is that CAKE's computation-shaped blocks
+//! let throughput scale with cores while DRAM traffic stays constant. This
+//! module measures both halves on the real executor: sweep `p` over the
+//! same problem, record GFLOP/s, speedup over `p = 1`, and scaling
+//! efficiency (`speedup / p`), and capture the measured pack-element
+//! counters — which must be **identical across `p`** (the work moved per
+//! element is a property of the block schedule, not of how many workers
+//! split it).
+//!
+//! To make the counter comparison exact the sweep holds the *block grid*
+//! fixed: `CbBlockShape::fixed(p, bm / p, bk, bn)` keeps `p * mc = bm`
+//! constant, so every `p` runs the identical K-first snake over identical
+//! blocks and only the intra-block partition changes. `bm` is chosen
+//! divisible by every swept `p` (8 covers the default `{1, 2, 4, 8}`).
+//!
+//! Used by `bench_snapshot` (the `scaling` section of `BENCH_gemm.json`)
+//! and by `cakectl gemm --threads`, whose `--check-counters` mode turns
+//! [`counters_invariant`] into a CI gate (`ci.sh --scale-smoke`).
+
+use std::time::Instant;
+
+use cake_core::executor::execute_with_stats_in;
+use cake_core::pool::ThreadPool;
+use cake_core::shape::CbBlockShape;
+use cake_core::workspace::GemmWorkspace;
+use cake_matrix::{init, Matrix};
+
+/// One `p` of a strong-scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Worker count.
+    pub p: usize,
+    /// Best-of-iters throughput.
+    pub gflops: f64,
+    /// `gflops / gflops(p = 1)`; 1.0 at the baseline.
+    pub speedup: f64,
+    /// `speedup / p` — 1.0 is perfect strong scaling.
+    pub efficiency: f64,
+    /// A elements packed (0 unless `traffic-counters` is enabled).
+    pub a_elems: u64,
+    /// B elements packed.
+    pub b_elems: u64,
+    /// C elements updated.
+    pub c_elems: u64,
+    /// Slowest single worker's total barrier wait.
+    pub barrier_wait_ns_max: u64,
+    /// Barrier wait summed over workers.
+    pub barrier_wait_ns_sum: u64,
+    /// Per-worker compute imbalance (`max * p / sum`; 1.0 = perfectly even).
+    pub imbalance: f64,
+}
+
+/// Block dimensions for a grid-invariant sweep: `bm` is a multiple of
+/// `p_lcm` (so `bm / p` is exact for every swept `p`) and every dimension
+/// is clamped to the problem so tiny shapes still sweep.
+pub fn fixed_grid_dims(m: usize, k: usize, n: usize, p_lcm: usize) -> (usize, usize, usize) {
+    let bm = ((m.min(96) / p_lcm).max(1)) * p_lcm;
+    let bk = k.clamp(1, 96);
+    let bn = n.clamp(1, 192);
+    (bm, bk, bn)
+}
+
+/// Sweep `threads` over one `m x k x n` f32 GEMM, best-of-`iters` per
+/// point. `pin` requests core affinity for each pool (best-effort).
+///
+/// # Panics
+/// Panics if `threads` is empty or any entry does not divide the chosen
+/// `bm` (use counts from `{1, 2, 4, 8}`, whose lcm 8 is the default).
+pub fn sweep_shape(
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: &[usize],
+    iters: usize,
+    pin: bool,
+) -> Vec<ScalePoint> {
+    assert!(!threads.is_empty(), "sweep needs at least one thread count");
+    let p_lcm = threads.iter().fold(1, |l, &p| lcm(l, p.max(1)));
+    let (bm, bk, bn) = fixed_grid_dims(m, k, n, p_lcm);
+    let iters = iters.max(1);
+
+    let a = init::random::<f32>(m, k, 1);
+    let b = init::random::<f32>(k, n, 2);
+    let ukr = cake_kernels::best_kernel::<f32>();
+
+    let mut points = Vec::with_capacity(threads.len());
+    let mut base_gflops = None;
+    for &p in threads {
+        assert!(p > 0 && bm % p == 0, "p = {p} must divide bm = {bm}");
+        let shape = CbBlockShape::fixed(p, bm / p, bk, bn);
+        let pool = ThreadPool::with_affinity(p, pin);
+        let mut ws = GemmWorkspace::<f32>::new();
+        let mut c = Matrix::<f32>::zeros(m, n);
+        // Warmup sizes the workspace; timed iters then run allocation-free.
+        let mut stats =
+            execute_with_stats_in(&a.view(), &b.view(), &mut c.view_mut(), &shape, &ukr, &pool, &mut ws);
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            stats = execute_with_stats_in(
+                &a.view(),
+                &b.view(),
+                &mut c.view_mut(),
+                &shape,
+                &ukr,
+                &pool,
+                &mut ws,
+            );
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let gflops = 2.0 * m as f64 * k as f64 * n as f64 / best / 1e9;
+        let base = *base_gflops.get_or_insert(gflops);
+        let speedup = gflops / base;
+        points.push(ScalePoint {
+            p,
+            gflops,
+            speedup,
+            efficiency: speedup / p as f64,
+            a_elems: stats.a_elems_loaded,
+            b_elems: stats.b_elems_loaded,
+            c_elems: stats.c_elems_updated,
+            barrier_wait_ns_max: stats.barrier_wait_ns_max,
+            barrier_wait_ns_sum: stats.barrier_wait_ns,
+            imbalance: stats.compute_imbalance(),
+        });
+    }
+    points
+}
+
+/// The CB-block bandwidth claim as a checkable predicate: every swept `p`
+/// must have packed/updated exactly the same element counts. `Err` carries
+/// a human-readable diff.
+pub fn counters_invariant(points: &[ScalePoint]) -> Result<(), String> {
+    let Some(first) = points.first() else {
+        return Ok(());
+    };
+    for pt in &points[1..] {
+        if (pt.a_elems, pt.b_elems, pt.c_elems) != (first.a_elems, first.b_elems, first.c_elems) {
+            return Err(format!(
+                "pack counters diverge: p={} moved (A {}, B {}, C {}) but p={} moved \
+                 (A {}, B {}, C {})",
+                first.p,
+                first.a_elems,
+                first.b_elems,
+                first.c_elems,
+                pt.p,
+                pt.a_elems,
+                pt.b_elems,
+                pt.c_elems
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_grid_dims_divisible_and_clamped() {
+        let (bm, bk, bn) = fixed_grid_dims(512, 512, 512, 8);
+        assert_eq!((bm % 8, bm <= 96, bk <= 96, bn <= 192), (0, true, true, true));
+        // Tiny problems still produce a nonzero grid.
+        let (bm, bk, bn) = fixed_grid_dims(5, 3, 2, 8);
+        assert!(bm >= 8 && bk == 3 && bn == 2, "got {bm} {bk} {bn}");
+    }
+
+    #[test]
+    fn sweep_reports_baseline_speedup_of_one_and_invariant_counters() {
+        let points = sweep_shape(64, 48, 64, &[1, 2, 4], 1, false);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].p, 1);
+        assert!((points[0].speedup - 1.0).abs() < 1e-12);
+        assert!((points[0].efficiency - 1.0).abs() < 1e-12);
+        for pt in &points {
+            assert!(pt.gflops > 0.0);
+            assert!(pt.imbalance >= 1.0, "imbalance {} below floor", pt.imbalance);
+            assert!(pt.barrier_wait_ns_max <= pt.barrier_wait_ns_sum);
+        }
+        // The bandwidth claim: identical element movement at every p. The
+        // counters are live here (cake-verify enables traffic-counters).
+        assert!(points[0].a_elems > 0, "counters should be compiled in");
+        counters_invariant(&points).expect("fixed-grid sweep must move identical elements");
+    }
+
+    #[test]
+    fn divergent_counters_are_reported() {
+        let mut points = sweep_shape(32, 32, 32, &[1, 2], 1, false);
+        points[1].b_elems += 1;
+        let err = counters_invariant(&points).unwrap_err();
+        assert!(err.contains("diverge"), "{err}");
+    }
+}

@@ -43,6 +43,10 @@ pub struct CakeConfig {
     /// Force the portable kernel (skip SIMD dispatch) — for debugging and
     /// baseline measurements.
     pub force_portable_kernel: bool,
+    /// Pin worker `i` to core `i % cores` (Linux `sched_setaffinity`;
+    /// no-op elsewhere). Off by default: pinning helps dedicated-machine
+    /// benchmarks but hurts co-tenant workloads.
+    pub pin_cores: bool,
 }
 
 impl Default for CakeConfig {
@@ -57,6 +61,7 @@ impl Default for CakeConfig {
             llc_bytes: 16 * 1024 * 1024,
             freq_ghz: 3.0,
             force_portable_kernel: false,
+            pin_cores: false,
         }
     }
 }
@@ -172,7 +177,7 @@ pub fn cake_gemm_views<T: Element + KernelSelect>(
         T::BYTES,
         (ukr.mr() * ukr.nr()) as f64,
     );
-    let pool = ThreadPool::new(shape.p);
+    let pool = ThreadPool::with_affinity(shape.p, cfg.pin_cores);
     execute(a, b, c, &shape, &ukr, &pool);
 }
 
@@ -203,9 +208,10 @@ impl CakeGemm {
     /// Build a context; spawns the worker pool once.
     pub fn new(cfg: CakeConfig) -> Self {
         let p = cfg.resolved_threads();
+        let pool = ThreadPool::with_affinity(p, cfg.pin_cores);
         Self {
             cfg,
-            pool: ThreadPool::new(p),
+            pool,
             workspaces: Mutex::new(HashMap::new()),
             last_stats: Mutex::new(ExecStats::default()),
         }
@@ -461,6 +467,28 @@ mod tests {
         let s = cfg.resolve_shape(40, 512, 512, 6, 16, 4, 96.0);
         assert!(s.mc * 4 >= 40, "strips must cover M");
         assert!(s.mc <= 12, "mc should shrink to ~M/p rounded to mr, got {}", s.mc);
+    }
+
+    #[test]
+    fn pinned_config_still_computes_correctly() {
+        let cfg = CakeConfig {
+            pin_cores: true,
+            threads: Some(2),
+            ..CakeConfig::default()
+        };
+        let a = init::random::<f32>(32, 24, 51);
+        let b = init::random::<f32>(24, 40, 52);
+        let expected = naive(&a, &b);
+        // One-shot path.
+        let mut c = Matrix::<f32>::zeros(32, 40);
+        cake_sgemm(&a, &b, &mut c, &cfg);
+        assert_gemm_eq(&c, &expected, 24);
+        // Context path: stats must report both workers.
+        let ctx = CakeGemm::new(cfg);
+        let mut c2 = Matrix::<f32>::zeros(32, 40);
+        let stats = ctx.gemm_with_stats(&a, &b, &mut c2);
+        assert_gemm_eq(&c2, &expected, 24);
+        assert_eq!(stats.workers, 2);
     }
 
     #[test]

@@ -3,11 +3,16 @@
 //! Executes the K-first snake schedule over constant-bandwidth blocks
 //! (paper Figure 6):
 //!
-//! * Each of the `p` workers permanently owns one `mc`-row strip of the
-//!   current block's A surface — the per-core L2-resident sub-matrix.
-//! * The `kc x nc` B panel is packed cooperatively (each worker packs an
-//!   interleaved subset of `nr`-column slivers) into one shared buffer —
-//!   the LLC-resident surface that is "broadcast" to all cores.
+//! * Each of the `p` workers owns one row strip of the current block's A
+//!   surface — the per-core L2-resident sub-matrix. The strip assignment
+//!   is the **balanced M-partition** ([`worker_rows`]): the block's `mr`
+//!   tile rows are split into `p` contiguous runs differing by at most one
+//!   tile, so a tail block's leftover rows spread across all workers
+//!   instead of serializing on one overloaded strip owner.
+//! * The `kc x nc` B panel is packed cooperatively (each worker packs a
+//!   balanced *contiguous* run of `nr`-column slivers, split by actual
+//!   sliver count) into one shared buffer — the LLC-resident surface that
+//!   is "broadcast" to all cores.
 //! * Partial C results are accumulated **in place** in the output matrix
 //!   across the whole K run — never written early and re-read, which is
 //!   precisely the IO the paper eliminates relative to GOTO.
@@ -47,16 +52,25 @@
 //! (no other worker reads it), which keeps it off the barrier's critical
 //! path as well.
 //!
+//! The rotation barrier is a cache-line-padded sense-reversing
+//! spin-then-yield barrier ([`crate::sync::SpinBarrier`]), not
+//! `std::sync::Barrier`: with one barrier per block on the critical path,
+//! a futex park/wake per episode would cost microseconds per block, while
+//! the user-space spin release is observed in tens of nanoseconds (and
+//! degrades gracefully to yielding when workers outnumber cores).
+//!
 //! Packed buffers live in a caller-provided [`GemmWorkspace`] so repeated
 //! GEMMs reuse them without touching the allocator; [`execute_with_stats`]
-//! creates a throwaway workspace for one-shot calls.
+//! creates a throwaway workspace for one-shot calls. For multicore runs,
+//! pair the executor with a core-pinned pool
+//! ([`crate::pool::ThreadPool::pinned`]) so each worker's L2-resident A
+//! strip survives between blocks.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
 use std::time::Instant;
 
 use cake_kernels::edge::run_tile;
-use cake_kernels::pack::{pack_a, pack_b};
+use cake_kernels::pack::{pack_a, pack_b, split_range};
 use cake_kernels::Ukr;
 use cake_matrix::{Element, MatrixView, MatrixViewMut};
 
@@ -66,6 +80,7 @@ use crate::pool::ThreadPool;
 use crate::schedule::{BlockGrid, KFirstSchedule};
 use crate::shape::CbBlockShape;
 use crate::shared::OutPtr;
+use crate::sync::SpinBarrier;
 use crate::workspace::GemmWorkspace;
 
 /// Execution statistics for one CAKE GEMM call — observable evidence of
@@ -89,14 +104,34 @@ pub struct ExecStats {
     /// Barrier waits actually performed by worker 0 — one rotation barrier
     /// per block in the pipelined executor (measured, not derived).
     pub barriers: usize,
+    /// Workers that participated in this call (`shape.p`).
+    pub workers: usize,
     /// Nanoseconds spent packing A strips and B panels, summed over all
     /// workers.
     pub pack_ns: u64,
+    /// Largest single-worker pack time — together with [`pack_ns`] this
+    /// separates "packing is cheap" from "packing is cheap on average but
+    /// one worker does it all".
+    ///
+    /// [`pack_ns`]: Self::pack_ns
+    pub pack_ns_max: u64,
     /// Nanoseconds spent in microkernel compute, summed over all workers.
     pub compute_ns: u64,
+    /// Largest single-worker compute time (the critical-path worker).
+    pub compute_ns_max: u64,
+    /// Smallest single-worker compute time. `compute_ns_max -
+    /// compute_ns_min` is the partition's raw load imbalance.
+    pub compute_ns_min: u64,
     /// Nanoseconds spent waiting at the rotation barrier, summed over all
-    /// workers — the pipeline's residual synchronization cost.
+    /// workers — the pipeline's residual synchronization cost. A large sum
+    /// with a small [`barrier_wait_ns_max`] means everyone waits a little
+    /// (barrier overhead); a sum dominated by the max means one slow
+    /// worker stalls the rest (imbalance).
+    ///
+    /// [`barrier_wait_ns_max`]: Self::barrier_wait_ns_max
     pub barrier_wait_ns: u64,
+    /// Largest single-worker barrier wait.
+    pub barrier_wait_ns_max: u64,
     /// Workspace footprint in bytes (packed-A strips + the B panel ring).
     pub workspace_bytes: usize,
     /// Heap allocations performed by this call (0 once the workspace is
@@ -127,6 +162,39 @@ impl ExecStats {
         }
         self.pack_ns as f64 / busy as f64
     }
+
+    /// Compute-load imbalance factor: the critical-path worker's compute
+    /// time over the per-worker average (`max * p / sum`). `1.0` is a
+    /// perfectly balanced partition; the whole GEMM runs at the speed of
+    /// the max, so every 0.1 above 1.0 is ~10% of the parallel speedup
+    /// lost to imbalance. `1.0` when nothing was measured.
+    pub fn compute_imbalance(&self) -> f64 {
+        if self.compute_ns == 0 || self.workers == 0 {
+            return 1.0;
+        }
+        self.compute_ns_max as f64 * self.workers as f64 / self.compute_ns as f64
+    }
+}
+
+/// The rows of an `ml`-row CB block owned by worker `wid` of `p` under the
+/// balanced M-partition: the block's `ceil(ml / mr)` kernel tile rows are
+/// split into `p` contiguous runs whose lengths differ by at most one
+/// tile ([`split_range`]), so tail blocks spread across all workers
+/// instead of serializing on whichever owned the fixed strip.
+///
+/// Returns `Some((first_row, row_count))`, or `None` when the worker owns
+/// no tiles (`p > ceil(ml / mr)` leaves trailing workers idle). The
+/// returned ranges tile `[0, ml)` exactly: disjoint, in worker order,
+/// covering every row once.
+pub fn worker_rows(ml: usize, mr: usize, p: usize, wid: usize) -> Option<(usize, usize)> {
+    let tiles = ml.div_ceil(mr);
+    let r = split_range(tiles, p, wid);
+    if r.is_empty() {
+        return None;
+    }
+    let row0 = r.start * mr;
+    let rows = (r.end * mr).min(ml) - row0;
+    Some((row0, rows))
 }
 
 /// Per-block geometry: origin and live extents within the operand views.
@@ -238,7 +306,7 @@ pub fn execute_with_stats_in<T: Element>(
         ws.packed_b.iter().take(n_panels).collect();
     let panels = panels.as_slice();
 
-    let barrier = Barrier::new(p);
+    let barrier = SpinBarrier::new(p);
     // SAFETY: the pointer lives as long as `c`; workers write disjoint rows.
     let out = unsafe { OutPtr::new(c.ptr_at_mut(0, 0)) };
     let (rsc, csc) = (c.row_stride(), c.col_stride());
@@ -246,8 +314,12 @@ pub fn execute_with_stats_in<T: Element>(
     // Cross-worker stat sinks (each worker accumulates locally and folds in
     // once at the end, so the hot loop touches no shared cache lines).
     let pack_total = AtomicU64::new(0);
+    let pack_max = AtomicU64::new(0);
     let compute_total = AtomicU64::new(0);
+    let compute_max = AtomicU64::new(0);
+    let compute_min = AtomicU64::new(u64::MAX);
     let wait_total = AtomicU64::new(0);
+    let wait_max = AtomicU64::new(0);
     let barrier_count = AtomicUsize::new(0);
     // Measured element traffic (no-op unless `traffic-counters` is on).
     let tally = Tally::new();
@@ -255,7 +327,6 @@ pub fn execute_with_stats_in<T: Element>(
     pool.broadcast(|wid| {
         // Per-worker re-created schedule iterator (cheap: pure arithmetic).
         let sched = schedule.clone();
-        let strip0 = wid * shape.mc;
 
         let blk = |bi: usize| {
             let coord = sched.coord_at(bi);
@@ -270,14 +341,18 @@ pub fn execute_with_stats_in<T: Element>(
             }
         };
 
-        // Cooperatively pack block `g`'s B slivers t = wid, wid+p, ... into
-        // the panel at `pb_base`. Workers carve disjoint raw sub-slices out
-        // of the shared buffer: no two `&mut` regions ever overlap.
+        // Cooperatively pack this worker's contiguous share of block `g`'s
+        // B slivers into the panel at `pb_base`. The share is balanced by
+        // *actual* sliver count ([`split_range`]): a tail block with few
+        // slivers still spreads across all workers instead of landing on
+        // whichever indices happen to be below the count, and contiguous
+        // slivers mean each worker streams one dense region of the panel.
+        // Workers carve disjoint raw sub-slices out of the shared buffer:
+        // no two `&mut` regions ever overlap.
         let pack_b_coop = |g: &Blk, pb_base: *mut T| {
             let nslivers = g.nl.div_ceil(nr);
             let mut loaded = 0usize;
-            let mut t = wid;
-            while t < nslivers {
+            for t in split_range(nslivers, p, wid) {
                 let col0 = g.n0 + t * nr;
                 let live = nr.min(g.n0 + g.nl - col0);
                 // SAFETY: sliver t occupies [t*nr*kl, (t+1)*nr*kl), within
@@ -288,18 +363,21 @@ pub fn execute_with_stats_in<T: Element>(
                 };
                 pack_b(&b.sub(g.k0, col0, g.kl, live), sliver, nr);
                 loaded += g.kl * live;
-                t += p;
             }
             tally.add_b(loaded);
         };
 
+        // This worker's rows of block `g` under the balanced M-partition:
+        // tile rows split contiguously with the remainder spread one tile
+        // per worker, so no worker owns more than one extra tile row.
+        let my_rows = |g: &Blk| worker_rows(g.ml, mr, p, wid);
+
         // Pack this worker's private A strip for block `g` (k-major `mr`
         // slivers — the packed-A format over the strip sub-view).
         let pack_a_own = |g: &Blk| {
-            if strip0 >= g.ml {
+            let Some((row0, rows)) = my_rows(g) else {
                 return;
-            }
-            let strip_len = shape.mc.min(g.ml - strip0);
+            };
             // SAFETY: each worker owns the disjoint range
             // [wid*pa_stride, (wid+1)*pa_stride) of the shared buffer.
             let pa: &mut [T] = unsafe {
@@ -308,30 +386,29 @@ pub fn execute_with_stats_in<T: Element>(
                     pa_stride,
                 )
             };
-            pack_a(&a.sub(g.m0 + strip0, g.k0, strip_len, g.kl), pa, mr);
-            tally.add_a(strip_len * g.kl);
+            pack_a(&a.sub(g.m0 + row0, g.k0, rows, g.kl), pa, mr);
+            tally.add_a(rows * g.kl);
         };
 
         // Compute this worker's strip x the whole panel, B-sliver
-        // stationary: the strip (mc x kc) is L2-resident by construction
+        // stationary: the strip (<= mc x kc) is L2-resident by construction
         // (the paper's per-core A region), so sweeping it per B sliver
         // reads every LLC-resident panel element exactly once while all A
         // traffic stays in L2.
         let compute = |g: &Blk, pb_base: *const T| {
-            if strip0 >= g.ml {
-                return; // edge block narrower than this worker's strip
-            }
-            let strip_len = shape.mc.min(g.ml - strip0);
+            let Some((row0, rows)) = my_rows(g) else {
+                return; // edge block with fewer tiles than workers
+            };
             // Read-only phase: raw pointers, no outstanding `&mut`.
             let pa_ptr = unsafe { packed_a.base_ptr().add(wid * pa_stride) as *const T };
-            let a_slivers = strip_len.div_ceil(mr);
+            let a_slivers = rows.div_ceil(mr);
             let b_slivers = g.nl.div_ceil(nr);
             for t in 0..b_slivers {
                 let ncols = nr.min(g.nl - t * nr);
                 let col = g.n0 + t * nr;
                 for s in 0..a_slivers {
-                    let mrows = mr.min(strip_len - s * mr);
-                    let row = g.m0 + strip0 + s * mr;
+                    let mrows = mr.min(rows - s * mr);
+                    let row = g.m0 + row0 + s * mr;
                     // SAFETY: packed slivers are zero-padded full tiles;
                     // C indices (row, col) + (mrows, ncols) are in bounds;
                     // each worker's rows are disjoint from all others'.
@@ -351,11 +428,12 @@ pub fn execute_with_stats_in<T: Element>(
                     }
                 }
             }
-            tally.add_c(strip_len * g.nl);
+            tally.add_c(rows * g.nl);
         };
 
         let (mut pack_ns, mut compute_ns, mut wait_ns) = (0u64, 0u64, 0u64);
         let mut waits = 0usize;
+        let mut bsense = barrier.waiter();
         // The ring state evolves as a pure function of the schedule, so
         // every worker tracks an identical copy and all agree on which
         // panel is live and which gets packed.
@@ -374,7 +452,7 @@ pub fn execute_with_stats_in<T: Element>(
                 pack_a_own(&g);
                 pack_ns += t0.elapsed().as_nanos() as u64;
                 let t1 = Instant::now();
-                barrier.wait();
+                barrier.wait(&mut bsense);
                 wait_ns += t1.elapsed().as_nanos() as u64;
                 waits += 1;
             }
@@ -406,15 +484,19 @@ pub fn execute_with_stats_in<T: Element>(
                 // Rotation barrier: block bi's reads are done everywhere,
                 // block bi+1's panel is complete everywhere.
                 let t2 = Instant::now();
-                barrier.wait();
+                barrier.wait(&mut bsense);
                 wait_ns += t2.elapsed().as_nanos() as u64;
                 waits += 1;
             }
         }
 
         pack_total.fetch_add(pack_ns, Ordering::Relaxed);
+        pack_max.fetch_max(pack_ns, Ordering::Relaxed);
         compute_total.fetch_add(compute_ns, Ordering::Relaxed);
+        compute_max.fetch_max(compute_ns, Ordering::Relaxed);
+        compute_min.fetch_min(compute_ns, Ordering::Relaxed);
         wait_total.fetch_add(wait_ns, Ordering::Relaxed);
+        wait_max.fetch_max(wait_ns, Ordering::Relaxed);
         if wid == 0 {
             barrier_count.store(waits, Ordering::Relaxed);
         }
@@ -425,9 +507,17 @@ pub fn execute_with_stats_in<T: Element>(
     let mut stats = ExecStats {
         blocks: nblocks,
         barriers: barrier_count.load(Ordering::Relaxed),
+        workers: p,
         pack_ns: pack_total.load(Ordering::Relaxed),
+        pack_ns_max: pack_max.load(Ordering::Relaxed),
         compute_ns: compute_total.load(Ordering::Relaxed),
+        compute_ns_max: compute_max.load(Ordering::Relaxed),
+        compute_ns_min: match compute_min.load(Ordering::Relaxed) {
+            u64::MAX => 0,
+            v => v,
+        },
         barrier_wait_ns: wait_total.load(Ordering::Relaxed),
+        barrier_wait_ns_max: wait_max.load(Ordering::Relaxed),
         workspace_bytes: ws.bytes(),
         allocations,
         a_elems_loaded,
@@ -750,6 +840,21 @@ mod stats_tests {
     }
 
     #[test]
+    fn per_worker_extrema_bound_the_sums() {
+        let s = run_stats(48, 48, 48, 2, 16, 16, 16);
+        assert_eq!(s.workers, 2);
+        assert!(s.compute_ns_max > 0, "per-worker compute max must be measured");
+        // max <= sum <= p * max, and min <= max.
+        assert!(s.compute_ns_max <= s.compute_ns);
+        assert!(s.compute_ns <= s.compute_ns_max * s.workers as u64);
+        assert!(s.compute_ns_min <= s.compute_ns_max);
+        assert!(s.pack_ns_max <= s.pack_ns);
+        assert!(s.barrier_wait_ns_max <= s.barrier_wait_ns);
+        let imb = s.compute_imbalance();
+        assert!((1.0..=s.workers as f64).contains(&imb), "imbalance {imb} out of range");
+    }
+
+    #[test]
     fn snake_reuse_shows_up_in_skip_counts() {
         // Grid (mb=2, kb=3, nb=2), N-outer: transitions = 11 total.
         // M-steps (same k,n): 2 (one per n stripe) -> B skipped twice.
@@ -799,5 +904,77 @@ mod stats_tests {
         // Each of the blocks-1 transitions shares exactly one surface; C
         // shares (K-steps) skip neither pack.
         assert!(s.a_packs_skipped + s.b_packs_skipped < s.blocks);
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::worker_rows;
+    use proptest::prelude::*;
+
+    /// Check the balanced M-partition invariants for one `(ml, mr, p)`:
+    /// worker row ranges tile `[0, ml)` exactly once, in order, and tile
+    /// counts differ by at most one across workers.
+    fn check_partition(ml: usize, mr: usize, p: usize) {
+        let mut next = 0usize;
+        let mut tile_counts = Vec::with_capacity(p);
+        for wid in 0..p {
+            match worker_rows(ml, mr, p, wid) {
+                Some((row0, rows)) => {
+                    assert!(rows > 0, "ml={ml} mr={mr} p={p} wid={wid}: empty Some");
+                    assert_eq!(row0, next, "ml={ml} mr={mr} p={p} wid={wid}: gap or overlap");
+                    assert!(
+                        row0.is_multiple_of(mr),
+                        "ml={ml} mr={mr} p={p} wid={wid}: strip not tile-aligned"
+                    );
+                    next = row0 + rows;
+                    tile_counts.push(rows.div_ceil(mr));
+                }
+                None => tile_counts.push(0),
+            }
+        }
+        assert_eq!(next, ml, "ml={ml} mr={mr} p={p}: rows not fully covered");
+        // Idle workers only appear when there are fewer tiles than workers;
+        // among non-idle workers the spread is at most one tile.
+        let busy: Vec<usize> = tile_counts.iter().copied().filter(|&t| t > 0).collect();
+        if let (Some(&hi), Some(&lo)) = (busy.iter().max(), busy.iter().min()) {
+            assert!(hi - lo <= 1, "ml={ml} mr={mr} p={p}: tile spread {tile_counts:?}");
+            assert_eq!(busy.len(), ml.div_ceil(mr).min(p), "idle workers with work left");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+        /// Satellite: the balanced M-partition covers `[0, ml)` exactly
+        /// once for arbitrary `(ml, mr, p)` — including `p` greater than
+        /// the tile count, where trailing workers must idle cleanly.
+        fn balanced_partition_tiles_every_row_exactly_once(
+            ml in 0usize..400,
+            mr in 1usize..17,
+            p in 1usize..24,
+        ) {
+            check_partition(ml, mr, p);
+        }
+    }
+
+    #[test]
+    fn partition_edge_cases_pinned() {
+        // More workers than tiles: first `tiles` workers get one tile each.
+        check_partition(20, 8, 4); // 3 tiles, 4 workers
+        assert_eq!(worker_rows(20, 8, 4, 0), Some((0, 8)));
+        assert_eq!(worker_rows(20, 8, 4, 2), Some((16, 4)), "last tile is the ragged one");
+        assert_eq!(worker_rows(20, 8, 4, 3), None);
+        // Empty block: everyone idles.
+        assert_eq!(worker_rows(0, 8, 4, 0), None);
+        // Remainder spread: 7 tiles over 4 workers -> 2,2,2,1.
+        check_partition(56, 8, 4);
+        assert_eq!(worker_rows(56, 8, 4, 0), Some((0, 16)));
+        assert_eq!(worker_rows(56, 8, 4, 3), Some((48, 8)));
+        // The old fixed-strip scheme would give w0 two tiles and w1 one
+        // for ml=24, p=4, mc=16; balanced gives every worker one.
+        check_partition(24, 8, 4);
+        for wid in 0..3 {
+            assert_eq!(worker_rows(24, 8, 4, wid), Some((wid * 8, 8)));
+        }
     }
 }

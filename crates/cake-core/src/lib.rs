@@ -13,9 +13,13 @@
 //! * [`traffic`] — exact DRAM traffic accounting for an arbitrary block
 //!   schedule, used by tests, the ablation benches, and the simulator.
 //! * [`pool`] — a persistent worker pool with static core-to-strip
-//!   assignment (CAKE pins one `A` region per core).
+//!   assignment (CAKE pins one `A` region per core) and optional
+//!   core-affinity pinning.
+//! * [`sync`] — the cache-padded sense-reversing [`sync::SpinBarrier`]
+//!   that replaces the kernel futex barrier on the executor's hot path.
 //! * [`executor`] — the multithreaded, software-pipelined CB-block GEMM
-//!   engine (double-buffered B panels, one rotation barrier per block).
+//!   engine (double-buffered B panels, balanced M-strip partitioning, one
+//!   rotation barrier per block).
 //! * [`panel`] — the deterministic LRU B-panel ring state machine, public
 //!   so verifiers can replay exactly what the executor runs.
 //! * [`workspace`] — reusable packed-operand buffers so repeated GEMMs are
@@ -32,6 +36,7 @@ pub mod pool;
 pub mod schedule;
 pub mod shared;
 pub mod shape;
+pub mod sync;
 pub mod traffic;
 pub mod tune;
 pub mod workspace;
@@ -42,4 +47,5 @@ pub use model::CakeModel;
 pub use panel::{ring_depth, PanelAction, PanelCache};
 pub use schedule::{BlockCoord, BlockGrid, Dim, KFirstSchedule, SnakeSchedule};
 pub use shape::CbBlockShape;
+pub use sync::SpinBarrier;
 pub use workspace::GemmWorkspace;

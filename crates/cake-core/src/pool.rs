@@ -9,12 +9,93 @@
 //! until all complete, propagating panics.
 //!
 //! Workers are long-lived so repeated GEMM calls (e.g. a DNN forward pass)
-//! pay thread-spawn cost once.
+//! pay thread-spawn cost once. Because the strip assignment is static, the
+//! pool optionally pins worker `i` to core `i % cores`
+//! ([`ThreadPool::pinned`], Linux `sched_setaffinity`, no-op elsewhere):
+//! an unpinned worker migrating between blocks drags its L2-resident A
+//! strip across cores, which is exactly the traffic CAKE's partition is
+//! designed to avoid.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
+
+/// Opt-in worker-to-core affinity pinning.
+///
+/// CAKE's partition is static — worker `c` always owns strip `c` — so its
+/// L2-resident A strip is only warm if the worker stays on one core.
+/// Without pinning, the OS scheduler is free to migrate workers between
+/// barrier episodes, turning every migration into a full strip refetch.
+/// On Linux, [`pin_current_thread`] binds the calling thread to one core
+/// via a raw `sched_setaffinity` syscall binding (the build container has
+/// no `libc` crate; `std` already links the platform libc, so a direct
+/// `extern "C"` declaration suffices). Elsewhere it is a no-op returning
+/// `false`.
+pub mod affinity {
+    #[cfg(target_os = "linux")]
+    mod sys {
+        // Mirrors <sched.h>: cpu_set_t is a fixed bitmask; 16 u64 words
+        // cover 1024 CPUs, the glibc default CPU_SETSIZE.
+        const MASK_WORDS: usize = 16;
+
+        extern "C" {
+            fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+            fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> i32;
+        }
+
+        pub fn pin(core: usize) -> bool {
+            if core >= MASK_WORDS * 64 {
+                return false;
+            }
+            let mut mask = [0u64; MASK_WORDS];
+            mask[core / 64] |= 1u64 << (core % 64);
+            // pid 0 = the calling thread.
+            unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+        }
+
+        pub fn allowed_cores() -> Option<usize> {
+            let mut mask = [0u64; MASK_WORDS];
+            let rc =
+                unsafe { sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+            (rc == 0).then(|| mask.iter().map(|w| w.count_ones() as usize).sum())
+        }
+    }
+
+    /// Pin the calling thread to `core` (mod the machine's core count is
+    /// the *caller's* job). Returns `true` on success, `false` when
+    /// unsupported or rejected by the OS.
+    pub fn pin_current_thread(core: usize) -> bool {
+        #[cfg(target_os = "linux")]
+        {
+            sys::pin(core)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = core;
+            false
+        }
+    }
+
+    /// Number of cores the calling thread may currently run on (`None`
+    /// when the platform cannot report it). After a successful pin this
+    /// is exactly 1.
+    pub fn allowed_cores() -> Option<usize> {
+        #[cfg(target_os = "linux")]
+        {
+            sys::allowed_cores()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            None
+        }
+    }
+
+    /// Cores available to this process (the pin target space).
+    pub fn available_cores() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
 
 /// Type-erased pointer to a caller-owned `Fn(usize) + Sync` job.
 ///
@@ -52,42 +133,83 @@ pub struct ThreadPool {
     done_rx: Mutex<Receiver<Result<(), String>>>,
     handles: Vec<JoinHandle<()>>,
     size: usize,
+    pinned: bool,
 }
 
 impl ThreadPool {
-    /// Spawn a pool of `size` workers.
+    /// Spawn a pool of `size` workers with no core affinity.
     ///
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
+        Self::with_affinity(size, false)
+    }
+
+    /// Spawn a pool of `size` workers, pinning worker `i` to core
+    /// `i % available_cores`. Pinning is best-effort: on non-Linux
+    /// platforms (or if the OS rejects the mask) workers run unpinned and
+    /// [`is_pinned`](Self::is_pinned) reports `false`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn pinned(size: usize) -> Self {
+        Self::with_affinity(size, true)
+    }
+
+    /// [`new`](Self::new) or [`pinned`](Self::pinned) by flag — for callers
+    /// that thread a `pin_cores` config bit through.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn with_affinity(size: usize, pin: bool) -> Self {
         assert!(size > 0, "pool needs at least one worker");
         let (done_tx, done_rx) = channel::<Result<(), String>>();
         let mut txs = Vec::with_capacity(size);
         let mut handles = Vec::with_capacity(size);
+        let cores = affinity::available_cores();
         // A single-worker pool runs jobs inline on the caller; spawning a
-        // thread would only add latency to small GEMMs.
+        // thread would only add latency to small GEMMs. The caller's
+        // affinity is its own business, so a size-1 pool never pins.
         let spawn_count = if size == 1 { 0 } else { size };
+        let (pin_tx, pin_rx) = channel::<bool>();
         for id in 0..spawn_count {
             let (tx, rx) = channel::<Msg>();
             let done = done_tx.clone();
+            let pin_done = pin_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("cake-worker-{id}"))
-                .spawn(move || worker_loop(id, rx, done))
+                .spawn(move || {
+                    let ok = pin && affinity::pin_current_thread(id % cores);
+                    let _ = pin_done.send(ok);
+                    worker_loop(id, rx, done)
+                })
                 .expect("failed to spawn worker thread");
             txs.push(tx);
             handles.push(handle);
         }
+        drop(pin_tx);
+        // Collect each worker's pin outcome so `is_pinned` is truthful by
+        // the time `new` returns (the pin runs before the worker's loop).
+        let pinned = spawn_count > 0 && pin && pin_rx.iter().take(spawn_count).all(|ok| ok);
         Self {
             txs,
             done_rx: Mutex::new(done_rx),
             handles,
             size,
+            pinned,
         }
     }
 
     /// Number of workers.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// `true` when every worker thread was successfully pinned to a core.
+    /// Always `false` for size-1 pools (inline execution) and on
+    /// platforms without affinity support.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
     }
 
     /// Run `f(worker_id)` on every worker; return when all have finished.
@@ -255,5 +377,43 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_size_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn unpinned_pool_reports_unpinned() {
+        assert!(!ThreadPool::new(4).is_pinned());
+        // Size-1 pools run inline on the caller and never pin.
+        assert!(!ThreadPool::pinned(1).is_pinned());
+    }
+
+    #[test]
+    fn pinned_pool_executes_and_constrains_workers() {
+        let pool = ThreadPool::pinned(2);
+        let total = AtomicUsize::new(0);
+        let over_constrained = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            total.fetch_add(1, Ordering::SeqCst);
+            if pool.is_pinned() {
+                // A pinned worker may run on exactly one core.
+                if affinity::allowed_cores() != Some(1) {
+                    over_constrained.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 2);
+        assert_eq!(over_constrained.load(Ordering::SeqCst), 0);
+        #[cfg(target_os = "linux")]
+        assert!(pool.is_pinned(), "Linux must support sched_setaffinity");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn affinity_pin_round_trips_on_a_scratch_thread() {
+        std::thread::spawn(|| {
+            assert!(affinity::pin_current_thread(0));
+            assert_eq!(affinity::allowed_cores(), Some(1));
+        })
+        .join()
+        .unwrap();
     }
 }

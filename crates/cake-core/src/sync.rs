@@ -1,0 +1,251 @@
+//! Lock-free synchronization primitives for the CB-block pipeline.
+//!
+//! The executor pays exactly one barrier per CB block (see
+//! [`crate::executor`]), so the barrier *is* the pipeline's residual
+//! synchronization cost. `std::sync::Barrier` parks every waiter in the
+//! kernel — a futex round-trip of microseconds per block, which at small
+//! block counts rivals the packing it synchronizes. BLIS-style GEMM
+//! runtimes (GotoBLAS, BLIS) instead spin on a shared flag in user space;
+//! [`SpinBarrier`] is that primitive:
+//!
+//! * **Sense-reversing.** One shared `sense` flag plus a per-waiter local
+//!   sense ([`WaiterSense`]). Arriving workers flip their local sense and
+//!   spin until the shared flag matches it; the last arrival resets the
+//!   count and publishes the flipped flag, releasing everyone. Because
+//!   consecutive episodes wait on *opposite* flag values, the barrier is
+//!   immediately reusable — a straggler from episode `i` can never be
+//!   confused with an early arrival at episode `i + 1`.
+//! * **Spin-then-yield.** Waiters spin with [`std::hint::spin_loop`] for a
+//!   bounded burst, then fall back to [`std::thread::yield_now`]. On a
+//!   machine with a core per worker the release is observed within tens of
+//!   nanoseconds and the yield path never runs; oversubscribed (more
+//!   workers than cores — CI containers, co-tenant machines), the yield
+//!   donates the timeslice so the stragglers can run, guaranteeing
+//!   progress instead of livelock.
+//! * **Cache-line padded.** The arrival counter and the sense flag live on
+//!   separate (128-byte) lines so the release store is not invalidated by
+//!   late arrivals hammering the counter.
+//!
+//! The memory-ordering contract matches `std::sync::Barrier`: every write
+//! sequenced before a [`SpinBarrier::wait`] happens-before everything
+//! sequenced after the corresponding `wait` on every other worker
+//! (arrivals `AcqRel` on the counter; the release publishes with
+//! `Release`, waiters observe with `Acquire`).
+//!
+//! The `cake-verify` interleaving checker models this exact protocol
+//! (arrive, last-arrival sense flip, release) and proves the executor's
+//! pack/compute steps stay data-race-free under it; the `SkipBarriers`
+//! and `StaleSense` mutants there demonstrate the checker would catch a
+//! barrier that releases early or fails to reverse its sense.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Pad-and-align wrapper keeping one value per 128-byte line (two 64-byte
+/// lines: adjacent-line prefetchers pull pairs, so 64 is not enough).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// Spin iterations before the waiter starts yielding its timeslice. Large
+/// enough to cover the skew of healthy same-speed workers, small enough
+/// that an oversubscribed waiter donates the CPU within ~a microsecond.
+const SPIN_LIMIT: u32 = 4096;
+
+/// A reusable sense-reversing spin barrier for exactly `p` participants.
+pub struct SpinBarrier {
+    /// Workers arrived at the current episode.
+    arrived: CachePadded<AtomicUsize>,
+    /// The shared sense; flips once per episode when the last worker
+    /// arrives.
+    sense: CachePadded<AtomicBool>,
+    p: usize,
+}
+
+/// Per-participant barrier state: which sense value the *next* episode
+/// will release on. Obtain one per worker via [`SpinBarrier::waiter`] and
+/// pass it to every [`SpinBarrier::wait`] call from that worker.
+#[derive(Debug, Clone, Copy)]
+pub struct WaiterSense {
+    sense: bool,
+}
+
+impl SpinBarrier {
+    /// A barrier for `p` participants.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "barrier needs at least one participant");
+        Self {
+            arrived: CachePadded(AtomicUsize::new(0)),
+            sense: CachePadded(AtomicBool::new(false)),
+            p,
+        }
+    }
+
+    /// Participant count.
+    pub fn participants(&self) -> usize {
+        self.p
+    }
+
+    /// Fresh per-worker state. Every participant must create its own
+    /// before its first [`wait`](Self::wait) and reuse it across episodes.
+    pub fn waiter(&self) -> WaiterSense {
+        // The shared flag starts `false`, so the first episode releases on
+        // `true`.
+        WaiterSense { sense: true }
+    }
+
+    /// Block (spinning, then yielding) until all `p` participants arrive.
+    ///
+    /// Establishes the same happens-before edges as
+    /// `std::sync::Barrier::wait`. Returns `true` on exactly one
+    /// participant per episode (the last arrival — the "leader").
+    #[inline]
+    pub fn wait(&self, ws: &mut WaiterSense) -> bool {
+        let my_sense = ws.sense;
+        ws.sense = !my_sense;
+        // AcqRel: the arrival both publishes this worker's prior writes and
+        // (for the leader) acquires every other worker's.
+        if self.arrived.0.fetch_add(1, Ordering::AcqRel) + 1 == self.p {
+            // Leader: reset for the next episode *before* the release store
+            // so a released worker's next arrival finds a clean counter.
+            self.arrived.0.store(0, Ordering::Relaxed);
+            self.sense.0.store(my_sense, Ordering::Release);
+            return true;
+        }
+        let mut spins = 0u32;
+        while self.sense.0.load(Ordering::Acquire) != my_sense {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                // Oversubscribed: the releasing worker may not even be
+                // scheduled. Donate the timeslice instead of burning it.
+                std::thread::yield_now();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_participant_returns_immediately_as_leader() {
+        let b = SpinBarrier::new(1);
+        let mut ws = b.waiter();
+        for _ in 0..100 {
+            assert!(b.wait(&mut ws), "sole participant is always the leader");
+        }
+    }
+
+    #[test]
+    fn barrier_separates_phases_across_threads() {
+        let p = 4;
+        let b = SpinBarrier::new(p);
+        let pre = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..p {
+                s.spawn(|| {
+                    let mut ws = b.waiter();
+                    pre.fetch_add(1, Ordering::SeqCst);
+                    b.wait(&mut ws);
+                    if pre.load(Ordering::SeqCst) != p {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        let p = 3;
+        let rounds = 200;
+        let b = SpinBarrier::new(p);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..p {
+                s.spawn(|| {
+                    let mut ws = b.waiter();
+                    for _ in 0..rounds {
+                        if b.wait(&mut ws) {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), rounds);
+    }
+
+    #[test]
+    fn reuse_across_episodes_never_tears() {
+        // A worker racing into episode i+1 while stragglers sit in episode
+        // i is the classic non-sense-reversing bug; phase counts catch it.
+        let p = 4;
+        let rounds = 500;
+        let b = SpinBarrier::new(p);
+        let phase = AtomicUsize::new(0);
+        let bad = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..p {
+                s.spawn(|| {
+                    let mut ws = b.waiter();
+                    for r in 0..rounds {
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        b.wait(&mut ws);
+                        // Between the two waits every worker of round r has
+                        // incremented and none of round r+1 has.
+                        if phase.load(Ordering::SeqCst) != (r + 1) * p {
+                            bad.fetch_add(1, Ordering::SeqCst);
+                        }
+                        b.wait(&mut ws);
+                    }
+                });
+            }
+        });
+        assert_eq!(bad.load(Ordering::SeqCst), 0);
+        assert_eq!(phase.load(Ordering::SeqCst), rounds * p);
+    }
+
+    /// The satellite oversubscription guarantee: with twice as many
+    /// workers as cores every episode's release depends on threads the
+    /// scheduler has parked, so a pure spin would crawl (or livelock on a
+    /// single-core box); the yield fallback must keep the pipeline moving.
+    #[test]
+    fn oversubscribed_pool_makes_progress_through_many_episodes() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let p = (2 * cores).max(4);
+        let pool = ThreadPool::new(p);
+        let b = SpinBarrier::new(p);
+        let rounds = 100;
+        let phase = AtomicUsize::new(0);
+        let bad = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            let mut ws = b.waiter();
+            for r in 0..rounds {
+                phase.fetch_add(1, Ordering::SeqCst);
+                b.wait(&mut ws);
+                if phase.load(Ordering::SeqCst) != (r + 1) * p {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                }
+                b.wait(&mut ws);
+            }
+        });
+        assert_eq!(bad.load(Ordering::SeqCst), 0);
+        assert_eq!(phase.load(Ordering::SeqCst), rounds * p);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = SpinBarrier::new(0);
+    }
+}

@@ -62,7 +62,12 @@ impl<T: Element> GemmWorkspace<T> {
     /// performed (0 after warmup).
     pub fn prepare(&mut self, shape: &CbBlockShape, mr: usize, nr: usize, n_panels: usize) -> usize {
         let n_panels = n_panels.clamp(2, MAX_B_PANELS);
-        let pa_stride = packed_a_size(shape.mc, shape.k_block(), mr);
+        // Balanced M-partition bound: a full block has ceil(bm / mr) tiles
+        // split contiguously across p workers, so one worker owns at most
+        // ceil(tiles / p) of them — never more than the old fixed-strip
+        // ceil(mc / mr), and exactly it when mc is a multiple of mr.
+        let max_tiles = shape.m_block().div_ceil(mr).div_ceil(shape.p);
+        let pa_stride = packed_a_size(max_tiles * mr, shape.k_block(), mr);
         let pb_len = packed_b_size(shape.k_block(), shape.n_block(), nr);
         let mut fresh = 0;
         fresh += usize::from(self.packed_a.reserve(pa_stride * shape.p));
@@ -146,6 +151,23 @@ mod tests {
         let mut ws = GemmWorkspace::<f32>::new();
         let shape = CbBlockShape::fixed(3, 12, 16, 32);
         ws.prepare(&shape, 6, 16, 2);
+        // mc divisible by mr: the balanced bound equals the fixed strip.
         assert_eq!(ws.pa_stride, packed_a_size(12, 16, 6));
+    }
+
+    #[test]
+    fn pa_stride_balanced_bound_never_exceeds_fixed_strip() {
+        // mc NOT a multiple of mr: the contiguous tile split hands one
+        // worker at most ceil(ceil(p*mc/mr)/p) tiles, which can be fewer
+        // than the old per-worker ceil(mc/mr).
+        let mut ws = GemmWorkspace::<f32>::new();
+        let shape = CbBlockShape::fixed(3, 8, 16, 32); // bm = 24, mr = 6
+        ws.prepare(&shape, 6, 16, 2);
+        // ceil(24/6) = 4 tiles over 3 workers -> max 2 tiles = 12 rows.
+        assert_eq!(ws.pa_stride, packed_a_size(12, 16, 6));
+        // A 5-worker split of the same 24 rows: ceil(4/5) = 1 tile each.
+        let mut ws5 = GemmWorkspace::<f32>::new();
+        ws5.prepare(&CbBlockShape::fixed(5, 5, 16, 32), 6, 16, 2); // bm = 25
+        assert_eq!(ws5.pa_stride, packed_a_size(6, 16, 6));
     }
 }

@@ -36,6 +36,29 @@ pub fn packed_b_size(kc: usize, nc: usize, nr: usize) -> usize {
     nc.div_ceil(nr) * nr * kc
 }
 
+/// The `idx`-th of `parts` balanced contiguous sub-ranges of `[0, total)`.
+///
+/// The partition rule for all cooperative work splitting in the executor
+/// (B-sliver packing shares, per-worker M-tile strips): the first
+/// `total % parts` ranges hold `ceil(total / parts)` items, the rest
+/// `floor(total / parts)` — so no range is more than one item longer than
+/// any other, ranges are contiguous (consecutive memory => streaming packs),
+/// and the union covers `[0, total)` exactly once. Ranges with index past
+/// the work (`parts > total`) come back empty.
+///
+/// # Panics
+/// Panics if `parts == 0` or `idx >= parts`.
+#[inline]
+pub fn split_range(total: usize, parts: usize, idx: usize) -> std::ops::Range<usize> {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(idx < parts, "part index {idx} out of range for {parts} parts");
+    let base = total / parts;
+    let extra = total % parts;
+    let start = idx * base + idx.min(extra);
+    let len = base + usize::from(idx < extra);
+    start..start + len
+}
+
 /// Offset of A sliver `s` within a packed-A buffer.
 #[inline]
 pub fn a_sliver_offset(s: usize, kc: usize, mr: usize) -> usize {
@@ -184,6 +207,31 @@ mod tests {
     use super::*;
     use cake_matrix::{init, Matrix};
     use proptest::prelude::*;
+
+    #[test]
+    fn split_range_partitions_exactly_with_max_one_extra() {
+        for total in 0..60usize {
+            for parts in 1..12usize {
+                let mut next = 0usize;
+                let mut sizes = Vec::new();
+                for idx in 0..parts {
+                    let r = split_range(total, parts, idx);
+                    assert_eq!(r.start, next, "ranges must tile [0, total)");
+                    next = r.end;
+                    sizes.push(r.len());
+                }
+                assert_eq!(next, total, "union must cover all items");
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "imbalance > 1: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn split_range_rejects_zero_parts() {
+        let _ = split_range(4, 0, 0);
+    }
 
     #[test]
     fn pack_a_round_trips() {

@@ -5,10 +5,15 @@
 //! `cake_core::executor`) is small: `p` workers walk the same K-first
 //! schedule in lockstep; each block's B panel lives in a ring slot chosen
 //! by the shared [`PanelCache`] replay; workers cooperatively pack the
-//! *next* block's panel while others may still be computing the current
-//! one; a single rotation barrier per block separates "everyone done
-//! reading block `i`" from "block `i+1`'s panel is complete". Its safety
-//! rests on two claims:
+//! *next* block's panel (each owning a contiguous `split_range` run of
+//! its slivers) while others may still be computing the current one; a
+//! single rotation barrier per block separates "everyone done reading
+//! block `i`" from "block `i+1`'s panel is complete". The real barrier is
+//! the sense-reversing `cake_core::sync::SpinBarrier`; the model's
+//! `Barrier` step has the same contract — nobody advances past episode
+//! `e` until all `p` workers arrive at it — which is exactly what sense
+//! reversal guarantees (release-on-last-arrival, immediately reusable).
+//! Its safety rests on two claims:
 //!
 //! 1. no worker begins computing from a panel sliver before the pack of
 //!    that sliver (for that block's surface) has completed, and
@@ -23,13 +28,16 @@
 //! either claim — plus deadlocks. Per-worker A strips are private by
 //! construction and are not modeled.
 //!
-//! Two seeded **mutants** prove the checker has teeth: removing the
-//! barriers ([`Mutant::SkipBarriers`]) and evicting the live panel on a
-//! ring miss ([`Mutant::EvictLive`]) must each produce violations.
+//! Three seeded **mutants** prove the checker has teeth: removing the
+//! barriers ([`Mutant::SkipBarriers`]), evicting the live panel on a ring
+//! miss ([`Mutant::EvictLive`]), and a barrier that fails to reverse its
+//! sense so every other episode passes straight through on the stale flag
+//! ([`Mutant::StaleSense`]) must each produce violations.
 
 use std::collections::HashSet;
 
 use cake_core::panel::{PanelAction, PanelCache};
+use cake_kernels::pack::split_range;
 use cake_core::schedule::{BlockCoord, BlockGrid, KFirstSchedule, OuterLoop};
 
 /// Protocol mutation injected into the generated programs.
@@ -42,6 +50,10 @@ pub enum Mutant {
     /// On a ring miss, evict the panel live for the *previous* block
     /// instead of the LRU non-live slot.
     EvictLive,
+    /// A barrier that does not reverse its sense: waiters test a stale
+    /// flag value and fall straight through every *other* episode (modeled
+    /// by dropping the odd-indexed barriers from every program).
+    StaleSense,
 }
 
 /// One model-checking scenario.
@@ -53,8 +65,9 @@ pub struct InterleaveSpec {
     pub grid: BlockGrid,
     /// Outer loop direction of the snake.
     pub outer: OuterLoop,
-    /// B-panel slivers per panel (cooperative pack granularity; sliver `t`
-    /// is owned by worker `t % p`).
+    /// B-panel slivers per panel (cooperative pack granularity; worker `w`
+    /// owns the contiguous `split_range(slivers, p, w)` run, mirroring the
+    /// executor).
     pub slivers: usize,
     /// Panel-ring depth (>= 2).
     pub ring: usize,
@@ -189,22 +202,35 @@ fn ring_decisions(
 /// prologue pack of block 0's panel + barrier, then per block
 /// compute-then-pack-next-then-barrier.
 fn build_programs(spec: &InterleaveSpec, info: &[BlockInfo]) -> Vec<Vec<Step>> {
-    let barriers = spec.mutant != Mutant::SkipBarriers;
     (0..spec.p)
         .map(|w| {
             let mut prog = Vec::new();
-            let owned: Vec<usize> = (0..spec.slivers).filter(|t| t % spec.p == w).collect();
+            let owned: Vec<usize> = split_range(spec.slivers, spec.p, w).collect();
             let pack_all = |prog: &mut Vec<Step>, panel: usize, surface: u16| {
                 for &t in &owned {
                     prog.push(Step::PackB { panel: panel as u8, sliver: t as u8, surface });
                 }
             };
+            // Barrier emission under mutation. Every worker sees the same
+            // episode index at the same program point, so a dropped episode
+            // is dropped consistently — exactly what a stale-sense
+            // fall-through looks like to the protocol.
+            let mut episode = 0usize;
+            let mut barrier = |prog: &mut Vec<Step>| {
+                let keep = match spec.mutant {
+                    Mutant::SkipBarriers => false,
+                    Mutant::StaleSense => episode.is_multiple_of(2),
+                    _ => true,
+                };
+                episode += 1;
+                if keep {
+                    prog.push(Step::Barrier);
+                }
+            };
 
             if let Some(first) = info.first() {
                 pack_all(&mut prog, first.pack.expect("block 0 always packs"), first.surface);
-                if barriers {
-                    prog.push(Step::Barrier);
-                }
+                barrier(&mut prog);
             }
             for (bi, b) in info.iter().enumerate() {
                 prog.push(Step::BeginCompute { panel: b.panel as u8, surface: b.surface });
@@ -214,9 +240,7 @@ fn build_programs(spec: &InterleaveSpec, info: &[BlockInfo]) -> Vec<Vec<Step>> {
                     if let Some(target) = next.pack {
                         pack_all(&mut prog, target, next.surface);
                     }
-                    if barriers {
-                        prog.push(Step::Barrier);
-                    }
+                    barrier(&mut prog);
                 }
             }
             prog
@@ -429,7 +453,14 @@ pub fn run_default_suite() -> Result<SuiteReport, String> {
     if r.violations.is_empty() {
         return Err("interleave [mutant]: evicting the live panel went undetected".into());
     }
-    report.lines.push("mutants caught: SkipBarriers, EvictLive (baselines clean)".into());
+    let stale = InterleaveSpec { mutant: Mutant::StaleSense, ..reversal };
+    let r = explore(&stale);
+    if r.violations.is_empty() {
+        return Err("interleave [mutant]: a stale-sense barrier went undetected".into());
+    }
+    report
+        .lines
+        .push("mutants caught: SkipBarriers, EvictLive, StaleSense (baselines clean)".into());
 
     Ok(report)
 }
@@ -478,6 +509,31 @@ mod tests {
             "expected a pack-into-live-panel violation, got {:?}",
             r.violations
         );
+    }
+
+    #[test]
+    fn stale_sense_mutant_is_caught() {
+        // Only every other episode synchronizes: a worker can race past a
+        // dropped rotation barrier and read a panel sliver mid-pack.
+        let spec = InterleaveSpec {
+            mutant: Mutant::StaleSense,
+            ..base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 })
+        };
+        let r = explore(&spec);
+        assert!(
+            r.violations.iter().any(|v| v.contains("read before pack")),
+            "expected a read-before-pack violation, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn oversubscribed_worker_ownership_covers_all_slivers() {
+        // p > slivers: trailing workers own nothing but still hit every
+        // barrier; the protocol must stay violation-free and complete.
+        let spec = InterleaveSpec { slivers: 2, ..base_spec(3, BlockGrid { mb: 2, kb: 2, nb: 1 }) };
+        let r = explore(&spec);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
     #[test]
