@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # CI gate for the cake-rs workspace.
 #
-#   ./ci.sh                full gate: tier-1, all tests, clippy, verify, bench snapshot
-#   ./ci.sh --fast         tier-1 + clippy only (skip verify + bench snapshot)
+#   ./ci.sh                full gate: tier-1, all tests, clippy, audit, verify, bench snapshot
+#   ./ci.sh --fast         tier-1 + clippy only (skip audit + verify + bench snapshot)
 #   ./ci.sh --verify       verification suite only (cakectl verify, 256 fuzz cases)
 #   ./ci.sh --scale-smoke  one p=4 GEMM sweep asserting pack counters match p=1
+#   ./ci.sh --audit        static analysis only (cakectl audit: unsafe ratchet,
+#                          symbolic bounds proofs, executor phase checker)
+#   ./ci.sh --miri         Miri pass over the pointer-heavy crates (needs a
+#                          nightly toolchain with the miri component; skips
+#                          gracefully when unavailable so the gate stays green
+#                          on the stable-only container)
 #
 # The bench snapshot rewrites BENCH_gemm.json in the repo root so the
 # pipelined executor's throughput, allocation-freedom, and pack-overlap
@@ -42,6 +48,27 @@ run_scale_smoke() {
         gemm --m 192 --k 192 --n 192 --threads 1,4 --check-counters
 }
 
+run_audit() {
+    echo "==> static analysis (cakectl audit)"
+    cargo run --release -p cake-bench --bin cakectl -- audit
+}
+
+run_miri() {
+    # Interpret the pointer-heavy unit tests under Miri to catch UB the
+    # static bounds checker cannot see (uninit reads, provenance misuse).
+    # The spin barrier drops to a tiny spin limit under cfg(miri) and the
+    # sched_setaffinity syscalls are compiled out, so the executor tests
+    # terminate. Requires nightly + the miri component; the pinned stable
+    # container has neither, so skip (not fail) when they are missing.
+    echo "==> miri (cake-matrix, cake-kernels, cake-core unit tests)"
+    if ! cargo +nightly miri --version >/dev/null 2>&1; then
+        echo "    miri unavailable (no nightly toolchain with miri component); skipping"
+        return 0
+    fi
+    MIRIFLAGS="-Zmiri-many-seeds=0..4" cargo +nightly miri test \
+        -p cake-matrix -p cake-kernels -p cake-core -q
+}
+
 if [[ "${1:-}" == "--verify" ]]; then
     run_verify
     echo "==> ci.sh: verification passed"
@@ -51,6 +78,18 @@ fi
 if [[ "${1:-}" == "--scale-smoke" ]]; then
     run_scale_smoke
     echo "==> ci.sh: scale smoke passed"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--audit" ]]; then
+    run_audit
+    echo "==> ci.sh: audit passed"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--miri" ]]; then
+    run_miri
+    echo "==> ci.sh: miri pass done"
     exit 0
 fi
 
@@ -65,6 +104,7 @@ echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [[ "${1:-}" != "--fast" ]]; then
+    run_audit
     run_verify
     run_scale_smoke
 

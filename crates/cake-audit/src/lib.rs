@@ -1,0 +1,240 @@
+//! cake-audit: in-tree, dependency-free static analysis for the CAKE
+//! workspace.
+//!
+//! Three analyses, wired into `cakectl audit` and `./ci.sh --audit`:
+//!
+//! 1. **Unsafe auditor** ([`scan`]): lexes every `.rs` file, inventories
+//!    `unsafe` sites, enforces `// SAFETY:` annotations, confines unsafe to
+//!    the allowlist in the committed `unsafe-ratchet.toml`, and ratchets
+//!    per-file counts (they may fall, never silently rise).
+//! 2. **Symbolic bounds checker** ([`bounds`]): models every pack /
+//!    microkernel / executor / goto raw-pointer offset site as
+//!    `need <= cap` over the tuning variables and proves it for the whole
+//!    tuning space (polynomial equality or dominance certificates, plus
+//!    exhaustive small-extent model checking), emitting a machine-readable
+//!    proof report.
+//! 3. **Phase/dominance checker** ([`phase`]): derives the executor's
+//!    shared-buffer protocol from `// audit: step` annotations in
+//!    `executor.rs` and `// audit: fact` annotations in `sync.rs`, then
+//!    exhausts every interleaving through cake-verify's step machine.
+//!
+//! Every run also executes a **self-check**: seeded mutants of each class
+//! (off-by-one tail, missing barrier annotation, uncommented unsafe) must
+//! be caught, or the audit fails — a green audit from a toothless checker
+//! is worse than no audit.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bounds;
+pub mod interval;
+pub mod phase;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Audit invocation parameters.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Workspace root (the directory holding the workspace `Cargo.toml`).
+    pub root: PathBuf,
+    /// Regenerate `unsafe-ratchet.toml` from the current tree before
+    /// checking against it.
+    pub bless: bool,
+}
+
+/// Aggregated audit result.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// Unsafe auditor result.
+    pub scan: scan::ScanReport,
+    /// Bounds prover result.
+    pub bounds: bounds::BoundsReport,
+    /// Phase checker result.
+    pub phase: phase::PhaseReport,
+    /// Self-check failures (seeded mutants that were *not* caught).
+    pub self_check: Vec<String>,
+    /// Whether a fresh ratchet was written this run.
+    pub blessed: bool,
+}
+
+impl AuditOutcome {
+    /// `true` when all three analyses and the self-check passed.
+    pub fn ok(&self) -> bool {
+        self.scan.violations.is_empty()
+            && self.bounds.ok()
+            && self.phase.ok()
+            && self.self_check.is_empty()
+    }
+
+    /// Human-readable report for the CLI.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        out.push(format!(
+            "unsafe: {} site(s) across {} file(s), {} violation(s){}",
+            self.scan.total_sites,
+            self.scan.files.len(),
+            self.scan.violations.len(),
+            if self.blessed { " [ratchet re-blessed]" } else { "" }
+        ));
+        for vi in &self.scan.violations {
+            out.push(format!("  VIOLATION {vi}"));
+        }
+        for note in &self.scan.notes {
+            out.push(format!("  note: {note}"));
+        }
+        let proven = self.bounds.proofs.iter().filter(|p| p.method.is_some()).count();
+        out.push(format!(
+            "bounds: {proven}/{} offset sites proven, {} code lemma(s) held",
+            self.bounds.proofs.len(),
+            self.bounds.lemmas.len()
+        ));
+        for p in &self.bounds.proofs {
+            match p.method {
+                Some(m) => out.push(format!(
+                    "  {} [{}] checked {} assignment(s): {}",
+                    p.name,
+                    m.name(),
+                    p.checked,
+                    p.place
+                )),
+                None => out.push(format!(
+                    "  VIOLATION {} unproven: {}",
+                    p.name,
+                    p.witness.as_deref().unwrap_or("no witness")
+                )),
+            }
+        }
+        for f in &self.bounds.lemma_failures {
+            out.push(format!("  VIOLATION lemma: {f}"));
+        }
+        out.push(format!(
+            "phase: {} scenario(s) explored, {} violation(s)",
+            self.phase.scenarios.len(),
+            self.phase.violations.len()
+        ));
+        for s in &self.phase.scenarios {
+            out.push(format!("  {s}"));
+        }
+        for vi in &self.phase.violations {
+            out.push(format!("  VIOLATION {vi}"));
+        }
+        if self.self_check.is_empty() {
+            out.push("self-check: all seeded mutant classes caught".to_string());
+        } else {
+            for f in &self.self_check {
+                out.push(format!("self-check VIOLATION: {f}"));
+            }
+        }
+        out.push(format!("audit: {}", if self.ok() { "PASS" } else { "FAIL" }));
+        out
+    }
+}
+
+/// Locate the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Seeded mutants of the *real* sources: each class must be caught by its
+/// analysis or the returned list names the toothless checker.
+fn self_check(executor_src: &str, sync_src: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    // Class 1 — uncommented unsafe: strip every SAFETY token from the real
+    // executor source; the scanner must flag at least one site.
+    let stripped = executor_src.replace("SAFETY", "NOTE").replace("Safety", "Note");
+    let mutant = scan::scan_source("executor-mutant.rs", &stripped);
+    if !mutant.sites.iter().any(|s| !s.annotated) {
+        failures.push("scan: stripping all SAFETY comments from executor.rs went undetected".into());
+    }
+
+    // Class 2 — off-by-one offsets: every seeded bounds mutant must be
+    // refuted with a concrete witness.
+    for m in bounds::mutant_sites() {
+        let proof = bounds::prove_site(&m);
+        if proof.method.is_some() || proof.witness.is_none() {
+            failures.push(format!("bounds: mutant {} was not refuted", m.name));
+        }
+    }
+
+    // Class 3 — missing barrier annotation (and the live-slot aliasing
+    // variant): doctored real sources must produce violations.
+    let no_barrier = phase::drop_lines(executor_src, "audit: step block barrier");
+    if phase::check_with_sources(&no_barrier, sync_src).ok() {
+        failures.push("phase: dropping the block-barrier annotation went undetected".into());
+    }
+    let live_slot = executor_src.replace("pack_b slot=next", "pack_b slot=cur");
+    if phase::check_with_sources(&live_slot, sync_src).ok() {
+        failures.push("phase: packing into the live ring slot went undetected".into());
+    }
+    let no_fact = phase::drop_lines(sync_src, "audit: fact");
+    if phase::check_with_sources(executor_src, &no_fact).ok() {
+        failures.push("phase: dropping the sync.rs barrier facts went undetected".into());
+    }
+
+    failures
+}
+
+/// Run the full audit over the tree rooted at `cfg.root`.
+pub fn run(cfg: &AuditConfig) -> io::Result<AuditOutcome> {
+    let scans = scan::scan_tree(&cfg.root)?;
+
+    let ratchet_path = cfg.root.join(scan::RATCHET_FILE);
+    let mut blessed = false;
+    if cfg.bless {
+        fs::write(&ratchet_path, scan::render_ratchet(&scans))?;
+        blessed = true;
+    }
+    let ratchet_text = fs::read_to_string(&ratchet_path).ok();
+    let scan_report = scan::audit_scans(&scans, ratchet_text.as_deref());
+
+    let bounds_report = bounds::check();
+
+    let executor_src = fs::read_to_string(cfg.root.join("crates/cake-core/src/executor.rs"))?;
+    let sync_src = fs::read_to_string(cfg.root.join("crates/cake-core/src/sync.rs"))?;
+    let phase_report = phase::check_with_sources(&executor_src, &sync_src);
+
+    let self_check = self_check(&executor_src, &sync_src);
+
+    Ok(AuditOutcome { scan: scan_report, bounds: bounds_report, phase: phase_report, self_check, blessed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    #[test]
+    fn full_audit_passes_on_this_tree() {
+        let outcome = run(&AuditConfig { root: repo_root(), bless: false }).expect("audit runs");
+        assert!(outcome.ok(), "audit failed:\n{}", outcome.summary_lines().join("\n"));
+        assert!(outcome.scan.total_sites > 0, "the workspace certainly contains unsafe");
+        assert!(outcome.bounds.proofs.len() >= 12);
+    }
+
+    #[test]
+    fn self_check_catches_all_mutant_classes_on_real_sources() {
+        let root = repo_root();
+        let executor =
+            fs::read_to_string(root.join("crates/cake-core/src/executor.rs")).unwrap();
+        let sync = fs::read_to_string(root.join("crates/cake-core/src/sync.rs")).unwrap();
+        assert!(self_check(&executor, &sync).is_empty());
+    }
+}

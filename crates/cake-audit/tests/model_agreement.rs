@@ -1,0 +1,111 @@
+//! The bounds checker's interval model vs the real packing routines.
+//!
+//! The symbolic sites in `cake_audit::bounds` claim that the packing loops
+//! touch exactly the element range `[0, need)` of their destination. This
+//! test pins that claim to the actual code with a sentinel-fill instrument:
+//! fill an oversized destination with NaN, run the real `pack_a`/`pack_b`,
+//! and require that *every* index below the model's `need` was written
+//! (zero padding included) and *no* index at or above it was — on random
+//! draws of the extents, via the in-tree proptest shim. If a pack loop ever
+//! drifts from the model (an off-by-one tail, a sliver stride change), the
+//! agreement breaks here even though the symbolic proof still "passes" on
+//! the stale model.
+
+use std::collections::BTreeMap;
+
+use cake_audit::bounds::sites;
+use cake_audit::interval::Expr;
+use cake_kernels::pack::{pack_a, pack_b, packed_a_size, packed_b_size};
+use cake_matrix::init;
+use proptest::prelude::*;
+
+/// Slack elements appended past the model's `cap` so an overrun lands on a
+/// still-sentinel index instead of out-of-bounds UB.
+const PAD: usize = 64;
+
+fn site_exprs(name: &str) -> (Expr, Expr) {
+    let site = sites()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("site {name} missing"));
+    (site.need, site.cap)
+}
+
+fn eval(e: &Expr, env: &[(&'static str, i128)]) -> usize {
+    let env: BTreeMap<&'static str, i128> = env.iter().copied().collect();
+    usize::try_from(e.eval(&env)).expect("model offsets are non-negative")
+}
+
+/// Fill `len + PAD` with NaN, run `fill`, and check the touched prefix is
+/// exactly `[0, need)`.
+fn check_touched(need: usize, len: usize, fill: impl FnOnce(&mut [f32])) {
+    assert!(need <= len, "model must bound its own capacity");
+    let mut dst = vec![f32::NAN; len + PAD];
+    fill(&mut dst[..len]);
+    for (i, x) in dst.iter().enumerate() {
+        if i < need {
+            assert!(!x.is_nan(), "index {i} < need {need} left unwritten");
+        } else {
+            assert!(x.is_nan(), "index {i} >= need {need} was written");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `pack_a` touches exactly `[0, need)` of its destination, where
+    /// `need` is the `pack_a_sliver_tail` site's model expression.
+    #[test]
+    fn pack_a_matches_interval_model(
+        ml in 1usize..40,
+        kl in 1usize..24,
+        mr in 1usize..12,
+        seed in 0u64..1024,
+    ) {
+        let (need_e, cap_e) = site_exprs("pack_a_sliver_tail");
+        let env = [("ml", ml as i128), ("mr", mr as i128), ("kl", kl as i128)];
+        let need = eval(&need_e, &env);
+        let cap = eval(&cap_e, &env);
+        prop_assert_eq!(cap, packed_a_size(ml, kl, mr), "model cap vs real sizing");
+        let a = init::random::<f32>(ml, kl, seed);
+        check_touched(need, cap, |dst| pack_a(&a.view(), dst, mr));
+    }
+
+    /// `pack_b` touches exactly `[0, need)` of its destination, where
+    /// `need` is the `pack_b_sliver_tail` site's model expression.
+    #[test]
+    fn pack_b_matches_interval_model(
+        nl in 1usize..40,
+        kl in 1usize..24,
+        nr in 1usize..12,
+        seed in 0u64..1024,
+    ) {
+        let (need_e, cap_e) = site_exprs("pack_b_sliver_tail");
+        let env = [("nl", nl as i128), ("nr", nr as i128), ("kl", kl as i128)];
+        let need = eval(&need_e, &env);
+        let cap = eval(&cap_e, &env);
+        prop_assert_eq!(cap, packed_b_size(kl, nl, nr), "model cap vs real sizing");
+        let b = init::random::<f32>(kl, nl, seed);
+        check_touched(need, cap, |dst| pack_b(&b.view(), dst, nr));
+    }
+}
+
+/// The instrument itself has teeth: an off-by-one `need` in either
+/// direction must fail the sentinel check.
+#[test]
+fn sentinel_instrument_detects_model_drift() {
+    let (need_e, _) = site_exprs("pack_a_sliver_tail");
+    let env = [("ml", 5i128), ("mr", 4i128), ("kl", 3i128)];
+    let need = eval(&need_e, &env);
+    let len = packed_a_size(5, 3, 4);
+    let run = |claimed: usize| {
+        std::panic::catch_unwind(|| {
+            let a = init::random::<f32>(5, 3, 7);
+            check_touched(claimed, len, |dst| pack_a(&a.view(), dst, 4));
+        })
+    };
+    assert!(run(need).is_ok(), "true need must agree");
+    assert!(run(need - 1).is_err(), "understated need must be caught");
+    assert!(run(need + 1).is_err(), "overstated need must be caught");
+}

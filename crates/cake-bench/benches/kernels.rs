@@ -24,6 +24,8 @@ fn bench_kernel(c: &mut Criterion, name: &str, ukr: Ukr<f32>) {
         group.throughput(Throughput::Elements((2 * mr * nr * kc) as u64));
         group.bench_with_input(BenchmarkId::new("full_tile", kc), &kc, |bch, &kc| {
             bch.iter(|| {
+                // SAFETY: pa/pb are full packed slivers and ct is a dense
+                // mr x nr tile with rsc=nr, csc=1.
                 unsafe {
                     ukr.call(kc, pa.as_ptr(), pb.as_ptr(), ct.as_mut_ptr(), nr, 1);
                 }
@@ -33,6 +35,8 @@ fn bench_kernel(c: &mut Criterion, name: &str, ukr: Ukr<f32>) {
         // Edge path: one row / one column short of a full tile.
         group.bench_with_input(BenchmarkId::new("edge_tile", kc), &kc, |bch, &kc| {
             bch.iter(|| {
+                // SAFETY: pa/pb are full packed slivers; the (mr-1)x(nr-1)
+                // edge region stays inside the mr x nr tile ct.
                 unsafe {
                     run_tile(
                         &ukr,

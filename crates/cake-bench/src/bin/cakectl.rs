@@ -8,6 +8,7 @@
 //! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats] [--pin]
 //!                  [--threads P | --threads P1,P2,...] [--check-counters]
 //! cakectl verify   [--cases C] [--seed S]
+//! cakectl audit    [--bless] [--root DIR]
 //! ```
 //!
 //! Everything the paper derives analytically, queryable from the shell —
@@ -28,6 +29,13 @@
 //! (default 256 cases; `--seed` or `CAKE_TEST_SEED` perturbs the stream),
 //! the model-conformance oracle, and the deterministic interleaving
 //! checker. Exit status 1 on any failure.
+//!
+//! `audit` runs the in-tree static analyses (`cake-audit`): the unsafe
+//! inventory against the committed `unsafe-ratchet.toml`, the symbolic
+//! bounds prover over every raw-pointer offset site (proof report written
+//! to `target/cake-audit/bounds.json`), and the executor phase checker.
+//! `--bless` regenerates the ratchet from the current tree before
+//! checking. Exit status 1 on any violation.
 
 use cake_bench::output::{arg_value, has_flag, render_table};
 use cake_bench::scaling::{counters_invariant, sweep_shape};
@@ -258,6 +266,45 @@ fn cmd_verify() {
     }
 }
 
+fn cmd_audit() {
+    let root = match arg_value("--root").map(std::path::PathBuf::from) {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+            match cake_audit::find_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!("no workspace Cargo.toml above {}; pass --root", cwd.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let cfg = cake_audit::AuditConfig {
+        root: root.clone(),
+        bless: has_flag("--bless"),
+    };
+    let outcome = match cake_audit::run(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("audit failed to run: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Machine-readable proof report for tooling; failures here are not
+    // audit violations (the summary already carries the verdict).
+    let report_dir = root.join("target/cake-audit");
+    if std::fs::create_dir_all(&report_dir).is_ok() {
+        let _ = std::fs::write(report_dir.join("bounds.json"), outcome.bounds.to_json());
+    }
+    for line in outcome.summary_lines() {
+        println!("{line}");
+    }
+    if !outcome.ok() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_gemm() {
     let (m, k, n) = (req_usize("--m"), req_usize("--k"), req_usize("--n"));
     let iters = opt_usize("--iters", 3).max(1);
@@ -343,9 +390,10 @@ fn main() {
         "traffic" => cmd_traffic(),
         "gemm" => cmd_gemm(),
         "verify" => cmd_verify(),
+        "audit" => cmd_audit(),
         _ => {
             eprintln!(
-                "usage: cakectl <shape|simulate|search|traffic|gemm|verify> [options]\n\
+                "usage: cakectl <shape|simulate|search|traffic|gemm|verify|audit> [options]\n\
                  see module docs (crates/cake-bench/src/bin/cakectl.rs) for flags"
             );
             std::process::exit(2);

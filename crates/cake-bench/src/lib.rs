@@ -19,6 +19,8 @@
 //! (Figure 13's strong-scaling measurement plus the counter-invariance
 //! gate) shared by `bench_snapshot` and `cakectl gemm --threads`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod figures;
 pub mod harness;
 pub mod output;

@@ -305,6 +305,7 @@ pub fn execute_with_stats_in<T: Element>(
     let panels: Vec<&crate::shared::SharedBuf<T>> =
         ws.packed_b.iter().take(n_panels).collect();
     let panels = panels.as_slice();
+    let pb_len = panels.first().map_or(0, |pb| pb.len());
 
     let barrier = SpinBarrier::new(p);
     // SAFETY: the pointer lives as long as `c`; workers write disjoint rows.
@@ -355,6 +356,9 @@ pub fn execute_with_stats_in<T: Element>(
             for t in split_range(nslivers, p, wid) {
                 let col0 = g.n0 + t * nr;
                 let live = nr.min(g.n0 + g.nl - col0);
+                // Mirrors the `exec_pb_sliver_write` interval proof in
+                // cake-audit: the sliver end never passes the panel end.
+                debug_assert!((t + 1) * nr * g.kl <= pb_len);
                 // SAFETY: sliver t occupies [t*nr*kl, (t+1)*nr*kl), within
                 // capacity since t < nslivers <= bn/nr and kl <= bk; sliver
                 // ranges of distinct t are disjoint and each t has one owner.
@@ -378,6 +382,10 @@ pub fn execute_with_stats_in<T: Element>(
             let Some((row0, rows)) = my_rows(g) else {
                 return;
             };
+            // Mirrors `exec_pa_strip` / `exec_pa_pack` in cake-audit: the
+            // strip fits the shared buffer and the packed strip fits it.
+            debug_assert!((wid + 1) * pa_stride <= packed_a.len());
+            debug_assert!(cake_kernels::pack::packed_a_size(rows, g.kl, mr) <= pa_stride);
             // SAFETY: each worker owns the disjoint range
             // [wid*pa_stride, (wid+1)*pa_stride) of the shared buffer.
             let pa: &mut [T] = unsafe {
@@ -400,15 +408,22 @@ pub fn execute_with_stats_in<T: Element>(
                 return; // edge block with fewer tiles than workers
             };
             // Read-only phase: raw pointers, no outstanding `&mut`.
+            // SAFETY: wid*pa_stride is within the buffer (exec_pa_strip
+            // proof) and no `&mut` to it is live during the compute phase.
             let pa_ptr = unsafe { packed_a.base_ptr().add(wid * pa_stride) as *const T };
             let a_slivers = rows.div_ceil(mr);
             let b_slivers = g.nl.div_ceil(nr);
             for t in 0..b_slivers {
                 let ncols = nr.min(g.nl - t * nr);
                 let col = g.n0 + t * nr;
+                // Mirrors `exec_pb_sliver_read` in cake-audit.
+                debug_assert!((t + 1) * nr * g.kl <= pb_len);
                 for s in 0..a_slivers {
                     let mrows = mr.min(rows - s * mr);
                     let row = g.m0 + row0 + s * mr;
+                    // Mirrors `exec_pa_read` and `exec_c_tile` in cake-audit.
+                    debug_assert!((s + 1) * mr * g.kl <= pa_stride);
+                    debug_assert!(row + mrows <= m && col + ncols <= n);
                     // SAFETY: packed slivers are zero-padded full tiles;
                     // C indices (row, col) + (mrows, ncols) are in bounds;
                     // each worker's rows are disjoint from all others'.
@@ -448,16 +463,20 @@ pub fn execute_with_stats_in<T: Element>(
                 let c0 = sched.coord_at(0);
                 cache.seed((c0.k, c0.n));
                 let t0 = Instant::now();
+                // audit: step prologue pack_b slot=first
                 pack_b_coop(&g, panels[0].base_ptr());
+                // audit: step prologue pack_a
                 pack_a_own(&g);
                 pack_ns += t0.elapsed().as_nanos() as u64;
                 let t1 = Instant::now();
+                // audit: step prologue barrier
                 barrier.wait(&mut bsense);
                 wait_ns += t1.elapsed().as_nanos() as u64;
                 waits += 1;
             }
 
             let t0 = Instant::now();
+            // audit: step block compute slot=cur
             compute(&g, panels[cache.cur()].base_ptr() as *const T);
             compute_ns += t0.elapsed().as_nanos() as u64;
 
@@ -474,9 +493,11 @@ pub fn execute_with_stats_in<T: Element>(
                 let gn = blk(bi + 1);
                 let t1 = Instant::now();
                 if let PanelAction::Pack(next) = cache.advance((cn.k, cn.n)) {
+                    // audit: step block pack_b slot=next cond=ring-miss
                     pack_b_coop(&gn, panels[next].base_ptr());
                 }
                 if !share_a {
+                    // audit: step block pack_a cond=!share_a
                     pack_a_own(&gn);
                 }
                 pack_ns += t1.elapsed().as_nanos() as u64;
@@ -484,6 +505,7 @@ pub fn execute_with_stats_in<T: Element>(
                 // Rotation barrier: block bi's reads are done everywhere,
                 // block bi+1's panel is complete everywhere.
                 let t2 = Instant::now();
+                // audit: step block barrier cond=has-next
                 barrier.wait(&mut bsense);
                 wait_ns += t2.elapsed().as_nanos() as u64;
                 waits += 1;
@@ -948,6 +970,7 @@ mod partition_tests {
         /// Satellite: the balanced M-partition covers `[0, ml)` exactly
         /// once for arbitrary `(ml, mr, p)` — including `p` greater than
         /// the tile count, where trailing workers must idle cleanly.
+        #[test]
         fn balanced_partition_tiles_every_row_exactly_once(
             ml in 0usize..400,
             mr in 1usize..17,

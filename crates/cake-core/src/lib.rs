@@ -27,6 +27,8 @@
 //! * [`api`] — drop-in entry points [`api::cake_sgemm`] / [`api::cake_dgemm`].
 //! * [`tune`] — `alpha` selection from available DRAM bandwidth (Section 3.2).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod api;
 mod counters;
 pub mod executor;

@@ -33,7 +33,9 @@ use std::thread::JoinHandle;
 /// `extern "C"` declaration suffices). Elsewhere it is a no-op returning
 /// `false`.
 pub mod affinity {
-    #[cfg(target_os = "linux")]
+    // Miri has no sched_* shims — under it the module is compiled out and
+    // pinning degrades to the portable no-op path.
+    #[cfg(all(target_os = "linux", not(miri)))]
     mod sys {
         // Mirrors <sched.h>: cpu_set_t is a fixed bitmask; 16 u64 words
         // cover 1024 CPUs, the glibc default CPU_SETSIZE.
@@ -50,12 +52,15 @@ pub mod affinity {
             }
             let mut mask = [0u64; MASK_WORDS];
             mask[core / 64] |= 1u64 << (core % 64);
-            // pid 0 = the calling thread.
+            // SAFETY: pid 0 = the calling thread; the mask is a live, fully
+            // initialized MASK_WORDS*8-byte buffer matching cpusetsize.
             unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
         }
 
         pub fn allowed_cores() -> Option<usize> {
             let mut mask = [0u64; MASK_WORDS];
+            // SAFETY: pid 0 = the calling thread; the kernel writes at most
+            // cpusetsize bytes into the live mask buffer.
             let rc =
                 unsafe { sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr()) };
             (rc == 0).then(|| mask.iter().map(|w| w.count_ones() as usize).sum())
@@ -66,11 +71,11 @@ pub mod affinity {
     /// the *caller's* job). Returns `true` on success, `false` when
     /// unsupported or rejected by the OS.
     pub fn pin_current_thread(core: usize) -> bool {
-        #[cfg(target_os = "linux")]
+        #[cfg(all(target_os = "linux", not(miri)))]
         {
             sys::pin(core)
         }
-        #[cfg(not(target_os = "linux"))]
+        #[cfg(not(all(target_os = "linux", not(miri))))]
         {
             let _ = core;
             false
@@ -81,11 +86,11 @@ pub mod affinity {
     /// when the platform cannot report it). After a successful pin this
     /// is exactly 1.
     pub fn allowed_cores() -> Option<usize> {
-        #[cfg(target_os = "linux")]
+        #[cfg(all(target_os = "linux", not(miri)))]
         {
             sys::allowed_cores()
         }
-        #[cfg(not(target_os = "linux"))]
+        #[cfg(not(all(target_os = "linux", not(miri))))]
         {
             None
         }
@@ -107,6 +112,8 @@ pub mod affinity {
 #[derive(Clone, Copy)]
 struct JobPtr {
     data: *const (),
+    // SAFETY: callers of `call` must pass the matching `data` while the
+    // pointee is still alive (broadcast's blocking protocol guarantees it).
     call: unsafe fn(*const (), usize),
 }
 // SAFETY: the raw pointer is only used under the blocking protocol above,
@@ -402,11 +409,11 @@ mod tests {
         });
         assert_eq!(total.load(Ordering::SeqCst), 2);
         assert_eq!(over_constrained.load(Ordering::SeqCst), 0);
-        #[cfg(target_os = "linux")]
+        #[cfg(all(target_os = "linux", not(miri)))]
         assert!(pool.is_pinned(), "Linux must support sched_setaffinity");
     }
 
-    #[cfg(target_os = "linux")]
+    #[cfg(all(target_os = "linux", not(miri)))]
     #[test]
     fn affinity_pin_round_trips_on_a_scratch_thread() {
         std::thread::spawn(|| {

@@ -76,6 +76,9 @@ impl<T: Copy + Default> SharedBuf<T> {
 /// region of C.
 pub struct OutPtr<T>(*mut T);
 
+// SAFETY: OutPtr is a plain address; `new`'s contract makes every user write
+// a disjoint region of C, so moving or sharing the wrapper across threads
+// introduces no aliasing beyond what the constructor already licensed.
 unsafe impl<T: Send> Send for OutPtr<T> {}
 unsafe impl<T: Send> Sync for OutPtr<T> {}
 
@@ -121,10 +124,13 @@ mod tests {
                     // Each thread writes its disjoint half.
                     let base = buf.base_ptr();
                     for i in 0..32 {
+                        // SAFETY: wid*32 + i < 64 and the two halves are
+                        // disjoint between the threads.
                         unsafe { *base.add(wid * 32 + i) = (wid * 100 + i) as f32 };
                     }
                     barrier.wait();
-                    // Both halves visible after the barrier.
+                    // SAFETY: indices < 64; the barrier orders both threads'
+                    // writes before these reads.
                     unsafe {
                         assert_eq!(*base.add(0), 0.0);
                         assert_eq!(*base.add(32), 100.0);
@@ -158,8 +164,10 @@ mod tests {
     #[test]
     fn out_ptr_is_copy_and_shares_address() {
         let mut x = [1.0f64; 4];
+        // SAFETY: x outlives both wrappers and only one writer touches it.
         let p = unsafe { OutPtr::new(x.as_mut_ptr()) };
         let q = p;
+        // SAFETY: q points at x[0], valid and unaliased here.
         unsafe { *q.get() = 7.0 };
         assert_eq!(x[0], 7.0);
         let _ = p; // still usable: Copy

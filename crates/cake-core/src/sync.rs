@@ -48,7 +48,9 @@ struct CachePadded<T>(T);
 /// Spin iterations before the waiter starts yielding its timeslice. Large
 /// enough to cover the skew of healthy same-speed workers, small enough
 /// that an oversubscribed waiter donates the CPU within ~a microsecond.
-const SPIN_LIMIT: u32 = 4096;
+/// Under Miri every spin iteration is interpreted, so the burst is cut to
+/// almost nothing and waiters go straight to yielding.
+const SPIN_LIMIT: u32 = if cfg!(miri) { 4 } else { 4096 };
 
 /// A reusable sense-reversing spin barrier for exactly `p` participants.
 pub struct SpinBarrier {
@@ -103,17 +105,21 @@ impl SpinBarrier {
     #[inline]
     pub fn wait(&self, ws: &mut WaiterSense) -> bool {
         let my_sense = ws.sense;
+        // audit: fact sense-reversal
         ws.sense = !my_sense;
         // AcqRel: the arrival both publishes this worker's prior writes and
         // (for the leader) acquires every other worker's.
+        // audit: fact arrive-acqrel
         if self.arrived.0.fetch_add(1, Ordering::AcqRel) + 1 == self.p {
             // Leader: reset for the next episode *before* the release store
             // so a released worker's next arrival finds a clean counter.
             self.arrived.0.store(0, Ordering::Relaxed);
+            // audit: fact publish-release
             self.sense.0.store(my_sense, Ordering::Release);
             return true;
         }
         let mut spins = 0u32;
+        // audit: fact spin-acquire
         while self.sense.0.load(Ordering::Acquire) != my_sense {
             if spins < SPIN_LIMIT {
                 spins += 1;

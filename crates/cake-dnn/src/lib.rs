@@ -19,6 +19,8 @@
 //! * [`network`] — a `Sequential` container with per-layer FLOP and
 //!   timing accounting.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod im2col;
 pub mod layers;
 pub mod network;

@@ -22,6 +22,8 @@
 //!   workspace.
 //! * [`api`] — drop-in `goto_gemm` entry point.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod api;
 pub mod loops5;
 pub mod model;

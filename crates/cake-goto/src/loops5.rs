@@ -98,6 +98,8 @@ pub fn execute<T: Element>(
                 while t < nslivers {
                     let col0 = jc + t * nr;
                     let live = nr.min(jc + nl - col0);
+                    // Mirrors `goto_pb_sliver` in cake-audit.
+                    debug_assert!((t + 1) * nr * kl <= packed_b.len());
                     // SAFETY: sliver ranges [t*nr*kl, (t+1)*nr*kl) are
                     // disjoint per t; each t has exactly one owner.
                     let sliver: &mut [T] = unsafe {
@@ -132,6 +134,9 @@ pub fn execute<T: Element>(
                     let ml = mc.min(m - ic);
 
                     // Pack A(ml x kl) into this worker's private panel.
+                    // Mirrors `goto_pa_strip` / `goto_pa_pack` in cake-audit.
+                    debug_assert!((wid + 1) * pa_stride <= packed_a.len());
+                    debug_assert!(packed_a_size(ml, kl, mr) <= pa_stride);
                     // SAFETY: range [wid*pa_stride, (wid+1)*pa_stride) is
                     // owned exclusively by this worker.
                     let pa: &mut [T] = unsafe {
@@ -167,6 +172,8 @@ pub fn execute<T: Element>(
                         for s in 0..a_slivers {
                             let mrows = mr.min(ml - s * mr);
                             let row = ic + s * mr;
+                            // Mirrors `goto_c_tile` in cake-audit.
+                            debug_assert!(row + mrows <= m && col + ncols <= n);
                             // SAFETY: packed slivers are full zero-padded
                             // tiles; C tile in bounds; rows disjoint across
                             // workers (distinct ic strips).

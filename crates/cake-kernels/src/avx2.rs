@@ -11,8 +11,6 @@
 //! Both kernels have a fast store path for unit column stride (`csc == 1`,
 //! i.e. row-major `C`) and a scalar fallback for arbitrary strides.
 
-#![allow(unsafe_op_in_unsafe_fn)]
-
 use core::arch::x86_64::*;
 
 use crate::ukernel::Ukr;
@@ -35,17 +33,29 @@ pub fn avx2_f64_4x8() -> Option<Ukr<f64>> {
     }
 }
 
-/// Thin safe-signature wrapper: dispatch requires a plain fn pointer, but the
+/// Thin wrapper: dispatch requires a plain fn pointer, but the
 /// target-feature function below must only be called after detection, which
 /// `avx2_f32_6x16` guarantees.
+///
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX2+FMA must be available.
 unsafe fn ukr_f32_6x16(kc: usize, a: *const f32, b: *const f32, c: *mut f32, rsc: usize, csc: usize) {
-    ukr_f32_6x16_impl(kc, a, b, c, rsc, csc)
+    // SAFETY: this fn pointer is only installed by `avx2_f32_6x16` after
+    // runtime AVX2+FMA detection, and the caller upholds UkrFn's contract,
+    // which is exactly the impl's pointer-validity requirement.
+    unsafe { ukr_f32_6x16_impl(kc, a, b, c, rsc, csc) }
 }
 
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX2+FMA must be available.
 unsafe fn ukr_f64_4x8(kc: usize, a: *const f64, b: *const f64, c: *mut f64, rsc: usize, csc: usize) {
-    ukr_f64_4x8_impl(kc, a, b, c, rsc, csc)
+    // SAFETY: installed by `avx2_f64_4x8` after AVX2+FMA detection; the
+    // caller upholds UkrFn's contract.
+    unsafe { ukr_f64_4x8_impl(kc, a, b, c, rsc, csc) }
 }
 
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; AVX2+FMA enforced by `target_feature`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn ukr_f32_6x16_impl(
     kc: usize,
@@ -57,42 +67,50 @@ unsafe fn ukr_f32_6x16_impl(
 ) {
     const MR: usize = 6;
 
-    let mut acc0 = [_mm256_setzero_ps(); MR];
-    let mut acc1 = [_mm256_setzero_ps(); MR];
+    // SAFETY: UkrFn's contract gives `a` kc*6 elements, `b` kc*16 elements,
+    // and valid non-aliasing C addresses c[i*rsc + j*csc] for i < 6, j < 16;
+    // every pointer offset below stays within those ranges, and the unaligned
+    // load/store intrinsics have no alignment requirement.
+    unsafe {
+        let mut acc0 = [_mm256_setzero_ps(); MR];
+        let mut acc1 = [_mm256_setzero_ps(); MR];
 
-    for k in 0..kc {
-        let bk = b.add(k * 16);
-        let b0 = _mm256_loadu_ps(bk);
-        let b1 = _mm256_loadu_ps(bk.add(8));
-        let ak = a.add(k * MR);
-        for i in 0..MR {
-            let ai = _mm256_broadcast_ss(&*ak.add(i));
-            acc0[i] = _mm256_fmadd_ps(ai, b0, acc0[i]);
-            acc1[i] = _mm256_fmadd_ps(ai, b1, acc1[i]);
+        for k in 0..kc {
+            let bk = b.add(k * 16);
+            let b0 = _mm256_loadu_ps(bk);
+            let b1 = _mm256_loadu_ps(bk.add(8));
+            let ak = a.add(k * MR);
+            for i in 0..MR {
+                let ai = _mm256_broadcast_ss(&*ak.add(i));
+                acc0[i] = _mm256_fmadd_ps(ai, b0, acc0[i]);
+                acc1[i] = _mm256_fmadd_ps(ai, b1, acc1[i]);
+            }
         }
-    }
 
-    if csc == 1 {
-        for i in 0..MR {
-            let row = c.add(i * rsc);
-            let c0 = _mm256_loadu_ps(row);
-            let c1 = _mm256_loadu_ps(row.add(8));
-            _mm256_storeu_ps(row, _mm256_add_ps(c0, acc0[i]));
-            _mm256_storeu_ps(row.add(8), _mm256_add_ps(c1, acc1[i]));
-        }
-    } else {
-        let mut lanes = [0.0f32; 16];
-        for i in 0..MR {
-            _mm256_storeu_ps(lanes.as_mut_ptr(), acc0[i]);
-            _mm256_storeu_ps(lanes.as_mut_ptr().add(8), acc1[i]);
-            for (j, &v) in lanes.iter().enumerate() {
-                let p = c.add(i * rsc + j * csc);
-                *p += v;
+        if csc == 1 {
+            for i in 0..MR {
+                let row = c.add(i * rsc);
+                let c0 = _mm256_loadu_ps(row);
+                let c1 = _mm256_loadu_ps(row.add(8));
+                _mm256_storeu_ps(row, _mm256_add_ps(c0, acc0[i]));
+                _mm256_storeu_ps(row.add(8), _mm256_add_ps(c1, acc1[i]));
+            }
+        } else {
+            let mut lanes = [0.0f32; 16];
+            for i in 0..MR {
+                _mm256_storeu_ps(lanes.as_mut_ptr(), acc0[i]);
+                _mm256_storeu_ps(lanes.as_mut_ptr().add(8), acc1[i]);
+                for (j, &v) in lanes.iter().enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += v;
+                }
             }
         }
     }
 }
 
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; AVX2+FMA enforced by `target_feature`.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn ukr_f64_4x8_impl(
     kc: usize,
@@ -104,37 +122,43 @@ unsafe fn ukr_f64_4x8_impl(
 ) {
     const MR: usize = 4;
 
-    let mut acc0 = [_mm256_setzero_pd(); MR];
-    let mut acc1 = [_mm256_setzero_pd(); MR];
+    // SAFETY: UkrFn's contract gives `a` kc*4 elements, `b` kc*8 elements,
+    // and valid non-aliasing C addresses c[i*rsc + j*csc] for i < 4, j < 8;
+    // all offsets below stay within those ranges, and the unaligned
+    // load/store intrinsics have no alignment requirement.
+    unsafe {
+        let mut acc0 = [_mm256_setzero_pd(); MR];
+        let mut acc1 = [_mm256_setzero_pd(); MR];
 
-    for k in 0..kc {
-        let bk = b.add(k * 8);
-        let b0 = _mm256_loadu_pd(bk);
-        let b1 = _mm256_loadu_pd(bk.add(4));
-        let ak = a.add(k * MR);
-        for i in 0..MR {
-            let ai = _mm256_broadcast_sd(&*ak.add(i));
-            acc0[i] = _mm256_fmadd_pd(ai, b0, acc0[i]);
-            acc1[i] = _mm256_fmadd_pd(ai, b1, acc1[i]);
+        for k in 0..kc {
+            let bk = b.add(k * 8);
+            let b0 = _mm256_loadu_pd(bk);
+            let b1 = _mm256_loadu_pd(bk.add(4));
+            let ak = a.add(k * MR);
+            for i in 0..MR {
+                let ai = _mm256_broadcast_sd(&*ak.add(i));
+                acc0[i] = _mm256_fmadd_pd(ai, b0, acc0[i]);
+                acc1[i] = _mm256_fmadd_pd(ai, b1, acc1[i]);
+            }
         }
-    }
 
-    if csc == 1 {
-        for i in 0..MR {
-            let row = c.add(i * rsc);
-            let c0 = _mm256_loadu_pd(row);
-            let c1 = _mm256_loadu_pd(row.add(4));
-            _mm256_storeu_pd(row, _mm256_add_pd(c0, acc0[i]));
-            _mm256_storeu_pd(row.add(4), _mm256_add_pd(c1, acc1[i]));
-        }
-    } else {
-        let mut lanes = [0.0f64; 8];
-        for i in 0..MR {
-            _mm256_storeu_pd(lanes.as_mut_ptr(), acc0[i]);
-            _mm256_storeu_pd(lanes.as_mut_ptr().add(4), acc1[i]);
-            for (j, &v) in lanes.iter().enumerate() {
-                let p = c.add(i * rsc + j * csc);
-                *p += v;
+        if csc == 1 {
+            for i in 0..MR {
+                let row = c.add(i * rsc);
+                let c0 = _mm256_loadu_pd(row);
+                let c1 = _mm256_loadu_pd(row.add(4));
+                _mm256_storeu_pd(row, _mm256_add_pd(c0, acc0[i]));
+                _mm256_storeu_pd(row.add(4), _mm256_add_pd(c1, acc1[i]));
+            }
+        } else {
+            let mut lanes = [0.0f64; 8];
+            for i in 0..MR {
+                _mm256_storeu_pd(lanes.as_mut_ptr(), acc0[i]);
+                _mm256_storeu_pd(lanes.as_mut_ptr().add(4), acc1[i]);
+                for (j, &v) in lanes.iter().enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += v;
+                }
             }
         }
     }
@@ -155,6 +179,8 @@ mod tests {
         let b = init::random::<f32>(kc, 16, 6);
         let mut c1 = vec![1.0f32; c_len];
         let mut c2 = c1.clone();
+        // SAFETY: a/b are kc*6- and kc*16-element slivers, and each caller
+        // passes a c_len large enough that 5*rsc + 15*csc < c_len.
         unsafe {
             ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
         };
@@ -192,6 +218,8 @@ mod tests {
             let b = init::random::<f64>(kc, 8, 8);
             let mut c1 = vec![0.5f64; len];
             let mut c2 = c1.clone();
+            // SAFETY: a/b are kc*4- and kc*8-element slivers; each (rsc,
+            // csc, len) triple satisfies 3*rsc + 7*csc < len.
             unsafe {
                 ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
             };
@@ -211,6 +239,8 @@ mod tests {
         let a = init::ones::<f32>(kc, 6);
         let b = init::ones::<f32>(kc, 16);
         let mut c = vec![10.0f32; 6 * 16];
+        // SAFETY: a/b are kc*6 and kc*16 ones-filled slivers, and c is a
+        // dense 6x16 row-major tile (rsc=16, csc=1).
         unsafe {
             ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c.as_mut_ptr(), 16, 1)
         };

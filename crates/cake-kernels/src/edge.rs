@@ -86,6 +86,8 @@ mod tests {
 
         let mut c = Matrix::<f32>::zeros(m, n);
         let ld = c.cols();
+        // SAFETY: pa/pb are full ceil-padded slivers from pack_a/pack_b, and
+        // c is a dense m x n matrix with rsc=ld=n, csc=1.
         unsafe {
             run_tile(
                 &ukr,
@@ -153,6 +155,8 @@ mod tests {
 
                     let mut c = Matrix::<T>::zeros(m, n);
                     let ld = c.cols();
+                    // SAFETY: pa/pb are ceil-padded packed slivers and c is
+                    // a dense m x n tile with rsc=ld=n, csc=1.
                     unsafe {
                         run_tile(
                             ukr,
@@ -207,6 +211,8 @@ mod tests {
     fn zero_region_is_noop() {
         let ukr = portable_f32_8x8();
         let mut c = [5.0f32; 4];
+        // SAFETY: k=0 with a 0x0 region reads nothing from the null sliver
+        // pointers and writes nothing to c.
         unsafe {
             run_tile(
                 &ukr,
@@ -237,6 +243,8 @@ mod tests {
 
         // Canary buffer: a 4x4 C where only the top-left 2x2 may change.
         let mut c = [[-9.0f32; 4]; 4];
+        // SAFETY: pa/pb are ceil-padded packed slivers; the 2x2 edge region
+        // with rsc=4, csc=1 stays inside the 4x4 canary buffer.
         unsafe {
             run_tile(&ukr, k, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr().cast(), 4, 1, 2, 2);
         }

@@ -19,6 +19,8 @@
 //! * [`edge`] — safe execution of partial tiles via a scratch buffer.
 //! * [`select`] — runtime kernel dispatch per element type.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod edge;
 pub mod pack;
 pub mod select;

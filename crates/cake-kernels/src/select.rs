@@ -98,6 +98,8 @@ mod tests {
         pack_a(&a.view(), &mut pa, mr);
         pack_b(&b.view(), &mut pb, nr);
         let mut c = vec![0.0f32; mr * nr];
+        // SAFETY: pa/pb are full packed slivers (kc*mr / kc*nr elements) and
+        // c is a dense mr x nr tile with rsc=nr, csc=1.
         unsafe { ukr.call(kc, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr(), nr, 1) };
 
         for i in 0..mr {
@@ -137,6 +139,8 @@ mod proptests {
 
         let ld = ncols + ld_extra;
         let mut c = vec![0.25f32; mrows * ld];
+        // SAFETY: pa/pb are ceil-padded packed slivers, and the mrows x
+        // ncols region with rsc=ld >= ncols, csc=1 fits in mrows*ld.
         unsafe {
             run_tile(&ukr, kc, pa.as_ptr(), pb.as_ptr(), c.as_mut_ptr(), ld, 1, mrows, ncols);
         }

@@ -78,7 +78,9 @@ impl<T: Element> Ukr<T> {
         rsc: usize,
         csc: usize,
     ) {
-        (self.func)(kc, a, b, c, rsc, csc)
+        // SAFETY: the caller upholds UkrFn's contract (sliver lengths and a
+        // valid, non-aliasing C tile), which is exactly what `func` requires.
+        unsafe { (self.func)(kc, a, b, c, rsc, csc) }
     }
 }
 
@@ -95,6 +97,9 @@ impl<T: Element> std::fmt::Debug for Ukr<T> {
 /// Plain `mul + add` is used rather than `mul_add`: on targets without a
 /// native FMA the latter lowers to a libm call, which is catastrophically
 /// slow, and the accuracy difference is absorbed by the GEMM tolerance.
+///
+/// # Safety
+/// [`UkrFn`]'s contract with `mr = MR`, `nr = NR`.
 #[allow(clippy::needless_range_loop)] // index form keeps the accumulator tile explicit for LLVM
 pub(crate) unsafe fn generic_ukr<T: Element, const MR: usize, const NR: usize>(
     kc: usize,
@@ -105,20 +110,26 @@ pub(crate) unsafe fn generic_ukr<T: Element, const MR: usize, const NR: usize>(
     csc: usize,
 ) {
     let mut acc = [[T::ZERO; NR]; MR];
-    for k in 0..kc {
-        let ak = a.add(k * MR);
-        let bk = b.add(k * NR);
-        for i in 0..MR {
-            let ai = *ak.add(i);
-            for j in 0..NR {
-                acc[i][j] += ai * *bk.add(j);
+    // SAFETY: per UkrFn's contract `a` holds kc*MR elements and `b` holds
+    // kc*NR, so k*MR + i < kc*MR and k*NR + j < kc*NR for k < kc, i < MR,
+    // j < NR; the C writes touch c[i*rsc + j*csc] for i < MR, j < NR, which
+    // the caller guarantees are in-bounds and non-aliasing.
+    unsafe {
+        for k in 0..kc {
+            let ak = a.add(k * MR);
+            let bk = b.add(k * NR);
+            for i in 0..MR {
+                let ai = *ak.add(i);
+                for j in 0..NR {
+                    acc[i][j] += ai * *bk.add(j);
+                }
             }
         }
-    }
-    for (i, row) in acc.iter().enumerate() {
-        for (j, &v) in row.iter().enumerate() {
-            let p = c.add(i * rsc + j * csc);
-            *p += v;
+        for (i, row) in acc.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                let p = c.add(i * rsc + j * csc);
+                *p += v;
+            }
         }
     }
 }
@@ -180,6 +191,9 @@ mod tests {
         }
         c_ref.copy_from_slice(&c_test);
 
+        // SAFETY: a/b are kc*mr- and kc*nr-element slices from init::random,
+        // and c_test holds mr*ld elements with rsc=ld, csc=1 so every
+        // c[i*ld + j] for i < mr, j < nr is in-bounds.
         unsafe {
             ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c_test.as_mut_ptr(), ld, 1);
         }
@@ -217,6 +231,8 @@ mod tests {
         let a: Vec<f32> = vec![];
         let b: Vec<f32> = vec![];
         let mut c = vec![3.0f32; 64];
+        // SAFETY: kc=0 means the kernel reads nothing from a/b, and c holds
+        // a full 8x8 tile (64 elements) for the accumulate-zero writes.
         unsafe { ukr.call(0, a.as_ptr(), b.as_ptr(), c.as_mut_ptr(), 8, 1) };
         assert!(c.iter().all(|&x| x == 3.0));
     }
@@ -235,6 +251,8 @@ mod tests {
         let b = init::random::<f64>(kc, 4, 4);
         let mut c_cm = vec![0.0f64; 16];
         let mut c_rm = vec![0.0f64; 16];
+        // SAFETY: a/b are kc*4-element slivers; both C buffers hold 16
+        // elements, covering the 4x4 tile under either stride order.
         unsafe {
             // column-major: rsc=1, csc=4
             ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c_cm.as_mut_ptr(), 1, 4);

@@ -18,6 +18,8 @@
 //! The design keeps all `unsafe` confined to [`alloc`] and the raw-pointer
 //! view accessors; everything above it is safe code.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod alloc;
 pub mod compare;
 pub mod element;

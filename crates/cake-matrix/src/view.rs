@@ -112,9 +112,13 @@ impl<'a, T: Element> MatrixView<'a, T> {
     #[inline]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.rows && j < self.cols);
-        *self
-            .data
-            .get_unchecked(i * self.row_stride + j * self.col_stride)
+        // SAFETY: i < rows and j < cols (caller contract), and the view
+        // constructor checked that (rows-1)*rs + (cols-1)*cs < data.len().
+        unsafe {
+            *self
+                .data
+                .get_unchecked(i * self.row_stride + j * self.col_stride)
+        }
     }
 
     /// Sub-view of `nrows x ncols` starting at `(i0, j0)`.
@@ -267,6 +271,9 @@ impl<'a, T: Element> MatrixViewMut<'a, T> {
     #[inline]
     pub fn ptr_at_mut(&mut self, i: usize, j: usize) -> *mut T {
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // SAFETY: the view constructor checked that the largest reachable
+        // offset (rows-1)*rs + (cols-1)*cs is within data, and (i, j) was
+        // just asserted in range.
         unsafe {
             self.data
                 .as_mut_ptr()

@@ -25,6 +25,8 @@
 //! * [`search`] — the exhaustive design-space search CAKE's closed-form
 //!   shaping replaces, used to validate the "no design search" claim.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod config;
 pub mod engine;

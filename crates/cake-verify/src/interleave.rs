@@ -94,21 +94,29 @@ pub struct InterleaveReport {
 
 /// What one block needs from the ring.
 #[derive(Clone, Copy, Debug)]
-struct BlockInfo {
+pub struct BlockInfo {
     /// Ring slot read during compute.
-    panel: usize,
+    pub panel: usize,
     /// Surface id expected in that slot.
-    surface: u16,
+    pub surface: u16,
     /// Ring slot to pack *for this block* (None: already resident).
-    pack: Option<usize>,
+    pub pack: Option<usize>,
 }
 
 /// One atomic step of a worker program.
+///
+/// Public so that external analyses (notably `cake-audit`'s phase checker)
+/// can feed their own annotation-derived programs through the same DFS via
+/// [`explore_programs`] instead of re-implementing the protocol semantics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Step {
+pub enum Step {
+    /// Write `surface` into `panel`'s `sliver` (shared-buffer write).
     PackB { panel: u8, sliver: u8, surface: u16 },
+    /// Sense-reversing rotation barrier: nobody passes until all arrive.
     Barrier,
+    /// Start reading every sliver of `panel`, expecting `surface`.
     BeginCompute { panel: u8, surface: u16 },
+    /// Stop reading `panel`.
     EndCompute { panel: u8 },
 }
 
@@ -126,8 +134,9 @@ struct MachState {
 }
 
 /// Replay the ring decision sequence for a schedule (the executor computes
-/// the identical pure function on every worker).
-fn ring_decisions(
+/// the identical pure function on every worker). Public so annotation-driven
+/// front ends (`cake-audit`) share the same slot-resolution replay.
+pub fn ring_decisions(
     coords: &[BlockCoord],
     ring: usize,
     evict_live: bool,
@@ -300,19 +309,22 @@ fn apply(st: &MachState, w: usize, progs: &[Vec<Step>]) -> Result<MachState, Str
     Ok(st)
 }
 
-/// Explore every interleaving of the spec's worker programs.
-pub fn explore(spec: &InterleaveSpec) -> InterleaveReport {
-    assert!(spec.p >= 1 && spec.ring >= 2 && spec.slivers >= 1);
-    let coords: Vec<BlockCoord> = KFirstSchedule::with_outer(spec.grid, spec.outer).collect();
-    let (info, rotate_hits, b_packs) =
-        ring_decisions(&coords, spec.ring, spec.mutant == Mutant::EvictLive);
-    let progs = build_programs(spec, &info);
-
+/// Explore every interleaving of an explicit set of worker programs over a
+/// ring of `ring` panels with `slivers` slivers each.
+///
+/// This is the raw engine behind [`explore`]; it accepts programs built by
+/// any front end (the scenario builder here, or `cake-audit`'s
+/// annotation-derived programs) and returns the same report, with
+/// `rotate_hits`/`b_packs` left at zero (those are replay statistics the
+/// caller may not have).
+pub fn explore_programs(progs: &[Vec<Step>], ring: usize, slivers: usize, max_states: usize) -> InterleaveReport {
+    assert!(!progs.is_empty() && ring >= 1 && slivers >= 1);
+    let p = progs.len();
     let initial = MachState {
-        pc: vec![0; spec.p],
-        at_barrier: vec![false; spec.p],
-        tags: vec![vec![None; spec.slivers]; spec.ring],
-        readers: vec![0; spec.ring],
+        pc: vec![0; p],
+        at_barrier: vec![false; p],
+        tags: vec![vec![None; slivers]; ring],
+        readers: vec![0; ring],
     };
 
     let mut seen: HashSet<MachState> = HashSet::new();
@@ -322,15 +334,15 @@ pub fn explore(spec: &InterleaveSpec) -> InterleaveReport {
     let mut complete = true;
 
     while let Some(st) = stack.pop() {
-        if seen.len() > spec.max_states {
+        if seen.len() > max_states {
             complete = false;
             break;
         }
-        let enabled: Vec<usize> = (0..spec.p)
+        let enabled: Vec<usize> = (0..p)
             .filter(|&w| (st.pc[w] as usize) < progs[w].len() && !st.at_barrier[w])
             .collect();
         if enabled.is_empty() {
-            if (0..spec.p).any(|w| (st.pc[w] as usize) < progs[w].len()) {
+            if (0..p).any(|w| (st.pc[w] as usize) < progs[w].len()) {
                 let msg = "deadlock: live workers with no enabled step".to_string();
                 if !violations.contains(&msg) {
                     violations.push(msg);
@@ -339,7 +351,7 @@ pub fn explore(spec: &InterleaveSpec) -> InterleaveReport {
             continue;
         }
         for w in enabled {
-            match apply(&st, w, &progs) {
+            match apply(&st, w, progs) {
                 Ok(next) => {
                     if seen.insert(next.clone()) {
                         stack.push(next);
@@ -354,7 +366,20 @@ pub fn explore(spec: &InterleaveSpec) -> InterleaveReport {
         }
     }
 
-    InterleaveReport { states: seen.len(), complete, violations, rotate_hits, b_packs }
+    InterleaveReport { states: seen.len(), complete, violations, rotate_hits: 0, b_packs: 0 }
+}
+
+/// Explore every interleaving of the spec's worker programs.
+pub fn explore(spec: &InterleaveSpec) -> InterleaveReport {
+    assert!(spec.p >= 1 && spec.ring >= 2 && spec.slivers >= 1);
+    let coords: Vec<BlockCoord> = KFirstSchedule::with_outer(spec.grid, spec.outer).collect();
+    let (info, rotate_hits, b_packs) =
+        ring_decisions(&coords, spec.ring, spec.mutant == Mutant::EvictLive);
+    let progs = build_programs(spec, &info);
+    let mut report = explore_programs(&progs, spec.ring, spec.slivers, spec.max_states);
+    report.rotate_hits = rotate_hits;
+    report.b_packs = b_packs;
+    report
 }
 
 /// Outcome of the default scenario suite.

@@ -28,6 +28,8 @@
 //!
 //! All three are wired into `cakectl verify` and `./ci.sh --verify`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod conformance;
 pub mod fuzz;
 pub mod interleave;

@@ -16,6 +16,8 @@
 //!   ranges (half-open and inclusive), `any::<bool>()`, and
 //!   `prop::sample::select(Vec<T>)`.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Strategy};

@@ -36,6 +36,8 @@
 //! assert!(cake::matrix::approx_eq(&c, &reference, 1e-3));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use cake_core as core;
 pub use cake_dnn as dnn;
 pub use cake_goto as goto;
