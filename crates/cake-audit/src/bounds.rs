@@ -23,7 +23,8 @@
 use std::collections::BTreeMap;
 
 use cake_core::executor::worker_rows;
-use cake_core::schedule::{BlockGrid, KFirstSchedule, OuterLoop};
+use cake_core::schedule::{worker_grid, BlockGrid, KFirstSchedule, OuterLoop};
+use cake_core::workspace::worker_tile_bound;
 use cake_kernels::pack::{
     a_sliver_offset, b_sliver_offset, packed_a_size, packed_b_size, split_range,
 };
@@ -264,12 +265,21 @@ fn packed_size(l: Expr, r: &'static str, kc: Expr) -> Expr {
     l.ceil_div(v(r)).times(v(r)).times(kc)
 }
 
+/// The executor's per-worker tile bound under the 2D grid:
+/// `worker_tile_bound(T, p) = min(T, ceil(T/p) + p - 1)` with
+/// `T = ceil(p*mc / mr)` (cake-core/src/workspace.rs). The runtime's
+/// `.max(1)` clamp is vacuous on this domain: `p, mc, mr >= 1` forces
+/// `T >= 1`, so both `min` arguments are already `>= 1`.
+fn exec_tile_bound() -> Expr {
+    let tiles = v("p").times(v("mc")).ceil_div(v("mr"));
+    tiles.clone().min_e(tiles.ceil_div(v("p")).plus(v("p")).minus(c(1)))
+}
+
 /// The executor workspace A stride:
-/// `packed_a_size(max_tiles*mr, kc, mr)` with
-/// `max_tiles = ceil(ceil(p*mc / mr) / p)` (cake-core/src/workspace.rs).
+/// `packed_a_size(worker_tile_bound(T, p)*mr, kc, mr)`
+/// (cake-core/src/workspace.rs `prepare`).
 fn exec_pa_stride() -> Expr {
-    let max_tiles = v("p").times(v("mc")).ceil_div(v("mr")).ceil_div(v("p"));
-    packed_size(max_tiles.times(v("mr")), "mr", v("kc"))
+    packed_size(exec_tile_bound().times(v("mr")), "mr", v("kc"))
 }
 
 /// The goto (loops5) effective blockings: `kc_eff = min(kc, k)`,
@@ -340,15 +350,13 @@ pub fn sites() -> Vec<Site> {
             place: "cake-core/src/executor.rs: pack_a_own fills a worker strip of pa_stride",
             need: v("tiles").times(v("mr")).times(v("kl")),
             cap: exec_pa_stride(),
-            ranges: vec![("tiles", 0, 4), small("mr"), small("mc"), small("kc"), ("kl", 1, 3), small("p")],
+            ranges: vec![("tiles", 0, 9), small("mr"), small("mc"), small("kc"), ("kl", 1, 3), small("p")],
             constraint: Some(|e| {
-                let max_tiles = div_ceil_i(div_ceil_i(e["p"] * e["mc"], e["mr"]), e["p"]);
-                e["tiles"] <= max_tiles && e["kl"] <= e["kc"]
+                let t = div_ceil_i(e["p"] * e["mc"], e["mr"]);
+                let bound = t.min(div_ceil_i(t, e["p"]) + e["p"] - 1);
+                e["tiles"] <= bound && e["kl"] <= e["kc"]
             }),
-            corner_subst: vec![
-                ("tiles", v("p").times(v("mc")).ceil_div(v("mr")).ceil_div(v("p"))),
-                ("kl", v("kc")),
-            ],
+            corner_subst: vec![("tiles", exec_tile_bound()), ("kl", v("kc"))],
             finite_domain: false,
         },
         Site {
@@ -356,15 +364,13 @@ pub fn sites() -> Vec<Site> {
             place: "cake-core/src/executor.rs: compute pa_ptr.add(s*mr*kl) kernel reads",
             need: v("tiles").times(v("mr")).times(v("kl")),
             cap: exec_pa_stride(),
-            ranges: vec![("tiles", 0, 4), small("mr"), small("mc"), small("kc"), ("kl", 1, 3), small("p")],
+            ranges: vec![("tiles", 0, 9), small("mr"), small("mc"), small("kc"), ("kl", 1, 3), small("p")],
             constraint: Some(|e| {
-                let max_tiles = div_ceil_i(div_ceil_i(e["p"] * e["mc"], e["mr"]), e["p"]);
-                e["tiles"] <= max_tiles && e["kl"] <= e["kc"]
+                let t = div_ceil_i(e["p"] * e["mc"], e["mr"]);
+                let bound = t.min(div_ceil_i(t, e["p"]) + e["p"] - 1);
+                e["tiles"] <= bound && e["kl"] <= e["kc"]
             }),
-            corner_subst: vec![
-                ("tiles", v("p").times(v("mc")).ceil_div(v("mr")).ceil_div(v("p"))),
-                ("kl", v("kc")),
-            ],
+            corner_subst: vec![("tiles", exec_tile_bound()), ("kl", v("kc"))],
             finite_domain: false,
         },
         Site {
@@ -579,41 +585,61 @@ pub fn lemmas() -> (Vec<String>, Vec<String>) {
         check("split_range_balanced_partition", ok, detail);
     }
 
-    // L2: worker_rows strips are disjoint, cover [0, ml), and each strip's
-    // tile count is at most max_tiles = ceil(ceil(ml/mr)/p) — the bound the
-    // exec_pa_pack/exec_pa_read sites substitute as the corner.
+    // L2: the 2D worker grid tiles every block exactly. worker_grid yields
+    // (pm, pn) with pm*pn == p; the worker_rows strips over the pm row
+    // groups are disjoint and cover [0, ml); and no strip's tile count
+    // exceeds worker_tile_bound(T, p) for the sizing maximum T = ceil(bm/mr)
+    // — the bound the exec_pa_pack/exec_pa_read sites substitute as the
+    // corner. The bound is also nondecreasing in the block height, so
+    // sizing for the largest block covers every partial edge block.
     {
         let mut ok = true;
         let mut detail = String::new();
-        'l2: for ml in 0usize..=30 {
-            for mr in 1usize..=4 {
-                for p in 1usize..=4 {
-                    let max_tiles = ml.div_ceil(mr).div_ceil(p);
-                    let mut covered = 0usize;
-                    for wid in 0..p {
-                        let Some((row0, rows)) = worker_rows(ml, mr, p, wid) else {
-                            continue;
-                        };
-                        let tiles = rows.div_ceil(mr);
-                        if row0 != covered || row0 + rows > ml || tiles > max_tiles || rows == 0 {
+        'l2: for p in 1usize..=6 {
+            for mc in 1usize..=4 {
+                for mr in 1usize..=4 {
+                    let bm = p * mc;
+                    let cap_tiles = worker_tile_bound(bm.div_ceil(mr), p);
+                    if cap_tiles > worker_tile_bound((bm + 1).div_ceil(mr), p) {
+                        ok = false;
+                        detail = format!("bound not monotone at bm={bm} mr={mr} p={p}");
+                        break 'l2;
+                    }
+                    for ml in 0..=bm {
+                        let (pm, pn) = worker_grid(p, ml.div_ceil(mr));
+                        if pm * pn != p {
                             ok = false;
-                            detail = format!(
-                                "ml={ml} mr={mr} p={p} wid={wid}: row0={row0} rows={rows} \
-                                 tiles={tiles} max_tiles={max_tiles}"
-                            );
+                            detail = format!("grid {pm}x{pn} != p={p} at ml={ml} mr={mr}");
                             break 'l2;
                         }
-                        covered = row0 + rows;
-                    }
-                    if covered != ml {
-                        ok = false;
-                        detail = format!("ml={ml} mr={mr} p={p}: strips cover {covered}");
-                        break 'l2;
+                        let mut covered = 0usize;
+                        for wm in 0..pm {
+                            let Some((row0, rows)) = worker_rows(ml, mr, pm, wm) else {
+                                continue;
+                            };
+                            let tiles = rows.div_ceil(mr);
+                            if row0 != covered || row0 + rows > ml || tiles > cap_tiles || rows == 0
+                            {
+                                ok = false;
+                                detail = format!(
+                                    "bm={bm} ml={ml} mr={mr} p={p} grid={pm}x{pn} wm={wm}: \
+                                     row0={row0} rows={rows} tiles={tiles} cap={cap_tiles}"
+                                );
+                                break 'l2;
+                            }
+                            covered = row0 + rows;
+                        }
+                        if covered != ml {
+                            ok = false;
+                            detail =
+                                format!("bm={bm} ml={ml} mr={mr} p={p}: strips cover {covered}");
+                            break 'l2;
+                        }
                     }
                 }
             }
         }
-        check("worker_rows_cover_and_tile_bound", ok, detail);
+        check("worker_grid_cover_and_tile_bound", ok, detail);
     }
 
     // L3: the sliver-offset helpers match the model's linear formulas.
@@ -680,7 +706,8 @@ pub fn lemmas() -> (Vec<String>, Vec<String>) {
                                             replays += 1;
                                             let bm = p * mc;
                                             let grid = BlockGrid::for_problem(m, k, n, bm, kc, nc);
-                                            let max_tiles = bm.div_ceil(mr).div_ceil(p);
+                                            let max_tiles =
+                                                worker_tile_bound(bm.div_ceil(mr), p);
                                             let pa_stride = packed_a_size(max_tiles * mr, kc, mr);
                                             let pb_len = packed_b_size(kc, nc, nr);
                                             let sched = KFirstSchedule::with_outer(
@@ -699,8 +726,11 @@ pub fn lemmas() -> (Vec<String>, Vec<String>) {
                                                     );
                                                     break 'l5;
                                                 }
+                                                let (pm, pn) =
+                                                    worker_grid(p, ml.div_ceil(mr));
                                                 for wid in 0..p {
-                                                    let Some((_, rows)) = worker_rows(ml, mr, p, wid)
+                                                    let Some((_, rows)) =
+                                                        worker_rows(ml, mr, pm, wid / pn)
                                                     else {
                                                         continue;
                                                     };

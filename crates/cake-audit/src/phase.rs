@@ -240,7 +240,15 @@ fn explore_annotations(
                 for a in anns.iter().filter(|a| a.phase == "block") {
                     match a.op.as_str() {
                         "compute" => {
-                            prog.push(Step::BeginCompute { panel: b.panel as u8, surface: b.surface });
+                            // Annotation programs model the pure M-strip
+                            // view: every worker reads the whole panel
+                            // (the strongest read-before-pack check).
+                            prog.push(Step::BeginCompute {
+                                panel: b.panel as u8,
+                                surface: b.surface,
+                                lo: 0,
+                                hi: slivers as u8,
+                            });
                             prog.push(Step::EndCompute { panel: b.panel as u8 });
                         }
                         "pack_b" if bi + 1 < info.len() => {

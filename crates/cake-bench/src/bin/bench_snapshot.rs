@@ -7,9 +7,15 @@
 //! measured pack-overlap numbers. A `scaling` section then sweeps
 //! `p in {1, 2, 4, 8}` over each shape on a fixed block grid (see
 //! `cake_bench::scaling`), recording speedup over `p = 1`, scaling
-//! efficiency, and the measured pack-element counters — which must be
-//! identical at every `p` (the run aborts if they diverge). Intended to
-//! run via `ci.sh` so the snapshot tracks the executor's health over time.
+//! efficiency, the post-clamp `effective_p` and barrier mode per point,
+//! and the measured pack-element counters — which must be identical at
+//! every `p` (the run aborts if they diverge). A `host` block records the
+//! machine's core count and the same-host scaling-gate outcome
+//! (`scaling_sane`: with `cores >= 2p` headroom, `p > 1` must beat the
+//! baseline; on hosts without headroom the gate records an explicit skip
+//! instead of a vacuous pass). Full field-by-field schema docs live in
+//! `cake_bench::output`. Intended to run via `ci.sh` so the snapshot
+//! tracks the executor's health over time.
 //!
 //! ```text
 //! bench_snapshot [--iters I] [--p P] [--out PATH]
@@ -18,8 +24,9 @@
 use std::time::Instant;
 
 use cake_bench::output::arg_value;
-use cake_bench::scaling::{counters_invariant, sweep_shape, ScalePoint};
+use cake_bench::scaling::{counters_invariant, scaling_sane, sweep_shape, ScalePoint};
 use cake_core::api::{CakeConfig, CakeGemm};
+use cake_core::topology;
 use cake_core::tune::overlap_efficiency;
 use cake_dnn::im2col::ConvGeom;
 use cake_dnn::layers::{Conv2d, GlobalAvgPool, Linear, MaxPool2d, ReLU};
@@ -167,24 +174,43 @@ fn main() {
     // Multicore p-sweep per shape: fixed block grid, so the element
     // counters are comparable (and must be equal) across p.
     const SWEEP_P: [usize; 4] = [1, 2, 4, 8];
+    let cores = topology::available_cores();
     let scaling: Vec<(usize, usize, usize, Vec<ScalePoint>)> = shapes
         .iter()
         .map(|&(m, k, n)| {
             let points = sweep_shape(m, k, n, &SWEEP_P, iters, false);
             for pt in &points {
                 println!(
-                    "{m}x{k}x{n} p={}: {:.2} GF/s  speedup {:.2}x  efficiency {:.2}  \
-                     imbalance {:.2}",
-                    pt.p, pt.gflops, pt.speedup, pt.efficiency, pt.imbalance
+                    "{m}x{k}x{n} p={} (eff {}, {}): {:.2} GF/s  speedup {:.2}x  \
+                     efficiency {:.2}  imbalance {:.2}",
+                    pt.p,
+                    pt.effective_p,
+                    pt.barrier_mode,
+                    pt.gflops,
+                    pt.speedup,
+                    pt.efficiency,
+                    pt.imbalance
                 );
             }
             if let Err(msg) = counters_invariant(&points) {
                 eprintln!("scaling sweep {m}x{k}x{n}: {msg}");
                 std::process::exit(1);
             }
+            if let Err(msg) = scaling_sane(&points, cores) {
+                eprintln!("scaling sweep {m}x{k}x{n}: {msg}");
+                std::process::exit(1);
+            }
             (m, k, n, points)
         })
         .collect();
+    // Honest gate record: a 1-core host passes `scaling_sane` vacuously,
+    // so the snapshot says so instead of claiming a multicore win.
+    let scale_gate = if cores < 2 {
+        format!("skipped: host has {cores} core(s), no multicore headroom")
+    } else {
+        format!("ok: checked on {cores} core(s)")
+    };
+    println!("scaling gate: {scale_gate}");
 
     // CNN forward pass: cold (sizes every layer's workspace) then warm.
     let net = tiny_net(p);
@@ -209,6 +235,12 @@ fn main() {
     j.field(2, "benchmark", "\"bench_snapshot\"", false);
     j.field(2, "threads", &p.to_string(), false);
     j.field(2, "iters", &iters.to_string(), false);
+    j.field(
+        2,
+        "host",
+        &format!("{{\"cores\": {cores}, \"scale_gate\": \"{scale_gate}\"}}"),
+        false,
+    );
     let mut rows = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         rows.push_str(&format!(
@@ -236,10 +268,13 @@ fn main() {
         sc.push_str(&format!("    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"points\": [\n"));
         for (i, pt) in points.iter().enumerate() {
             sc.push_str(&format!(
-                "      {{\"p\": {}, \"cake_gflops\": {}, \"speedup\": {}, \"efficiency\": {}, \
+                "      {{\"p\": {}, \"effective_p\": {}, \"barrier_mode\": \"{}\", \
+                 \"cake_gflops\": {}, \"speedup\": {}, \"efficiency\": {}, \
                  \"a_elems\": {}, \"b_elems\": {}, \"c_elems\": {}, \
                  \"barrier_wait_ns_max\": {}, \"barrier_wait_ns_sum\": {}, \"imbalance\": {}}}{}\n",
                 pt.p,
+                pt.effective_p,
+                pt.barrier_mode,
                 f3(pt.gflops),
                 f3(pt.speedup),
                 f3(pt.efficiency),

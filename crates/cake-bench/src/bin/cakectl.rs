@@ -6,6 +6,7 @@
 //! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
 //! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
 //! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats] [--pin]
+//!                  [--explain] [--llc-mib MIB]
 //!                  [--threads P | --threads P1,P2,...] [--check-counters]
 //! cakectl verify   [--cases C] [--seed S]
 //! cakectl audit    [--bless] [--root DIR]
@@ -15,15 +16,23 @@
 //! plus `gemm`, which runs the *real* pipelined executor and (with
 //! `--stats`) prints its measured [`ExecStats`]: per-phase pack / compute /
 //! barrier-wait time (sum and slowest-worker max), compute imbalance,
+//! requested vs effective worker count, host cores, barrier mode,
 //! workspace footprint, allocations, and reuse skips. `--pin` pins workers
-//! to cores (Linux; best-effort elsewhere).
+//! to cores (Linux; best-effort elsewhere). `--explain` prints the
+//! auto-tuner's full paper trail before running: the chosen `(mc, kc, nc)`,
+//! `alpha` and its source, the L2/LLC-LRU bounds that clamped `mc`, the
+//! topology clamp from requested to effective `p`, and the barrier mode —
+//! each with the reason it was chosen.
 //!
 //! `--threads` switches `gemm` into a strong-scaling sweep on a fixed
 //! block grid (one `p` per comma-separated entry — a single entry is a
 //! one-row sweep): per-`p` GFLOP/s, speedup over the first entry, scaling
-//! efficiency, and pack-element counters. `--check-counters` exits 1 if
-//! the counters differ across `p` — the CB-block bandwidth claim as a CI
-//! gate (`ci.sh --scale-smoke`).
+//! efficiency, effective worker count after the topology clamp, and
+//! pack-element counters. `--check-counters` exits 1 if the counters
+//! differ across `p`, or if a point with real core headroom
+//! (`cores >= 2p`, unclamped) fails to beat the single-core baseline —
+//! the CB-block bandwidth and scaling claims as a CI gate
+//! (`ci.sh --scale-smoke`).
 //!
 //! `verify` runs the full `cake-verify` harness: the differential fuzzer
 //! (default 256 cases; `--seed` or `CAKE_TEST_SEED` perturbs the stream),
@@ -38,7 +47,7 @@
 //! checking. Exit status 1 on any violation.
 
 use cake_bench::output::{arg_value, has_flag, render_table};
-use cake_bench::scaling::{counters_invariant, sweep_shape};
+use cake_bench::scaling::{counters_invariant, scaling_sane, sweep_shape};
 use cake_core::api::{CakeConfig, CakeGemm};
 use cake_core::executor::ExecStats;
 use cake_core::model::CakeModel;
@@ -199,7 +208,14 @@ fn print_exec_stats(s: &ExecStats) {
     let busy = (s.pack_ns + s.compute_ns + s.barrier_wait_ns).max(1) as f64;
     println!("Executor stats (pipelined, measured):");
     println!("  CB blocks        : {:>12}", s.blocks);
-    println!("  workers          : {:>12}", s.workers);
+    println!(
+        "  workers          : {:>12}  (requested {}, host has {} core(s))",
+        s.workers, s.requested_workers, s.host_cores
+    );
+    println!(
+        "  barrier mode     : {:>12}  (park iff workers > cores)",
+        s.barrier_mode.as_str()
+    );
     println!("  barrier waits    : {:>12}  (1 rotation barrier per block)", s.barriers);
     println!("  A packs skipped  : {:>12}", s.a_packs_skipped);
     println!("  B packs skipped  : {:>12}", s.b_packs_skipped);
@@ -327,6 +343,8 @@ fn cmd_gemm() {
             .map(|pt| {
                 vec![
                     pt.p.to_string(),
+                    pt.effective_p.to_string(),
+                    pt.barrier_mode.to_string(),
                     format!("{:.2}", pt.gflops),
                     format!("{:.2}", pt.speedup),
                     format!("{:.2}", pt.efficiency),
@@ -337,11 +355,18 @@ fn cmd_gemm() {
                 ]
             })
             .collect();
-        println!("GEMM {m}x{k}x{n} strong-scaling sweep (fixed block grid, best of {iters}):\n");
+        let cores = cake_core::topology::available_cores();
+        println!(
+            "GEMM {m}x{k}x{n} strong-scaling sweep (fixed block grid, best of {iters}, \
+             host has {cores} core(s)):\n"
+        );
         println!(
             "{}",
             render_table(
-                &["p", "GFLOP/s", "speedup", "effic.", "imbal.", "bar max ms", "A elems", "B elems"],
+                &[
+                    "p", "eff p", "barrier", "GFLOP/s", "speedup", "effic.", "imbal.",
+                    "bar max ms", "A elems", "B elems"
+                ],
                 &rows
             )
         );
@@ -353,15 +378,33 @@ fn cmd_gemm() {
                     std::process::exit(1);
                 }
             }
+            match scaling_sane(&points, cores) {
+                Ok(()) => println!("same-host scaling sanity (cores >= 2p => speedup > 1): OK"),
+                Err(msg) => {
+                    eprintln!("scaling sanity FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
         }
         return;
     }
 
     let p = opt_usize("--p", 1);
+    // Per-p tuned shape (paper Section 3 + the Section 4.3 LRU fit): the
+    // block's M-extent grows with p, mc bounded by the cache budget.
+    let llc_bytes = arg_value("--llc-mib")
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|mib| mib << 20)
+        .unwrap_or(CakeConfig::default().llc_bytes);
     let cfg = CakeConfig {
         pin_cores: pin,
-        ..CakeConfig::with_threads(p)
+        ..CakeConfig::tuned_for(p, llc_bytes)
     };
+    if has_flag("--explain") {
+        let ukr = cake_kernels::best_kernel::<f32>();
+        let d = cfg.explain_shape(m, k, n, ukr.mr(), ukr.nr(), 4, (ukr.mr() * ukr.nr()) as f64);
+        println!("{d}");
+    }
     let ctx = CakeGemm::new(cfg);
     let a = cake_matrix::init::random::<f32>(m, k, 1);
     let b = cake_matrix::init::random::<f32>(k, n, 2);

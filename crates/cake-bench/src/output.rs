@@ -1,4 +1,41 @@
-//! CSV and aligned-table output helpers for the figure binaries.
+//! CSV and aligned-table output helpers for the figure binaries — and the
+//! documented schema of the checked-in `BENCH_gemm.json` snapshot that
+//! `bench_snapshot` emits.
+//!
+//! # `BENCH_gemm.json` schema
+//!
+//! Top-level fields:
+//!
+//! - `benchmark`, `threads`, `iters` — provenance: the binary name, the
+//!   `--p` the single-threaded shape rows ran at, and best-of iteration
+//!   count.
+//! - `host` — where the numbers came from, so a snapshot regenerated on a
+//!   different machine is self-describing:
+//!   - `cores`: cores available to the process when the run started
+//!     (`cake_core::topology::available_cores`).
+//!   - `scale_gate`: outcome of the same-host scaling sanity check
+//!     (`cake_bench::scaling::scaling_sane`). `"ok: checked on N core(s)"`
+//!     when the host had real headroom, or an explicit
+//!     `"skipped: host has N core(s), ..."` — a 1-core host cannot
+//!     demonstrate a multicore win and the snapshot says so rather than
+//!     passing vacuously.
+//! - `gemm` — per-shape rows: CAKE vs GOTO vs naive GFLOP/s, post-warmup
+//!   allocations, pack fraction, overlap efficiency, block/barrier counts.
+//! - `scaling` — per-shape strong-scaling sweeps over a fixed block grid.
+//!   Each point carries:
+//!   - `p`: requested worker count (drives block shape and the model),
+//!   - `effective_p`: workers actually spawned after the topology clamp
+//!     (`min(p, cores)`) — a speedup of ~1.0 with `effective_p = 1` is a
+//!     clamped run, not a scaling regression,
+//!   - `barrier_mode`: `"spin"` or `"park"` as selected by
+//!     `BarrierMode::auto(p, cores)`,
+//!   - `cake_gflops`, `speedup`, `efficiency` (speedup over the first
+//!     point and `speedup / p`),
+//!   - `a_elems` / `b_elems` / `c_elems`: measured pack-element counters,
+//!     identical across `p` by construction (the run aborts otherwise),
+//!   - `barrier_wait_ns_max` / `barrier_wait_ns_sum`, `imbalance`.
+//! - `dnn_forward` — tiny CNN forward pass: cold vs warm seconds, warm
+//!   GFLOP/s, warm allocations.
 
 use std::fs;
 use std::io::Write as _;

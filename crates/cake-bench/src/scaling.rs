@@ -24,14 +24,21 @@ use std::time::Instant;
 use cake_core::executor::execute_with_stats_in;
 use cake_core::pool::ThreadPool;
 use cake_core::shape::CbBlockShape;
+use cake_core::topology;
 use cake_core::workspace::GemmWorkspace;
 use cake_matrix::{init, Matrix};
 
 /// One `p` of a strong-scaling sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalePoint {
-    /// Worker count.
+    /// Requested worker count (drives the block shape and the model).
     pub p: usize,
+    /// Workers actually spawned after the topology clamp: `min(p, cores)`.
+    /// Honest-reporting field — a speedup of 1.0 at `effective_p = 1` is a
+    /// clamped run, not a scaling failure.
+    pub effective_p: usize,
+    /// Barrier mode the executor selected (`"spin"` or `"park"`).
+    pub barrier_mode: &'static str,
     /// Best-of-iters throughput.
     pub gflops: f64,
     /// `gflops / gflops(p = 1)`; 1.0 at the baseline.
@@ -90,7 +97,10 @@ pub fn sweep_shape(
     for &p in threads {
         assert!(p > 0 && bm % p == 0, "p = {p} must divide bm = {bm}");
         let shape = CbBlockShape::fixed(p, bm / p, bk, bn);
-        let pool = ThreadPool::with_affinity(p, pin);
+        // The shape (and thus the block grid and the element counters)
+        // follows the *requested* p; the pool is clamped to the host so an
+        // oversubscribed sweep measures real parallelism, not timeslicing.
+        let pool = ThreadPool::with_affinity(topology::effective_p(p), pin);
         let mut ws = GemmWorkspace::<f32>::new();
         let mut c = Matrix::<f32>::zeros(m, n);
         // Warmup sizes the workspace; timed iters then run allocation-free.
@@ -115,6 +125,8 @@ pub fn sweep_shape(
         let speedup = gflops / base;
         points.push(ScalePoint {
             p,
+            effective_p: stats.workers,
+            barrier_mode: stats.barrier_mode.as_str(),
             gflops,
             speedup,
             efficiency: speedup / p as f64,
@@ -149,6 +161,25 @@ pub fn counters_invariant(points: &[ScalePoint]) -> Result<(), String> {
                 pt.a_elems,
                 pt.b_elems,
                 pt.c_elems
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Same-host sanity gate for a sweep: whenever the host has comfortable
+/// headroom (`cores >= 2 * p`) a multicore point must actually beat the
+/// single-core baseline (`speedup > 1.0`). Points the topology clamp cut
+/// down (`effective_p < p`) and hosts without headroom are exempt — a
+/// 1-core CI box records `effective_p = 1` everywhere and passes
+/// vacuously, while a real 16-core host cannot ship a p=2 slowdown.
+pub fn scaling_sane(points: &[ScalePoint], cores: usize) -> Result<(), String> {
+    for pt in points {
+        if pt.p > 1 && pt.effective_p == pt.p && cores >= 2 * pt.p && pt.speedup <= 1.0 {
+            return Err(format!(
+                "p={} ran at {:.2}x on a {cores}-core host (effective_p={}, barrier={}) — \
+                 multicore must win when cores >= 2p",
+                pt.p, pt.speedup, pt.effective_p, pt.barrier_mode
             ));
         }
     }
@@ -200,5 +231,50 @@ mod tests {
         points[1].b_elems += 1;
         let err = counters_invariant(&points).unwrap_err();
         assert!(err.contains("diverge"), "{err}");
+    }
+
+    #[test]
+    fn sweep_records_the_topology_clamp() {
+        let cores = cake_core::topology::available_cores();
+        let points = sweep_shape(32, 32, 32, &[1, 2, 8], 1, false);
+        for pt in &points {
+            assert_eq!(pt.effective_p, pt.p.min(cores), "p={}", pt.p);
+            // api-independent pools: park exactly when oversubscribed.
+            let expect = if pt.effective_p > cores { "park" } else { "spin" };
+            assert_eq!(pt.barrier_mode, expect, "p={}", pt.p);
+        }
+    }
+
+    fn gate_point(p: usize, effective_p: usize, speedup: f64) -> ScalePoint {
+        ScalePoint {
+            p,
+            effective_p,
+            barrier_mode: "spin",
+            gflops: speedup,
+            speedup,
+            efficiency: speedup / p as f64,
+            a_elems: 0,
+            b_elems: 0,
+            c_elems: 0,
+            barrier_wait_ns_max: 0,
+            barrier_wait_ns_sum: 0,
+            imbalance: 1.0,
+        }
+    }
+
+    #[test]
+    fn sanity_gate_requires_speedup_only_with_headroom() {
+        let slow = [gate_point(1, 1, 1.0), gate_point(2, 2, 0.8)];
+        // Plenty of cores: a p=2 slowdown is a failure.
+        let err = scaling_sane(&slow, 16).unwrap_err();
+        assert!(err.contains("p=2"), "{err}");
+        // No headroom (cores < 2p): exempt.
+        scaling_sane(&slow, 3).expect("no-headroom host must pass");
+        // Clamped points are exempt regardless of host size.
+        let clamped = [gate_point(1, 1, 1.0), gate_point(8, 2, 0.5)];
+        scaling_sane(&clamped, 64).expect("clamped point must be exempt");
+        // A winning sweep passes everywhere.
+        let good = [gate_point(1, 1, 1.0), gate_point(2, 2, 1.7)];
+        scaling_sane(&good, 16).expect("speedup > 1 must pass");
     }
 }

@@ -19,7 +19,9 @@ use cake_matrix::{Element, Matrix, MatrixView, MatrixViewMut};
 use crate::executor::{execute, execute_with_stats_in, ExecStats};
 use crate::pool::ThreadPool;
 use crate::shape::CbBlockShape;
-use crate::tune;
+use crate::sync::BarrierMode;
+use crate::topology;
+use crate::tune::{self, AlphaSource, TuneDecision};
 use crate::workspace::GemmWorkspace;
 
 /// Configuration for a CAKE GEMM call. `Default` gives a sensible fully
@@ -75,6 +77,22 @@ impl CakeConfig {
         }
     }
 
+    /// The paper's auto-tuner entry point: a config for `p` cores over an
+    /// LLC of `llc_bytes`. The block's M-extent grows linearly with `p`
+    /// (Section 3: `m = p*k`) because [`CbBlockShape::derive`] builds
+    /// `p * mc` row blocks, while `mc` itself is bounded by the Section
+    /// 4.3 LRU fit `C + 2(A + B) <= S` over the given LLC — see
+    /// [`CbBlockShape::mc_bounds`]. All other knobs stay automatic
+    /// (`alpha` from the LLC-fill rule, effective worker count clamped to
+    /// host topology at pool construction).
+    pub fn tuned_for(p: usize, llc_bytes: usize) -> Self {
+        Self {
+            threads: Some(p),
+            llc_bytes,
+            ..Self::default()
+        }
+    }
+
     /// Resolve the thread count.
     pub fn resolved_threads(&self) -> usize {
         self.threads.unwrap_or_else(|| {
@@ -95,21 +113,63 @@ impl CakeConfig {
         elem_bytes: usize,
         macs_per_cycle: f64,
     ) -> CbBlockShape {
+        self.explain_shape(m, k, n, mr, nr, elem_bytes, macs_per_cycle)
+            .shape
+    }
+
+    /// [`resolve_shape`](Self::resolve_shape) with its full paper trail:
+    /// every bound the tuner consulted, the chosen `alpha` and why, the
+    /// topology clamp, and the barrier mode the run will use — rendered by
+    /// `cakectl gemm --explain`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn explain_shape(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        mr: usize,
+        nr: usize,
+        elem_bytes: usize,
+        macs_per_cycle: f64,
+    ) -> TuneDecision {
         let p = self.resolved_threads();
         // Provisional shape at alpha = 1 to learn the cache-constrained mc.
         let probe = CbBlockShape::derive(p, 1.0, self.l2_bytes, self.llc_bytes, elem_bytes, mr, nr);
-        let alpha = self.alpha.unwrap_or_else(|| {
-            self.dram_bw_gbs.map_or_else(
-                || {
-                    // No bandwidth hint: widen the block to use the spare
-                    // LLC — a larger alpha only lowers the Eq. 2 demand.
-                    tune::alpha_fill_llc(p, probe.mc.max(1), self.llc_bytes / elem_bytes)
-                },
-                |bw| tune::select_alpha(bw, probe.mc, macs_per_cycle, elem_bytes, self.freq_ghz),
-            )
-        });
-        let shape = CbBlockShape::derive(p, alpha, self.l2_bytes, self.llc_bytes, elem_bytes, mr, nr);
-        clamp_shape_to_problem(shape, m, k, n, mr, nr)
+        let (alpha, alpha_source) = match self.alpha {
+            Some(a) => (a, AlphaSource::Explicit),
+            None => match self.dram_bw_gbs {
+                Some(bw) => (
+                    tune::select_alpha(bw, probe.mc, macs_per_cycle, elem_bytes, self.freq_ghz),
+                    AlphaSource::BandwidthModel,
+                ),
+                // No bandwidth hint: widen the block to use the spare
+                // LLC — a larger alpha only lowers the Eq. 2 demand.
+                None => (
+                    tune::alpha_fill_llc(p, probe.mc.max(1), self.llc_bytes / elem_bytes),
+                    AlphaSource::LlcFill,
+                ),
+            },
+        };
+        let analytic =
+            CbBlockShape::derive(p, alpha, self.l2_bytes, self.llc_bytes, elem_bytes, mr, nr);
+        let shape = clamp_shape_to_problem(analytic, m, k, n, mr, nr);
+        let (mc_llc, mc_l2) =
+            CbBlockShape::mc_bounds(p, alpha.max(1.0), self.l2_bytes, self.llc_bytes, elem_bytes);
+        let host_cores = topology::available_cores();
+        let effective_p = topology::effective_p(p);
+        TuneDecision {
+            requested_p: p,
+            effective_p,
+            host_cores,
+            barrier_mode: BarrierMode::auto(effective_p, host_cores),
+            alpha,
+            alpha_source,
+            mc_l2,
+            mc_llc,
+            analytic,
+            shape,
+            lru_ok: shape.fits_llc_lru(self.llc_bytes, elem_bytes),
+        }
     }
 }
 
@@ -177,7 +237,9 @@ pub fn cake_gemm_views<T: Element + KernelSelect>(
         T::BYTES,
         (ukr.mr() * ukr.nr()) as f64,
     );
-    let pool = ThreadPool::with_affinity(shape.p, cfg.pin_cores);
+    // Requested p shaped the block; the spawned pool is clamped to the
+    // cores this process can actually run on (topology::effective_p).
+    let pool = ThreadPool::with_affinity(topology::effective_p(shape.p), cfg.pin_cores);
     execute(a, b, c, &shape, &ukr, &pool);
 }
 
@@ -205,9 +267,10 @@ pub struct CakeGemm {
 }
 
 impl CakeGemm {
-    /// Build a context; spawns the worker pool once.
+    /// Build a context; spawns the worker pool once, clamped to the cores
+    /// the host actually exposes (the requested p keeps shaping blocks).
     pub fn new(cfg: CakeConfig) -> Self {
-        let p = cfg.resolved_threads();
+        let p = topology::effective_p(cfg.resolved_threads());
         let pool = ThreadPool::with_affinity(p, cfg.pin_cores);
         Self {
             cfg,
@@ -483,12 +546,67 @@ mod tests {
         let mut c = Matrix::<f32>::zeros(32, 40);
         cake_sgemm(&a, &b, &mut c, &cfg);
         assert_gemm_eq(&c, &expected, 24);
-        // Context path: stats must report both workers.
+        // Context path: stats must report the clamped worker count and
+        // remember what was requested.
         let ctx = CakeGemm::new(cfg);
         let mut c2 = Matrix::<f32>::zeros(32, 40);
         let stats = ctx.gemm_with_stats(&a, &b, &mut c2);
         assert_gemm_eq(&c2, &expected, 24);
-        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.workers, crate::topology::effective_p(2));
+        assert_eq!(stats.requested_workers, 2);
+    }
+
+    #[test]
+    fn tuned_for_derives_paper_shape_growth() {
+        // Section 3: the block's M-extent grows linearly with p. Use an
+        // oversized L2 so the LLC LRU rule is the binding constraint and
+        // the shrink of mc with p is visible too.
+        let big = CakeConfig {
+            l2_bytes: 64 * 1024 * 1024,
+            ..CakeConfig::tuned_for(1, 20 * 1024 * 1024)
+        };
+        let s1 = big.resolve_shape(4096, 4096, 4096, 6, 16, 4, 96.0);
+        let big4 = CakeConfig {
+            l2_bytes: 64 * 1024 * 1024,
+            ..CakeConfig::tuned_for(4, 20 * 1024 * 1024)
+        };
+        let s4 = big4.resolve_shape(4096, 4096, 4096, 6, 16, 4, 96.0);
+        assert_eq!(s1.p, 1);
+        assert_eq!(s4.p, 4);
+        assert_eq!(s4.m_block(), 4 * s4.mc, "m = p * k growth");
+        assert!(s4.mc < s1.mc, "LLC-bound mc must shrink with p");
+        // Both shapes obey the Section 4.3 LRU fit for the tuned LLC.
+        assert!(s1.fits_llc_lru(20 * 1024 * 1024, 4));
+        assert!(s4.fits_llc_lru(20 * 1024 * 1024, 4));
+    }
+
+    #[test]
+    fn explain_shape_records_the_decision() {
+        let cfg = CakeConfig::tuned_for(2, 16 * 1024 * 1024);
+        let d = cfg.explain_shape(256, 256, 256, 6, 16, 4, 96.0);
+        assert_eq!(d.requested_p, 2);
+        assert_eq!(d.effective_p, crate::topology::effective_p(2));
+        assert_eq!(d.host_cores, crate::topology::available_cores());
+        assert_eq!(d.shape, cfg.resolve_shape(256, 256, 256, 6, 16, 4, 96.0));
+        assert_eq!(d.alpha_source, crate::tune::AlphaSource::LlcFill);
+        assert!(d.alpha >= 1.0);
+        assert!(d.mc_l2 > 0 && d.mc_llc > 0);
+        assert!(d.lru_ok, "tuned shape must satisfy the LRU rule");
+        assert!(!d.render().is_empty());
+        // Explicit alpha changes the recorded source.
+        let cfg2 = CakeConfig {
+            alpha: Some(2.0),
+            ..cfg
+        };
+        let d2 = cfg2.explain_shape(256, 256, 256, 6, 16, 4, 96.0);
+        assert_eq!(d2.alpha_source, crate::tune::AlphaSource::Explicit);
+        assert_eq!(d2.alpha, 2.0);
+        let cfg3 = CakeConfig {
+            dram_bw_gbs: Some(8.0),
+            ..CakeConfig::tuned_for(2, 16 * 1024 * 1024)
+        };
+        let d3 = cfg3.explain_shape(256, 256, 256, 6, 16, 4, 96.0);
+        assert_eq!(d3.alpha_source, crate::tune::AlphaSource::BandwidthModel);
     }
 
     #[test]

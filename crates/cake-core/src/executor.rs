@@ -3,12 +3,22 @@
 //! Executes the K-first snake schedule over constant-bandwidth blocks
 //! (paper Figure 6):
 //!
-//! * Each of the `p` workers owns one row strip of the current block's A
-//!   surface — the per-core L2-resident sub-matrix. The strip assignment
-//!   is the **balanced M-partition** ([`worker_rows`]): the block's `mr`
-//!   tile rows are split into `p` contiguous runs differing by at most one
-//!   tile, so a tail block's leftover rows spread across all workers
-//!   instead of serializing on one overloaded strip owner.
+//! * Each of the `p` workers owns one tile of the current block's A×C
+//!   surface under a **2D worker grid** ([`worker_grid`]): `pm` row groups
+//!   times `pn` column groups with `pm * pn == p`. When the block has at
+//!   least `p` row tiles the grid degenerates to the balanced M-partition
+//!   ([`worker_rows`]) — `p` contiguous runs differing by at most one tile
+//!   — and when it has fewer (small-m edge blocks that used to idle
+//!   workers), the surplus parallelism folds into N: workers in the same
+//!   row group split the block's B slivers and each packs a private copy
+//!   of the shared row strip (strips are repacked after the owner's *own*
+//!   compute, so sharing one strip across a row group would race with a
+//!   peer still computing the previous block).
+//! * `p` here is the **effective** worker count — the pool's size, clamped
+//!   by [`crate::topology::effective_p`] at pool construction. `shape.p`
+//!   (the requested p that shaped the block) may be larger; the executor
+//!   partitions any block across any pool and reports both in
+//!   [`ExecStats`].
 //! * The `kc x nc` B panel is packed cooperatively (each worker packs a
 //!   balanced *contiguous* run of `nr`-column slivers, split by actual
 //!   sliver count) into one shared buffer — the LLC-resident surface that
@@ -53,11 +63,14 @@
 //! path as well.
 //!
 //! The rotation barrier is a cache-line-padded sense-reversing
-//! spin-then-yield barrier ([`crate::sync::SpinBarrier`]), not
+//! spin-then-yield-then-park barrier ([`crate::sync::SpinBarrier`]), not
 //! `std::sync::Barrier`: with one barrier per block on the critical path,
 //! a futex park/wake per episode would cost microseconds per block, while
-//! the user-space spin release is observed in tens of nanoseconds (and
-//! degrades gracefully to yielding when workers outnumber cores).
+//! the user-space spin release is observed in tens of nanoseconds. The
+//! barrier mode is chosen per call ([`crate::sync::BarrierMode::auto`]):
+//! pure spin-then-yield when the pool fits the host's cores, parking when
+//! it is oversubscribed — so co-tenant runs stop burning whole timeslices
+//! per rotation.
 //!
 //! Packed buffers live in a caller-provided [`GemmWorkspace`] so repeated
 //! GEMMs reuse them without touching the allocator; [`execute_with_stats`]
@@ -77,10 +90,11 @@ use cake_matrix::{Element, MatrixView, MatrixViewMut};
 use crate::counters::Tally;
 use crate::panel::{ring_depth, PanelAction, PanelCache};
 use crate::pool::ThreadPool;
-use crate::schedule::{BlockGrid, KFirstSchedule};
+use crate::schedule::{worker_grid, BlockGrid, KFirstSchedule};
 use crate::shape::CbBlockShape;
 use crate::shared::OutPtr;
-use crate::sync::SpinBarrier;
+use crate::sync::{BarrierMode, SpinBarrier};
+use crate::topology;
 use crate::workspace::GemmWorkspace;
 
 /// Execution statistics for one CAKE GEMM call — observable evidence of
@@ -104,8 +118,25 @@ pub struct ExecStats {
     /// Barrier waits actually performed by worker 0 — one rotation barrier
     /// per block in the pipelined executor (measured, not derived).
     pub barriers: usize,
-    /// Workers that participated in this call (`shape.p`).
+    /// Workers that participated in this call — the *effective* worker
+    /// count (`pool.size()`), which topology clamping may have reduced
+    /// below [`requested_workers`].
+    ///
+    /// [`requested_workers`]: Self::requested_workers
     pub workers: usize,
+    /// The p the caller asked for (`shape.p`) — what shaped the CB block
+    /// and drives the analytic model. When this exceeds [`workers`], the
+    /// run was clamped to host topology.
+    ///
+    /// [`workers`]: Self::workers
+    pub requested_workers: usize,
+    /// Cores available to this process ([`crate::topology::available_cores`])
+    /// when the call ran — context for interpreting any clamp.
+    pub host_cores: usize,
+    /// Rotation-barrier wait strategy the call selected
+    /// ([`crate::sync::BarrierMode::auto`]): spin-then-yield on a
+    /// well-fitted host, parking when workers outnumber cores.
+    pub barrier_mode: BarrierMode,
     /// Nanoseconds spent packing A strips and B panels, summed over all
     /// workers.
     pub pack_ns: u64,
@@ -276,18 +307,14 @@ pub fn execute_with_stats_in<T: Element>(
     assert_eq!(b.rows(), k, "A is {m}x{k} but B has {} rows", b.rows());
     assert_eq!(c.rows(), m, "C must have {m} rows, has {}", c.rows());
     assert_eq!(c.cols(), n, "C must have {n} cols, has {}", c.cols());
-    assert_eq!(
-        pool.size(),
-        shape.p,
-        "pool size {} != shape.p {}",
-        pool.size(),
-        shape.p
-    );
     if m == 0 || n == 0 || k == 0 {
         return ExecStats::default();
     }
 
-    let p = shape.p;
+    // Partition across the workers that actually exist. `shape.p` (the
+    // requested p) keeps shaping the block; a topology-clamped pool simply
+    // runs the same blocks with fewer workers.
+    let p = pool.size();
     let (mr, nr) = (ukr.mr(), ukr.nr());
     let (bm, bk, bn) = (shape.m_block(), shape.k_block(), shape.n_block());
 
@@ -299,7 +326,7 @@ pub fn execute_with_stats_in<T: Element>(
     // the k-block count makes every snake reversal a cache hit (B packed
     // once per distinct surface), capped so the LLC footprint stays small.
     let n_panels = ring_depth(grid.kb);
-    let allocations = ws.prepare(shape, mr, nr, n_panels);
+    let allocations = ws.prepare(shape, p, mr, nr, n_panels);
     let pa_stride = ws.pa_stride;
     let packed_a = &ws.packed_a;
     let panels: Vec<&crate::shared::SharedBuf<T>> =
@@ -307,8 +334,11 @@ pub fn execute_with_stats_in<T: Element>(
     let panels = panels.as_slice();
     let pb_len = panels.first().map_or(0, |pb| pb.len());
 
-    let barrier = SpinBarrier::new(p);
-    // SAFETY: the pointer lives as long as `c`; workers write disjoint rows.
+    let host_cores = topology::available_cores();
+    let barrier_mode = BarrierMode::auto(p, host_cores);
+    let barrier = SpinBarrier::with_mode(p, barrier_mode);
+    // SAFETY: the pointer lives as long as `c`; workers write disjoint
+    // row x column tiles of the output (2D worker grid).
     let out = unsafe { OutPtr::new(c.ptr_at_mut(0, 0)) };
     let (rsc, csc) = (c.row_stride(), c.col_stride());
 
@@ -349,7 +379,9 @@ pub fn execute_with_stats_in<T: Element>(
         // whichever indices happen to be below the count, and contiguous
         // slivers mean each worker streams one dense region of the panel.
         // Workers carve disjoint raw sub-slices out of the shared buffer:
-        // no two `&mut` regions ever overlap.
+        // no two `&mut` regions ever overlap. Pack ownership stays 1D over
+        // all `p` workers regardless of the 2D compute grid, so the audit
+        // pack protocol and the pack counters are partition-invariant.
         let pack_b_coop = |g: &Blk, pb_base: *mut T| {
             let nslivers = g.nl.div_ceil(nr);
             let mut loaded = 0usize;
@@ -371,15 +403,28 @@ pub fn execute_with_stats_in<T: Element>(
             tally.add_b(loaded);
         };
 
-        // This worker's rows of block `g` under the balanced M-partition:
-        // tile rows split contiguously with the remainder spread one tile
-        // per worker, so no worker owns more than one extra tile row.
-        let my_rows = |g: &Blk| worker_rows(g.ml, mr, p, wid);
+        // This worker's cell of block `g` under the 2D worker grid
+        // ([`worker_grid`]). The grid is a pure function of the block's
+        // row-tile count, so every worker derives the same `(pm, pn)` and
+        // they tile the block exactly: worker `wid` sits at row group
+        // `wm = wid / pn`, column group `wn = wid % pn`; its rows come
+        // from the balanced partition over the `pm` row groups, its
+        // compute columns from the contiguous sliver split over `pn`.
+        let my_cell = |g: &Blk| {
+            let (pm, pn) = worker_grid(p, g.ml.div_ceil(mr));
+            let (wm, wn) = (wid / pn, wid % pn);
+            (worker_rows(g.ml, mr, pm, wm), wn, pn)
+        };
 
         // Pack this worker's private A strip for block `g` (k-major `mr`
-        // slivers — the packed-A format over the strip sub-view).
+        // slivers — the packed-A format over the strip sub-view). Workers
+        // in the same row group (`wn > 0` peers) pack identical *private*
+        // copies: a shared strip would race, because strips are repacked
+        // for block `i+1` right after the owner's own compute while a peer
+        // may still be computing block `i` from it.
         let pack_a_own = |g: &Blk| {
-            let Some((row0, rows)) = my_rows(g) else {
+            let (cell_rows, wn, _pn) = my_cell(g);
+            let Some((row0, rows)) = cell_rows else {
                 return;
             };
             // Mirrors `exec_pa_strip` / `exec_pa_pack` in cake-audit: the
@@ -395,17 +440,23 @@ pub fn execute_with_stats_in<T: Element>(
                 )
             };
             pack_a(&a.sub(g.m0 + row0, g.k0, rows, g.kl), pa, mr);
-            tally.add_a(rows * g.kl);
+            // Count the surface load once per row group, not once per
+            // duplicated private copy, so `a_elems` is partition-invariant.
+            if wn == 0 {
+                tally.add_a(rows * g.kl);
+            }
         };
 
-        // Compute this worker's strip x the whole panel, B-sliver
+        // Compute this worker's strip x its column-group slivers, B-sliver
         // stationary: the strip (<= mc x kc) is L2-resident by construction
         // (the paper's per-core A region), so sweeping it per B sliver
         // reads every LLC-resident panel element exactly once while all A
-        // traffic stays in L2.
+        // traffic stays in L2. Under the degenerate (p, 1) grid the sliver
+        // range is the whole panel — identical to the 1D executor.
         let compute = |g: &Blk, pb_base: *const T| {
-            let Some((row0, rows)) = my_rows(g) else {
-                return; // edge block with fewer tiles than workers
+            let (cell_rows, wn, pn) = my_cell(g);
+            let Some((row0, rows)) = cell_rows else {
+                return; // empty block
             };
             // Read-only phase: raw pointers, no outstanding `&mut`.
             // SAFETY: wid*pa_stride is within the buffer (exec_pa_strip
@@ -413,9 +464,11 @@ pub fn execute_with_stats_in<T: Element>(
             let pa_ptr = unsafe { packed_a.base_ptr().add(wid * pa_stride) as *const T };
             let a_slivers = rows.div_ceil(mr);
             let b_slivers = g.nl.div_ceil(nr);
-            for t in 0..b_slivers {
+            let mut owned_cols = 0usize;
+            for t in split_range(b_slivers, pn, wn) {
                 let ncols = nr.min(g.nl - t * nr);
                 let col = g.n0 + t * nr;
+                owned_cols += ncols;
                 // Mirrors `exec_pb_sliver_read` in cake-audit.
                 debug_assert!((t + 1) * nr * g.kl <= pb_len);
                 for s in 0..a_slivers {
@@ -426,7 +479,8 @@ pub fn execute_with_stats_in<T: Element>(
                     debug_assert!(row + mrows <= m && col + ncols <= n);
                     // SAFETY: packed slivers are zero-padded full tiles;
                     // C indices (row, col) + (mrows, ncols) are in bounds;
-                    // each worker's rows are disjoint from all others'.
+                    // each worker's (rows x sliver-columns) cell is
+                    // disjoint from all others' under the 2D grid.
                     unsafe {
                         let cptr = out.get().add(row * rsc + col * csc);
                         run_tile(
@@ -443,7 +497,7 @@ pub fn execute_with_stats_in<T: Element>(
                     }
                 }
             }
-            tally.add_c(rows * g.nl);
+            tally.add_c(rows * owned_cols);
         };
 
         let (mut pack_ns, mut compute_ns, mut wait_ns) = (0u64, 0u64, 0u64);
@@ -530,6 +584,9 @@ pub fn execute_with_stats_in<T: Element>(
         blocks: nblocks,
         barriers: barrier_count.load(Ordering::Relaxed),
         workers: p,
+        requested_workers: shape.p,
+        host_cores,
+        barrier_mode,
         pack_ns: pack_total.load(Ordering::Relaxed),
         pack_ns_max: pack_max.load(Ordering::Relaxed),
         compute_ns: compute_total.load(Ordering::Relaxed),
@@ -702,21 +759,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pool size")]
-    fn pool_shape_mismatch_panics() {
-        let a = Matrix::<f32>::zeros(4, 4);
-        let b = Matrix::<f32>::zeros(4, 4);
-        let mut c = Matrix::<f32>::zeros(4, 4);
-        let shape = CbBlockShape::fixed(2, 8, 8, 8);
-        let pool = ThreadPool::new(3);
-        execute(
-            &a.view(),
-            &b.view(),
-            &mut c.view_mut(),
-            &shape,
-            &best_kernel::<f32>(),
-            &pool,
-        );
+    fn pool_decoupled_from_shape_p() {
+        // Topology clamping can hand the executor a pool smaller (or, via
+        // an explicit pool, larger) than shape.p: the partition follows
+        // the pool, the block geometry follows the shape, and the result
+        // is exact either way.
+        for pool_size in [1, 2, 3, 5] {
+            let a = init::random::<f32>(40, 24, 11);
+            let b = init::random::<f32>(24, 40, 12);
+            let mut c = init::random::<f32>(40, 40, 13);
+            let mut expected = c.clone();
+            let shape = CbBlockShape::fixed(2, 8, 8, 16); // requested p = 2
+            let pool = ThreadPool::new(pool_size);
+            let stats = execute_with_stats(
+                &a.view(),
+                &b.view(),
+                &mut c.view_mut(),
+                &shape,
+                &best_kernel::<f32>(),
+                &pool,
+            );
+            assert_eq!(stats.workers, pool_size, "stats report the pool, not the shape");
+            assert_eq!(stats.requested_workers, 2);
+            reference(&a, &b, &mut expected);
+            assert_gemm_eq(&c, &expected, 24);
+        }
+    }
+
+    #[test]
+    fn small_m_blocks_fold_workers_into_n() {
+        // m < p * mr: the old M-only strips idled workers; the 2D grid
+        // folds them into N. Sweep p in {2, 3, 8} with one row tile.
+        let ukr = best_kernel::<f32>();
+        let mr = ukr.mr();
+        for p in [2usize, 3, 8] {
+            let m = mr - 1; // fewer rows than one tile, far below p * mr
+            run_case(m, 24, 48, p, 8, 8, 16);
+            run_case(mr + 1, 24, 48, p, 8, 8, 16); // two tiles, still < p
+            run_case(m, 5, 7, p, 8, 8, 16); // ragged K/N edges too
+        }
     }
 
     #[test]
@@ -978,6 +1059,83 @@ mod partition_tests {
         ) {
             check_partition(ml, mr, p);
         }
+    }
+
+    /// Check the 2D M x N strip grid for one `(ml, nl, mr, nr, p)`:
+    /// every output element of the `ml x nl` block is covered by exactly
+    /// one worker's (rows x sliver-columns) cell, and within each grid
+    /// dimension busy workers' tile counts differ by at most one.
+    fn check_partition_2d(ml: usize, nl: usize, mr: usize, nr: usize, p: usize) {
+        use crate::schedule::worker_grid;
+        use cake_kernels::pack::split_range;
+
+        let (pm, pn) = worker_grid(p, ml.div_ceil(mr));
+        assert_eq!(pm * pn, p);
+        let b_slivers = nl.div_ceil(nr);
+
+        let mut cover = vec![0u32; ml * nl];
+        let mut row_tiles = Vec::new();
+        let mut col_tiles = Vec::new();
+        for wid in 0..p {
+            let (wm, wn) = (wid / pn, wid % pn);
+            let Some((row0, rows)) = super::worker_rows(ml, mr, pm, wm) else {
+                continue;
+            };
+            row_tiles.push(rows.div_ceil(mr));
+            let slivers = split_range(b_slivers, pn, wn);
+            col_tiles.push(slivers.len());
+            for t in slivers {
+                let col0 = t * nr;
+                let ncols = nr.min(nl - col0);
+                for r in row0..row0 + rows {
+                    for c in col0..col0 + ncols {
+                        cover[r * nl + c] += 1;
+                    }
+                }
+            }
+        }
+        for (i, &hits) in cover.iter().enumerate() {
+            assert_eq!(
+                hits, 1,
+                "ml={ml} nl={nl} mr={mr} nr={nr} p={p}: cell {i} covered {hits} times"
+            );
+        }
+        for counts in [&row_tiles, &col_tiles] {
+            let busy: Vec<usize> = counts.iter().copied().filter(|&t| t > 0).collect();
+            if let (Some(&hi), Some(&lo)) = (busy.iter().max(), busy.iter().min()) {
+                assert!(hi - lo <= 1, "ml={ml} nl={nl} p={p}: tile spread {counts:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+        /// Satellite: the 2D M x N strip grid tiles every block exactly —
+        /// no overlap, full cover, and at most one remainder tile per
+        /// worker in each dimension — including the small-m blocks whose
+        /// surplus workers fold into N.
+        #[test]
+        fn worker_grid_tiles_every_cell_exactly_once(
+            ml in 1usize..60,
+            nl in 1usize..60,
+            mr in 1usize..9,
+            nr in 1usize..9,
+            p in 1usize..13,
+        ) {
+            check_partition_2d(ml, nl, mr, nr, p);
+        }
+    }
+
+    #[test]
+    fn partition_2d_edge_cases_pinned() {
+        // One row tile, p = 4: pure N split.
+        check_partition_2d(3, 40, 8, 8, 4);
+        // Two row tiles, p = 8: (2, 4) grid.
+        check_partition_2d(10, 33, 8, 8, 8);
+        // Prime p with fewer tiles than workers: (1, p) grid.
+        check_partition_2d(5, 17, 8, 8, 7);
+        // Plenty of tiles: degenerates to pure M strips.
+        check_partition_2d(64, 16, 8, 8, 4);
     }
 
     #[test]

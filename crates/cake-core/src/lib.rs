@@ -16,7 +16,11 @@
 //!   assignment (CAKE pins one `A` region per core) and optional
 //!   core-affinity pinning.
 //! * [`sync`] — the cache-padded sense-reversing [`sync::SpinBarrier`]
-//!   that replaces the kernel futex barrier on the executor's hot path.
+//!   (spin → yield → park, mode-selected per [`sync::BarrierMode`]) that
+//!   replaces the kernel futex barrier on the executor's hot path.
+//! * [`topology`] — host-core detection and effective-`p` clamping, so the
+//!   requested `p` shapes blocks while the spawned worker count never
+//!   exceeds what the host can actually run.
 //! * [`executor`] — the multithreaded, software-pipelined CB-block GEMM
 //!   engine (double-buffered B panels, balanced M-strip partitioning, one
 //!   rotation barrier per block).
@@ -39,6 +43,7 @@ pub mod schedule;
 pub mod shared;
 pub mod shape;
 pub mod sync;
+pub mod topology;
 pub mod traffic;
 pub mod tune;
 pub mod workspace;
@@ -49,5 +54,6 @@ pub use model::CakeModel;
 pub use panel::{ring_depth, PanelAction, PanelCache};
 pub use schedule::{BlockCoord, BlockGrid, Dim, KFirstSchedule, SnakeSchedule};
 pub use shape::CbBlockShape;
-pub use sync::SpinBarrier;
+pub use sync::{BarrierMode, SpinBarrier};
+pub use tune::{AlphaSource, TuneDecision};
 pub use workspace::GemmWorkspace;

@@ -228,6 +228,71 @@ pub fn shared_surfaces(prev: BlockCoord, next: BlockCoord) -> Vec<Surface> {
     out
 }
 
+/// 2D worker grid `(pm, pn)` for partitioning one CB block across `p`
+/// workers: `pm` row groups times `pn` column groups, with `pm * pn == p`.
+///
+/// `pm` is the **largest divisor of `p` that is at most `m_tiles`** (the
+/// block's row-tile count), so:
+///
+/// * when `m_tiles >= p` the grid degenerates to `(p, 1)` — the classic
+///   balanced M-strip partition, unchanged from the 1D executor;
+/// * when `m_tiles < p` (small-m blocks that used to idle `p - m_tiles`
+///   workers) the surplus parallelism folds into the N dimension, each of
+///   the `pn` column groups taking a contiguous sliver range via
+///   [`split_range`](cake_kernels::pack::split_range).
+///
+/// `m_tiles == 0` is treated as 1 so empty blocks still yield a valid
+/// (degenerate) grid.
+pub fn worker_grid(p: usize, m_tiles: usize) -> (usize, usize) {
+    assert!(p > 0, "worker grid needs at least one worker");
+    let cap = m_tiles.max(1);
+    let mut pm = 1;
+    for d in 1..=p {
+        if p.is_multiple_of(d) && d <= cap && d > pm {
+            pm = d;
+        }
+    }
+    (pm, p / pm)
+}
+
+#[cfg(test)]
+mod worker_grid_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degenerates_to_m_strips_when_tiles_suffice() {
+        for p in 1..=8 {
+            assert_eq!(worker_grid(p, p), (p, 1));
+            assert_eq!(worker_grid(p, p + 3), (p, 1));
+        }
+    }
+
+    #[test]
+    fn folds_surplus_workers_into_n() {
+        assert_eq!(worker_grid(4, 2), (2, 2));
+        assert_eq!(worker_grid(4, 1), (1, 4));
+        assert_eq!(worker_grid(8, 3), (2, 4), "largest divisor of 8 <= 3 is 2");
+        assert_eq!(worker_grid(6, 3), (3, 2));
+        assert_eq!(worker_grid(5, 3), (1, 5), "prime p has no middle divisor");
+        assert_eq!(worker_grid(1, 0), (1, 1));
+        assert_eq!(worker_grid(3, 0), (1, 3), "empty block still grids");
+    }
+
+    proptest! {
+        #[test]
+        fn grid_is_exact_and_maximal(p in 1usize..33, m_tiles in 0usize..40) {
+            let (pm, pn) = worker_grid(p, m_tiles);
+            prop_assert_eq!(pm * pn, p, "grid must use every worker");
+            prop_assert!(pm <= m_tiles.max(1), "row groups never exceed row tiles");
+            // Maximality: no larger divisor of p fits under the tile count.
+            for d in (pm + 1)..=m_tiles.max(1).min(p) {
+                prop_assert!(!p.is_multiple_of(d), "pm = {} not maximal, {} fits", pm, d);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,20 +64,7 @@ impl CbBlockShape {
         assert!(alpha >= 1.0, "alpha must be >= 1 (got {alpha})");
         assert!(elem_bytes > 0 && mr > 0 && nr > 0);
 
-        let s_llc = llc_bytes / elem_bytes; // LLC capacity in elements
-        let s_l2 = l2_bytes / elem_bytes; // L2 capacity in elements
-
-        // LRU rule (Section 4.3): C + 2(A + B) <= S_llc with
-        //   A = p*mc^2, B = alpha*p*mc^2, C = alpha*p^2*mc^2
-        // => mc^2 * (alpha*p^2 + 2*p*(1 + alpha)) <= S_llc.
-        let pf = p as f64;
-        let denom_llc = alpha * pf * pf + 2.0 * pf * (1.0 + alpha);
-        let mc_llc = (s_llc as f64 / denom_llc).sqrt().floor() as usize;
-
-        // Per-core constraint: the square mc x kc A sub-matrix lives in L2;
-        // keep a factor-2 headroom so the next block's sub-matrix can stream
-        // in without evicting live lines (same LRU argument at L2 level).
-        let mc_l2 = ((s_l2 / 2) as f64).sqrt().floor() as usize;
+        let (mc_llc, mc_l2) = Self::mc_bounds(p, alpha, l2_bytes, llc_bytes, elem_bytes);
 
         let mut mc = mc_llc.min(mc_l2);
         // Round down to the kernel row tile; floor at mr so degenerate
@@ -88,7 +75,7 @@ impl CbBlockShape {
         }
 
         let kc = mc;
-        let nc_raw = (alpha * pf * mc as f64).round() as usize;
+        let nc_raw = (alpha * p as f64 * mc as f64).round() as usize;
         let mut nc = (nc_raw / nr) * nr;
         if nc == 0 {
             nc = nr;
@@ -101,6 +88,38 @@ impl CbBlockShape {
             nc,
             alpha_x1000: (alpha * 1000.0).round() as u32,
         }
+    }
+
+    /// The two raw `mc` upper bounds behind [`derive`](Self::derive), in
+    /// elements before kernel-tile rounding: `(mc_llc, mc_l2)`.
+    ///
+    /// * `mc_llc` — the Section 4.3 LRU rule `C + 2(A + B) <= S_llc` with
+    ///   `A = p*mc^2`, `B = alpha*p*mc^2`, `C = alpha*p^2*mc^2`, i.e.
+    ///   `mc^2 * (alpha*p^2 + 2*p*(1 + alpha)) <= S_llc`.
+    /// * `mc_l2` — the per-core constraint: the square `mc x kc` A
+    ///   sub-matrix lives in L2 with factor-2 headroom so the next block's
+    ///   sub-matrix streams in without evicting live lines (the same LRU
+    ///   argument one level down).
+    ///
+    /// Whichever bound is smaller is the binding constraint — surfaced by
+    /// `cakectl gemm --explain` so shaping regressions are diagnosable.
+    pub fn mc_bounds(
+        p: usize,
+        alpha: f64,
+        l2_bytes: usize,
+        llc_bytes: usize,
+        elem_bytes: usize,
+    ) -> (usize, usize) {
+        assert!(p > 0, "need at least one core");
+        assert!(alpha >= 1.0, "alpha must be >= 1 (got {alpha})");
+        assert!(elem_bytes > 0);
+        let s_llc = llc_bytes / elem_bytes; // LLC capacity in elements
+        let s_l2 = l2_bytes / elem_bytes; // L2 capacity in elements
+        let pf = p as f64;
+        let denom_llc = alpha * pf * pf + 2.0 * pf * (1.0 + alpha);
+        let mc_llc = (s_llc as f64 / denom_llc).sqrt().floor() as usize;
+        let mc_l2 = ((s_l2 / 2) as f64).sqrt().floor() as usize;
+        (mc_llc, mc_l2)
     }
 
     /// A fixed shape (used by tests and the simulator to decouple shape
@@ -310,6 +329,17 @@ mod tests {
     #[should_panic(expected = "core")]
     fn zero_cores_rejected() {
         let _ = CbBlockShape::derive(0, 1.0, KIB, MIB, 4, 6, 16);
+    }
+
+    #[test]
+    fn mc_bounds_back_the_derived_shape() {
+        let (mc_llc, mc_l2) = CbBlockShape::mc_bounds(10, 1.0, 256 * KIB, 20 * MIB, 4);
+        let s = intel_like(10, 1.0);
+        assert_eq!(s.mc, (mc_llc.min(mc_l2) / 6) * 6, "derive = min bound rounded to mr");
+        // The LRU bound shrinks as p grows; the per-core L2 bound does not.
+        let (llc1, l21) = CbBlockShape::mc_bounds(1, 1.0, 256 * KIB, 20 * MIB, 4);
+        assert!(mc_llc < llc1);
+        assert_eq!(mc_l2, l21);
     }
 
     #[test]

@@ -15,13 +15,33 @@
 //!   consecutive episodes wait on *opposite* flag values, the barrier is
 //!   immediately reusable — a straggler from episode `i` can never be
 //!   confused with an early arrival at episode `i + 1`.
-//! * **Spin-then-yield.** Waiters spin with [`std::hint::spin_loop`] for a
-//!   bounded burst, then fall back to [`std::thread::yield_now`]. On a
+//! * **Spin, then yield, then park.** Waiters spin with
+//!   [`std::hint::spin_loop`] for a bounded burst, fall back to
+//!   [`std::thread::yield_now`] for a bounded number of donated
+//!   timeslices, and finally *park* on a `Condvar` until the release. On a
 //!   machine with a core per worker the release is observed within tens of
-//!   nanoseconds and the yield path never runs; oversubscribed (more
-//!   workers than cores — CI containers, co-tenant machines), the yield
-//!   donates the timeslice so the stragglers can run, guaranteeing
-//!   progress instead of livelock.
+//!   nanoseconds and neither fallback runs; oversubscribed (more workers
+//!   than cores — CI containers, co-tenant machines), the yield phase
+//!   keeps latency low while the scheduler rotates stragglers in, and the
+//!   park phase stops the barrier from burning whole timeslices per
+//!   episode when yielding alone is not converging. [`BarrierMode`] only
+//!   tunes the phase budgets: [`BarrierMode::Spin`] (the default) trusts
+//!   the host and escalates late; [`BarrierMode::Park`] — auto-selected by
+//!   the executor when effective `p` exceeds the available cores — goes to
+//!   sleep almost immediately.
+//!
+//!   The park handshake is the classic two-flag protocol: a waiter
+//!   advertises itself in `parked` (SeqCst RMW), fences, and re-checks the
+//!   sense under the condvar's mutex before sleeping; the leader publishes
+//!   the sense, fences, and only then reads `parked` — acquiring the same
+//!   mutex before `notify_all`. In the SC order either the leader's read
+//!   observes the waiter (and the mutex/notify pair wakes it), or the
+//!   waiter's re-check observes the published sense (and it never sleeps).
+//!   A lost wakeup would require both loads to miss both stores across the
+//!   paired SeqCst fences, which sequential consistency forbids. The
+//!   `ParkLostWakeup` mutant in `cake-verify`'s interleaving checker
+//!   demonstrates the deadlock a leader that skips parked waiters would
+//!   cause — and that the checker catches it.
 //! * **Cache-line padded.** The arrival counter and the sense flag live on
 //!   separate (128-byte) lines so the release store is not invalidated by
 //!   late arrivals hammering the counter.
@@ -38,7 +58,8 @@
 //! and `StaleSense` mutants there demonstrate the checker would catch a
 //! barrier that releases early or fails to reverse its sense.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Pad-and-align wrapper keeping one value per 128-byte line (two 64-byte
 /// lines: adjacent-line prefetchers pull pairs, so 64 is not enough).
@@ -52,6 +73,66 @@ struct CachePadded<T>(T);
 /// almost nothing and waiters go straight to yielding.
 const SPIN_LIMIT: u32 = if cfg!(miri) { 4 } else { 4096 };
 
+/// Yielded timeslices before a [`BarrierMode::Spin`] waiter concludes the
+/// release is not converging (the leader is descheduled, or the pool is
+/// oversubscribed after all) and escalates to parking. Each yield is a
+/// full donated timeslice, so this threshold is generous for healthy
+/// hosts yet bounds the worst-case burn to well under a scheduling
+/// quantum's worth of yields.
+const YIELD_LIMIT: u32 = if cfg!(miri) { 2 } else { 64 };
+
+/// How eagerly a waiter escalates through spin → yield → park.
+///
+/// The *protocol* (sense reversal, arrival counting, release publication)
+/// is identical in both modes — only the phase budgets differ — so every
+/// correctness property proven for the barrier holds regardless of mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BarrierMode {
+    /// Full spin burst, bounded yields, park only as a last resort. Right
+    /// when each worker has a core: the release is observed while
+    /// spinning and the fallbacks never run.
+    #[default]
+    Spin,
+    /// Minimal spin, a single yield, then park on the condvar. Right when
+    /// workers outnumber available cores: a spinning waiter would only
+    /// steal the timeslice the releasing worker needs.
+    Park,
+}
+
+impl BarrierMode {
+    /// Mode for `p` workers on a host exposing `cores`: park as soon as
+    /// the workers cannot all run concurrently.
+    pub fn auto(p: usize, cores: usize) -> Self {
+        if p > cores {
+            BarrierMode::Park
+        } else {
+            BarrierMode::Spin
+        }
+    }
+
+    /// `(spin, yield)` budgets before parking.
+    fn budgets(self) -> (u32, u32) {
+        match self {
+            BarrierMode::Spin => (SPIN_LIMIT, YIELD_LIMIT),
+            BarrierMode::Park => (if cfg!(miri) { 2 } else { 64 }, 1),
+        }
+    }
+
+    /// Stable lowercase name for stats output and bench JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BarrierMode::Spin => "spin",
+            BarrierMode::Park => "park",
+        }
+    }
+}
+
+impl std::fmt::Display for BarrierMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A reusable sense-reversing spin barrier for exactly `p` participants.
 pub struct SpinBarrier {
     /// Workers arrived at the current episode.
@@ -60,6 +141,17 @@ pub struct SpinBarrier {
     /// arrives.
     sense: CachePadded<AtomicBool>,
     p: usize,
+    mode: BarrierMode,
+    /// Waiters that have advertised an intent to sleep on `cvar`. Written
+    /// with SeqCst RMWs and read by the leader after a SeqCst fence — the
+    /// Dekker half that makes the skip-notify fast path sound.
+    parked: AtomicUsize,
+    /// Guards the sense re-check before sleeping; the leader acquires it
+    /// between publishing the sense and notifying, so a waiter is either
+    /// not yet asleep (and re-checks successfully) or already on the
+    /// condvar (and receives the notify).
+    park_lock: Mutex<()>,
+    park_cvar: Condvar,
 }
 
 /// Per-participant barrier state: which sense value the *next* episode
@@ -76,17 +168,36 @@ impl SpinBarrier {
     /// # Panics
     /// Panics if `p == 0`.
     pub fn new(p: usize) -> Self {
+        Self::with_mode(p, BarrierMode::Spin)
+    }
+
+    /// A barrier for `p` participants with an explicit escalation mode —
+    /// typically [`BarrierMode::auto`] of the worker count and the host's
+    /// available cores.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn with_mode(p: usize, mode: BarrierMode) -> Self {
         assert!(p > 0, "barrier needs at least one participant");
         Self {
             arrived: CachePadded(AtomicUsize::new(0)),
             sense: CachePadded(AtomicBool::new(false)),
             p,
+            mode,
+            parked: AtomicUsize::new(0),
+            park_lock: Mutex::new(()),
+            park_cvar: Condvar::new(),
         }
     }
 
     /// Participant count.
     pub fn participants(&self) -> usize {
         self.p
+    }
+
+    /// The escalation mode this barrier was built with.
+    pub fn mode(&self) -> BarrierMode {
+        self.mode
     }
 
     /// Fresh per-worker state. Every participant must create its own
@@ -97,7 +208,8 @@ impl SpinBarrier {
         WaiterSense { sense: true }
     }
 
-    /// Block (spinning, then yielding) until all `p` participants arrive.
+    /// Block (spinning, then yielding, then parking) until all `p`
+    /// participants arrive.
     ///
     /// Establishes the same happens-before edges as
     /// `std::sync::Barrier::wait`. Returns `true` on exactly one
@@ -116,21 +228,74 @@ impl SpinBarrier {
             self.arrived.0.store(0, Ordering::Relaxed);
             // audit: fact publish-release
             self.sense.0.store(my_sense, Ordering::Release);
+            self.wake_parked();
             return true;
         }
-        let mut spins = 0u32;
+        let (spin_budget, yield_budget) = self.mode.budgets();
+        let (mut spins, mut yields) = (0u32, 0u32);
         // audit: fact spin-acquire
         while self.sense.0.load(Ordering::Acquire) != my_sense {
-            if spins < SPIN_LIMIT {
+            if spins < spin_budget {
                 spins += 1;
                 std::hint::spin_loop();
-            } else {
+            } else if yields < yield_budget {
                 // Oversubscribed: the releasing worker may not even be
                 // scheduled. Donate the timeslice instead of burning it.
+                yields += 1;
                 std::thread::yield_now();
+            } else {
+                // Yielding is not converging (or the mode says not to
+                // bother): sleep until the leader's release.
+                self.park_until(my_sense);
+                break;
             }
         }
         false
+    }
+
+    /// Sleep on the condvar until the shared sense equals `my_sense`.
+    ///
+    /// Pairs with [`wake_parked`](Self::wake_parked); see the module docs
+    /// for the SC-fence argument that rules out a lost wakeup.
+    #[cold]
+    fn park_until(&self, my_sense: bool) {
+        // Advertise before the final sense check: the SeqCst RMW + fence
+        // order this advert before the re-check in the SC total order.
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        {
+            let mut guard = self
+                .park_lock
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            while self.sense.0.load(Ordering::Acquire) != my_sense {
+                guard = self
+                    .park_cvar
+                    .wait(guard)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Leader-side half of the park handshake, called after the release
+    /// store. Reads `parked` behind a SeqCst fence so that a waiter whose
+    /// advert this read misses is guaranteed to observe the already
+    /// published sense in its own fenced re-check and never sleep.
+    #[cold]
+    fn wake_parked(&self) {
+        fence(Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            // Taking the lock orders this notify after any waiter that won
+            // the lock first has reached `Condvar::wait` (which releases
+            // the lock only once the waiter is queued).
+            drop(
+                self.park_lock
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            );
+            self.park_cvar.notify_all();
+        }
     }
 }
 
@@ -253,5 +418,80 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_participants_rejected() {
         let _ = SpinBarrier::new(0);
+    }
+
+    #[test]
+    fn auto_mode_parks_exactly_when_oversubscribed() {
+        assert_eq!(BarrierMode::auto(2, 1), BarrierMode::Park);
+        assert_eq!(BarrierMode::auto(8, 4), BarrierMode::Park);
+        assert_eq!(BarrierMode::auto(2, 2), BarrierMode::Spin);
+        assert_eq!(BarrierMode::auto(1, 1), BarrierMode::Spin);
+        assert_eq!(BarrierMode::auto(4, 16), BarrierMode::Spin);
+        assert_eq!(SpinBarrier::new(2).mode(), BarrierMode::Spin);
+        assert_eq!(
+            SpinBarrier::with_mode(2, BarrierMode::Park).mode(),
+            BarrierMode::Park
+        );
+        assert_eq!(BarrierMode::Park.as_str(), "park");
+        assert_eq!(BarrierMode::Spin.to_string(), "spin");
+    }
+
+    /// The park-mode analogue of the oversubscription test: every episode's
+    /// release must wake parked waiters (the `ParkLostWakeup` mutant in
+    /// cake-verify is exactly a leader that fails to), and the phase
+    /// separation guarantee is mode-independent.
+    #[test]
+    fn park_mode_makes_progress_when_oversubscribed() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let p = (2 * cores).max(4);
+        let pool = ThreadPool::new(p);
+        let b = SpinBarrier::with_mode(p, BarrierMode::Park);
+        let rounds = 100;
+        let phase = AtomicUsize::new(0);
+        let bad = AtomicUsize::new(0);
+        pool.broadcast(|_| {
+            let mut ws = b.waiter();
+            for r in 0..rounds {
+                phase.fetch_add(1, Ordering::SeqCst);
+                b.wait(&mut ws);
+                if phase.load(Ordering::SeqCst) != (r + 1) * p {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                }
+                b.wait(&mut ws);
+            }
+        });
+        assert_eq!(bad.load(Ordering::SeqCst), 0);
+        assert_eq!(phase.load(Ordering::SeqCst), rounds * p);
+    }
+
+    /// Force the full spin -> yield -> park escalation: the leader arrives
+    /// long after the waiter's budgets expire, so the waiter is genuinely
+    /// asleep on the condvar and must be woken — twice, to prove the
+    /// handshake is reusable across episodes.
+    #[test]
+    #[cfg_attr(miri, ignore = "relies on wall-clock sleep to force parking")]
+    fn parked_waiter_is_woken_by_late_leader() {
+        let b = SpinBarrier::with_mode(2, BarrierMode::Park);
+        let woken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut ws = b.waiter();
+                for _ in 0..2 {
+                    b.wait(&mut ws);
+                    woken.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            let mut ws = b.waiter();
+            for episode in 1..=2 {
+                // Far beyond Park's one yield: the waiter is parked by now.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                assert_eq!(woken.load(Ordering::SeqCst), episode - 1);
+                b.wait(&mut ws);
+                while woken.load(Ordering::SeqCst) < episode {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        assert_eq!(woken.load(Ordering::SeqCst), 2);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::model::alpha_min_for_bw_factor;
 use crate::shape::CbBlockShape;
+use crate::sync::BarrierMode;
 
 /// Upper bound on auto-selected `alpha`: beyond this the partial-C panel
 /// dwarfs any realistic LLC and compute time per block grows without
@@ -73,6 +74,133 @@ pub fn alpha_fill_llc(p: usize, mc: usize, llc_elems: usize) -> f64 {
         return 1.0;
     }
     ((s - fixed) / denom).clamp(1.0, ALPHA_CAP)
+}
+
+/// Where the tuner's `alpha` came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlphaSource {
+    /// `CakeConfig::alpha` was set explicitly by the caller.
+    Explicit,
+    /// Derived from the DRAM-bandwidth hint via [`select_alpha`]
+    /// (Section 3.2: `alpha >= 1 / (R - 1)`).
+    BandwidthModel,
+    /// No hint: widened to fill the spare LLC via [`alpha_fill_llc`]
+    /// (a wider block only lowers the Eq. 2 bandwidth demand).
+    LlcFill,
+}
+
+impl AlphaSource {
+    /// One-line rationale for `--explain` output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            AlphaSource::Explicit => "explicit config",
+            AlphaSource::BandwidthModel => {
+                "Section 3.2 bandwidth model (alpha >= 1/(R-1))"
+            }
+            AlphaSource::LlcFill => {
+                "LLC fill (no DRAM bandwidth hint; spare LLC only lowers Eq. 2 demand)"
+            }
+        }
+    }
+}
+
+/// The full record of one shape-tuning decision — every input the tuner
+/// consulted and every intermediate bound, so a regression in shaping is
+/// diagnosable from `cakectl gemm --explain` without a debugger.
+///
+/// Produced by `CakeConfig::explain_shape`; `resolve_shape` is the same
+/// computation keeping only [`shape`](Self::shape).
+#[derive(Debug, Clone)]
+pub struct TuneDecision {
+    /// The p the caller asked for — drives the block geometry and the
+    /// analytic model.
+    pub requested_p: usize,
+    /// Workers that will actually be spawned
+    /// ([`crate::topology::effective_p`]).
+    pub effective_p: usize,
+    /// Cores available to this process when the decision was made.
+    pub host_cores: usize,
+    /// Rotation-barrier strategy [`BarrierMode::auto`] will select for the
+    /// effective worker count on this host.
+    pub barrier_mode: BarrierMode,
+    /// The chosen aspect factor.
+    pub alpha: f64,
+    /// Why that `alpha`.
+    pub alpha_source: AlphaSource,
+    /// Raw `mc` upper bound from the per-core L2 (elements, before
+    /// kernel-tile rounding).
+    pub mc_l2: usize,
+    /// Raw `mc` upper bound from the Section 4.3 LLC LRU rule.
+    pub mc_llc: usize,
+    /// The cache-derived shape before any problem clamping.
+    pub analytic: CbBlockShape,
+    /// The final shape after clamping to the problem extents.
+    pub shape: CbBlockShape,
+    /// Whether the final shape satisfies `C + 2(A + B) <= S` for the
+    /// configured LLC.
+    pub lru_ok: bool,
+}
+
+impl TuneDecision {
+    /// Multi-line human-readable explanation (the `--explain` body).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let clamp = if self.effective_p < self.requested_p {
+            " (clamped: oversubscribing burns timeslices at every barrier)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "p: requested {} on {} host core(s) -> effective {}{}",
+            self.requested_p, self.host_cores, self.effective_p, clamp
+        );
+        let why_mode = match self.barrier_mode {
+            BarrierMode::Spin => "every worker has a core; spin observes the release in ~ns",
+            BarrierMode::Park => "workers exceed cores; park instead of spin-thrashing",
+        };
+        let _ = writeln!(out, "barrier: {} ({})", self.barrier_mode, why_mode);
+        let _ = writeln!(
+            out,
+            "alpha: {:.2} via {}",
+            self.alpha,
+            self.alpha_source.describe()
+        );
+        let binding = if self.mc_llc <= self.mc_l2 {
+            "LLC-LRU binds"
+        } else {
+            "L2 binds"
+        };
+        let _ = writeln!(
+            out,
+            "mc bounds: L2 <= {} elems, LLC-LRU <= {} elems -> {} -> analytic mc = {}",
+            self.mc_l2, self.mc_llc, binding, self.analytic.mc
+        );
+        if self.shape != self.analytic {
+            let _ = writeln!(
+                out,
+                "problem clamp: {} -> {}",
+                self.analytic, self.shape
+            );
+        }
+        let _ = writeln!(
+            out,
+            "shape: {} mc={} kc={} nc={}; LRU fit C+2(A+B) <= S: {}",
+            self.shape,
+            self.shape.mc,
+            self.shape.kc,
+            self.shape.nc,
+            if self.lru_ok { "ok" } else { "EXCEEDED" }
+        );
+        out
+    }
+}
+
+impl std::fmt::Display for TuneDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.render().trim_end())
+    }
 }
 
 /// How well the pipelined executor hid packing IO under compute, from a
@@ -182,6 +310,51 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_rejected() {
         let _ = select_alpha(0.0, MC, RATE, F32, GHZ);
+    }
+
+    #[test]
+    fn tune_decision_render_mentions_every_input() {
+        let d = TuneDecision {
+            requested_p: 8,
+            effective_p: 1,
+            host_cores: 1,
+            barrier_mode: BarrierMode::Spin,
+            alpha: 1.0,
+            alpha_source: AlphaSource::LlcFill,
+            mc_l2: 181,
+            mc_llc: 97,
+            analytic: crate::shape::CbBlockShape::fixed(8, 96, 96, 768),
+            shape: crate::shape::CbBlockShape::fixed(8, 12, 12, 96),
+            lru_ok: true,
+        };
+        let r = d.render();
+        for needle in [
+            "requested 8",
+            "effective 1",
+            "clamped",
+            "spin",
+            "LLC fill",
+            "LLC-LRU <= 97",
+            "problem clamp",
+            "LRU fit",
+        ] {
+            assert!(r.contains(needle), "render missing {needle:?}:\n{r}");
+        }
+        assert!(d.to_string().contains("alpha: 1.00"));
+        // Unclamped decision drops the clamp notes.
+        let d2 = TuneDecision {
+            effective_p: 8,
+            host_cores: 8,
+            shape: d.analytic,
+            barrier_mode: BarrierMode::Park,
+            alpha_source: AlphaSource::Explicit,
+            ..d
+        };
+        let r2 = d2.render();
+        assert!(!r2.contains("clamped"));
+        assert!(!r2.contains("problem clamp"));
+        assert!(r2.contains("park"));
+        assert!(r2.contains("explicit config"));
     }
 
     #[test]

@@ -29,6 +29,30 @@ use crate::shared::SharedBuf;
 /// small.
 pub const MAX_B_PANELS: usize = 4;
 
+/// Most row tiles any one worker can own when `total_tiles` tiles are
+/// partitioned by the 2D grid ([`worker_grid`](crate::schedule::worker_grid)
+/// + balanced contiguous strips) across `workers` workers:
+///
+/// `max(1, min(T, ceil(T / workers) + workers - 1))`
+///
+/// Why this dominates every per-block split `t <= T`:
+///
+/// * `t >= workers`: the grid degenerates to `(workers, 1)` and a strip
+///   holds `ceil(t / workers) <= ceil(T / workers)` tiles;
+/// * `t < workers`: the row-group count `pm <= t`, so a strip holds at
+///   most `t <= min(T, workers - 1)` tiles.
+///
+/// Both branches sit under the closed form, which is also nondecreasing in
+/// `T` — so sizing the packed-A stride for the *largest* block covers every
+/// partial edge block. The same expression is proven symbolically against
+/// the executor's pack sites by `cake-audit`.
+pub fn worker_tile_bound(total_tiles: usize, workers: usize) -> usize {
+    assert!(workers > 0, "tile bound needs at least one worker");
+    total_tiles
+        .min(total_tiles.div_ceil(workers) + workers - 1)
+        .max(1)
+}
+
 /// Packed-operand buffers reused across GEMM calls.
 pub struct GemmWorkspace<T> {
     /// One packed-A strip per worker, in a single allocation of
@@ -56,21 +80,32 @@ impl<T: Element> GemmWorkspace<T> {
         }
     }
 
-    /// Size the buffers for one CB-block shape and kernel (`mr x nr`) with
-    /// an `n_panels`-entry B ring, growing only when the current capacity
-    /// is insufficient. Returns the number of fresh allocations this call
-    /// performed (0 after warmup).
-    pub fn prepare(&mut self, shape: &CbBlockShape, mr: usize, nr: usize, n_panels: usize) -> usize {
+    /// Size the buffers for one CB-block shape and kernel (`mr x nr`) run
+    /// by `workers` pool threads, with an `n_panels`-entry B ring, growing
+    /// only when the current capacity is insufficient. Returns the number
+    /// of fresh allocations this call performed (0 after warmup).
+    ///
+    /// `workers` is the *effective* pool size, which may differ from
+    /// `shape.p` (the shape keeps the requested p for the analytic model;
+    /// the executor partitions across whatever the pool actually has).
+    pub fn prepare(
+        &mut self,
+        shape: &CbBlockShape,
+        workers: usize,
+        mr: usize,
+        nr: usize,
+        n_panels: usize,
+    ) -> usize {
         let n_panels = n_panels.clamp(2, MAX_B_PANELS);
-        // Balanced M-partition bound: a full block has ceil(bm / mr) tiles
-        // split contiguously across p workers, so one worker owns at most
-        // ceil(tiles / p) of them — never more than the old fixed-strip
-        // ceil(mc / mr), and exactly it when mc is a multiple of mr.
-        let max_tiles = shape.m_block().div_ceil(mr).div_ceil(shape.p);
+        // 2D-partition bound (see `worker_tile_bound`): the block's
+        // ceil(bm / mr) tiles are split by the worker grid, and no worker
+        // ever owns more than the closed-form bound — never more than the
+        // old fixed-strip ceil(mc / mr) when the grid is pure M-strips.
+        let max_tiles = worker_tile_bound(shape.m_block().div_ceil(mr), workers);
         let pa_stride = packed_a_size(max_tiles * mr, shape.k_block(), mr);
         let pb_len = packed_b_size(shape.k_block(), shape.n_block(), nr);
         let mut fresh = 0;
-        fresh += usize::from(self.packed_a.reserve(pa_stride * shape.p));
+        fresh += usize::from(self.packed_a.reserve(pa_stride * workers));
         while self.packed_b.len() < n_panels {
             self.packed_b.push(SharedBuf::empty());
         }
@@ -108,13 +143,13 @@ mod tests {
     fn prepare_allocates_once_per_shape_class() {
         let mut ws = GemmWorkspace::<f32>::new();
         let shape = CbBlockShape::fixed(2, 16, 16, 32);
-        let first = ws.prepare(&shape, 6, 16, 2);
+        let first = ws.prepare(&shape, 2, 6, 16, 2);
         assert_eq!(first, 3, "A strips + two B panels");
         // Same shape again: fully warm.
-        assert_eq!(ws.prepare(&shape, 6, 16, 2), 0);
+        assert_eq!(ws.prepare(&shape, 2, 6, 16, 2), 0);
         // Smaller shape fits in existing capacity.
         let small = CbBlockShape::fixed(2, 8, 8, 16);
-        assert_eq!(ws.prepare(&small, 6, 16, 2), 0);
+        assert_eq!(ws.prepare(&small, 2, 6, 16, 2), 0);
         assert_eq!(ws.allocations(), 3);
         assert!(ws.bytes() > 0);
     }
@@ -124,50 +159,73 @@ mod tests {
         let mut ws = GemmWorkspace::<f64>::new();
         let small = CbBlockShape::fixed(1, 8, 8, 8);
         let big = CbBlockShape::fixed(1, 64, 64, 128);
-        assert!(ws.prepare(&small, 4, 8, 2) > 0);
+        assert!(ws.prepare(&small, 1, 4, 8, 2) > 0);
         let before = ws.bytes();
-        assert!(ws.prepare(&big, 4, 8, 2) > 0);
+        assert!(ws.prepare(&big, 1, 4, 8, 2) > 0);
         assert!(ws.bytes() > before);
         // And shrinking back performs no work.
-        assert_eq!(ws.prepare(&small, 4, 8, 2), 0);
+        assert_eq!(ws.prepare(&small, 1, 4, 8, 2), 0);
     }
 
     #[test]
     fn panel_ring_grows_on_demand_and_is_capped() {
         let mut ws = GemmWorkspace::<f32>::new();
         let shape = CbBlockShape::fixed(1, 8, 8, 16);
-        assert_eq!(ws.prepare(&shape, 6, 16, 2), 3, "A + 2 panels");
+        assert_eq!(ws.prepare(&shape, 1, 6, 16, 2), 3, "A + 2 panels");
         // A deeper ring for the same shape only allocates the new panels.
-        assert_eq!(ws.prepare(&shape, 6, 16, 4), 2, "2 more panels");
-        assert_eq!(ws.prepare(&shape, 6, 16, 4), 0);
+        assert_eq!(ws.prepare(&shape, 1, 6, 16, 4), 2, "2 more panels");
+        assert_eq!(ws.prepare(&shape, 1, 6, 16, 4), 0);
         // Requests beyond MAX_B_PANELS (and below 2) are clamped.
-        assert_eq!(ws.prepare(&shape, 6, 16, 99), 0);
+        assert_eq!(ws.prepare(&shape, 1, 6, 16, 99), 0);
         assert_eq!(ws.packed_b.len(), MAX_B_PANELS);
-        assert_eq!(ws.prepare(&shape, 6, 16, 0), 0);
+        assert_eq!(ws.prepare(&shape, 1, 6, 16, 0), 0);
     }
 
     #[test]
     fn pa_stride_tracks_last_prepared_shape() {
         let mut ws = GemmWorkspace::<f32>::new();
         let shape = CbBlockShape::fixed(3, 12, 16, 32);
-        ws.prepare(&shape, 6, 16, 2);
-        // mc divisible by mr: the balanced bound equals the fixed strip.
-        assert_eq!(ws.pa_stride, packed_a_size(12, 16, 6));
+        ws.prepare(&shape, 3, 6, 16, 2);
+        // bm = 36, mr = 6: T = 6 tiles; bound = min(6, ceil(6/3) + 2) = 4
+        // tiles = 24 rows (the + p - 1 slack covers small partial blocks
+        // whose worker grid folds into N).
+        assert_eq!(ws.pa_stride, packed_a_size(worker_tile_bound(6, 3) * 6, 16, 6));
+        assert_eq!(ws.pa_stride, packed_a_size(24, 16, 6));
     }
 
     #[test]
-    fn pa_stride_balanced_bound_never_exceeds_fixed_strip() {
-        // mc NOT a multiple of mr: the contiguous tile split hands one
-        // worker at most ceil(ceil(p*mc/mr)/p) tiles, which can be fewer
-        // than the old per-worker ceil(mc/mr).
-        let mut ws = GemmWorkspace::<f32>::new();
-        let shape = CbBlockShape::fixed(3, 8, 16, 32); // bm = 24, mr = 6
-        ws.prepare(&shape, 6, 16, 2);
-        // ceil(24/6) = 4 tiles over 3 workers -> max 2 tiles = 12 rows.
-        assert_eq!(ws.pa_stride, packed_a_size(12, 16, 6));
-        // A 5-worker split of the same 24 rows: ceil(4/5) = 1 tile each.
-        let mut ws5 = GemmWorkspace::<f32>::new();
-        ws5.prepare(&CbBlockShape::fixed(5, 5, 16, 32), 6, 16, 2); // bm = 25
-        assert_eq!(ws5.pa_stride, packed_a_size(6, 16, 6));
+    fn tile_bound_pins_and_edges() {
+        // Single worker owns everything.
+        for t in 0..10 {
+            assert_eq!(worker_tile_bound(t, 1), t.max(1));
+        }
+        // Plenty of tiles: balanced strip plus the small-block slack.
+        assert_eq!(worker_tile_bound(6, 3), 4);
+        assert_eq!(worker_tile_bound(4, 3), 4, "capped by T itself");
+        assert_eq!(worker_tile_bound(0, 4), 1, "empty blocks still get a tile slot");
+        // More workers than tiles: T wins the min.
+        assert_eq!(worker_tile_bound(3, 8), 3);
+    }
+
+    #[test]
+    fn tile_bound_dominates_every_2d_split() {
+        use crate::schedule::worker_grid;
+        // For every block size t up to the sizing maximum T, no worker's
+        // strip under the real grid exceeds the closed-form bound for T.
+        for workers in 1..=9usize {
+            for total in 0..=24usize {
+                let bound = worker_tile_bound(total, workers);
+                // Monotone in T: sizing for the largest block covers all.
+                assert!(bound <= worker_tile_bound(total + 1, workers));
+                for t in 0..=total {
+                    let (pm, _pn) = worker_grid(workers, t);
+                    let per_worker = t.div_ceil(pm.max(1));
+                    assert!(
+                        per_worker <= bound,
+                        "t={t} of T={total}, workers={workers}: strip {per_worker} > bound {bound}"
+                    );
+                }
+            }
+        }
     }
 }

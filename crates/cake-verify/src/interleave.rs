@@ -28,11 +28,25 @@
 //! either claim — plus deadlocks. Per-worker A strips are private by
 //! construction and are not modeled.
 //!
-//! Three seeded **mutants** prove the checker has teeth: removing the
+//! Two executor generalizations are modeled directly:
+//!
+//! * **Parking barrier** ([`BarrierModel::Park`]): a waiting worker may
+//!   nondeterministically block (its spin budget expired) instead of
+//!   spinning; the releasing arrival must wake it. The DFS covers every
+//!   park-vs-last-arrival ordering, which is exactly the race the SC-fence
+//!   handshake in `cake_core::sync` exists to close.
+//! * **2D worker grid** ([`InterleaveSpec::pn`]): workers in different
+//!   column groups compute from disjoint sliver ranges of the same panel,
+//!   while B-pack ownership stays 1D across all `p` workers — the
+//!   executor's small-block partitioning.
+//!
+//! Four seeded **mutants** prove the checker has teeth: removing the
 //! barriers ([`Mutant::SkipBarriers`]), evicting the live panel on a ring
-//! miss ([`Mutant::EvictLive`]), and a barrier that fails to reverse its
+//! miss ([`Mutant::EvictLive`]), a barrier that fails to reverse its
 //! sense so every other episode passes straight through on the stale flag
-//! ([`Mutant::StaleSense`]) must each produce violations.
+//! ([`Mutant::StaleSense`]), and a parking barrier whose release misses
+//! blocked waiters ([`Mutant::ParkLostWakeup`]) must each produce
+//! violations.
 
 use std::collections::HashSet;
 
@@ -54,6 +68,21 @@ pub enum Mutant {
     /// flag value and fall straight through every *other* episode (modeled
     /// by dropping the odd-indexed barriers from every program).
     StaleSense,
+    /// A parking barrier whose release notify never reaches waiters that
+    /// already blocked: a parked worker stays blocked forever (the lost
+    /// wakeup the SC fences in `cake_core::sync::SpinBarrier` rule out).
+    ParkLostWakeup,
+}
+
+/// Barrier semantics used by the interleaving engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierModel {
+    /// Pure spin: waiters stay runnable until released.
+    Spin,
+    /// Waiters may nondeterministically park; the release wakes them.
+    Park,
+    /// Waiters may park, but the release misses parked waiters (mutant).
+    ParkLostWakeup,
 }
 
 /// One model-checking scenario.
@@ -71,6 +100,13 @@ pub struct InterleaveSpec {
     pub slivers: usize,
     /// Panel-ring depth (>= 2).
     pub ring: usize,
+    /// Column groups of the executor's 2D worker grid: worker `w` computes
+    /// only from the sliver range `split_range(slivers, pn, w % pn)` while
+    /// pack ownership stays 1D across all `p` workers. `1` models pure
+    /// M-strip partitioning (every worker reads the whole panel).
+    pub pn: usize,
+    /// Model the parking barrier (waiters may block; release must wake).
+    pub park: bool,
     /// Protocol mutation, if any.
     pub mutant: Mutant,
     /// State-count bound; exploration past it reports `complete = false`.
@@ -114,8 +150,10 @@ pub enum Step {
     PackB { panel: u8, sliver: u8, surface: u16 },
     /// Sense-reversing rotation barrier: nobody passes until all arrive.
     Barrier,
-    /// Start reading every sliver of `panel`, expecting `surface`.
-    BeginCompute { panel: u8, surface: u16 },
+    /// Start reading slivers `lo..hi` of `panel`, expecting `surface`
+    /// in each (a column group of the 2D grid reads a sub-range; pure
+    /// M-strip workers read the whole panel).
+    BeginCompute { panel: u8, surface: u16, lo: u8, hi: u8 },
     /// Stop reading `panel`.
     EndCompute { panel: u8 },
 }
@@ -127,6 +165,8 @@ struct MachState {
     pc: Vec<u16>,
     /// Per-worker "arrived at barrier, waiting" flag.
     at_barrier: Vec<bool>,
+    /// Per-worker "blocked on the barrier condvar" flag (parking model).
+    parked: Vec<bool>,
     /// `tags[panel][sliver]`: surface id last packed into the sliver.
     tags: Vec<Vec<Option<u16>>>,
     /// Active computes reading each panel.
@@ -237,12 +277,20 @@ fn build_programs(spec: &InterleaveSpec, info: &[BlockInfo]) -> Vec<Vec<Step>> {
                 }
             };
 
+            // 2D column group: this worker computes only from its owned
+            // sliver range (the whole panel when pn == 1).
+            let reads = split_range(spec.slivers, spec.pn, w % spec.pn);
             if let Some(first) = info.first() {
                 pack_all(&mut prog, first.pack.expect("block 0 always packs"), first.surface);
                 barrier(&mut prog);
             }
             for (bi, b) in info.iter().enumerate() {
-                prog.push(Step::BeginCompute { panel: b.panel as u8, surface: b.surface });
+                prog.push(Step::BeginCompute {
+                    panel: b.panel as u8,
+                    surface: b.surface,
+                    lo: reads.start as u8,
+                    hi: reads.end as u8,
+                });
                 prog.push(Step::EndCompute { panel: b.panel as u8 });
                 if bi + 1 < info.len() {
                     let next = &info[bi + 1];
@@ -258,7 +306,12 @@ fn build_programs(spec: &InterleaveSpec, info: &[BlockInfo]) -> Vec<Vec<Step>> {
 }
 
 /// Execute worker `w`'s next step on a copy of `st`; `Err` is a violation.
-fn apply(st: &MachState, w: usize, progs: &[Vec<Step>]) -> Result<MachState, String> {
+fn apply(
+    st: &MachState,
+    w: usize,
+    progs: &[Vec<Step>],
+    barrier: BarrierModel,
+) -> Result<MachState, String> {
     let mut st = st.clone();
     match progs[w][st.pc[w] as usize] {
         Step::PackB { panel, sliver, surface } => {
@@ -282,16 +335,23 @@ fn apply(st: &MachState, w: usize, progs: &[Vec<Step>]) -> Result<MachState, Str
             if releasable {
                 for v in 0..progs.len() {
                     if st.at_barrier[v] {
+                        if barrier == BarrierModel::ParkLostWakeup && st.parked[v] {
+                            // The release's notify never reaches a waiter
+                            // that already blocked: it stays parked forever.
+                            continue;
+                        }
                         st.at_barrier[v] = false;
+                        st.parked[v] = false;
                         st.pc[v] += 1;
                     }
                 }
             }
         }
-        Step::BeginCompute { panel, surface } => {
+        Step::BeginCompute { panel, surface, lo, hi } => {
             let p = panel as usize;
-            for (t, tag) in st.tags[p].iter().enumerate() {
-                if *tag != Some(surface) {
+            for t in lo as usize..hi as usize {
+                let tag = st.tags[p][t];
+                if tag != Some(surface) {
                     return Err(format!(
                         "worker {w} began computing surface {surface} from panel {p}, \
                          but sliver {t} holds {tag:?} — read before pack completed"
@@ -318,11 +378,26 @@ fn apply(st: &MachState, w: usize, progs: &[Vec<Step>]) -> Result<MachState, Str
 /// `rotate_hits`/`b_packs` left at zero (those are replay statistics the
 /// caller may not have).
 pub fn explore_programs(progs: &[Vec<Step>], ring: usize, slivers: usize, max_states: usize) -> InterleaveReport {
+    explore_programs_with(progs, ring, slivers, max_states, BarrierModel::Spin)
+}
+
+/// [`explore_programs`] with explicit barrier semantics. Under
+/// [`BarrierModel::Park`] (and its lost-wakeup mutant) every waiting worker
+/// gains a nondeterministic "park" move, so the DFS covers each ordering of
+/// spin-budget expiry against the releasing arrival.
+pub fn explore_programs_with(
+    progs: &[Vec<Step>],
+    ring: usize,
+    slivers: usize,
+    max_states: usize,
+    barrier: BarrierModel,
+) -> InterleaveReport {
     assert!(!progs.is_empty() && ring >= 1 && slivers >= 1);
     let p = progs.len();
     let initial = MachState {
         pc: vec![0; p],
         at_barrier: vec![false; p],
+        parked: vec![false; p],
         tags: vec![vec![None; slivers]; ring],
         readers: vec![0; ring],
     };
@@ -338,6 +413,19 @@ pub fn explore_programs(progs: &[Vec<Step>], ring: usize, slivers: usize, max_st
             complete = false;
             break;
         }
+        if barrier != BarrierModel::Spin {
+            // Parking move: a waiter's spin budget may expire at any time
+            // before the release reaches it.
+            for w in 0..p {
+                if st.at_barrier[w] && !st.parked[w] {
+                    let mut next = st.clone();
+                    next.parked[w] = true;
+                    if seen.insert(next.clone()) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
         let enabled: Vec<usize> = (0..p)
             .filter(|&w| (st.pc[w] as usize) < progs[w].len() && !st.at_barrier[w])
             .collect();
@@ -351,7 +439,7 @@ pub fn explore_programs(progs: &[Vec<Step>], ring: usize, slivers: usize, max_st
             continue;
         }
         for w in enabled {
-            match apply(&st, w, progs) {
+            match apply(&st, w, progs, barrier) {
                 Ok(next) => {
                     if seen.insert(next.clone()) {
                         stack.push(next);
@@ -371,12 +459,17 @@ pub fn explore_programs(progs: &[Vec<Step>], ring: usize, slivers: usize, max_st
 
 /// Explore every interleaving of the spec's worker programs.
 pub fn explore(spec: &InterleaveSpec) -> InterleaveReport {
-    assert!(spec.p >= 1 && spec.ring >= 2 && spec.slivers >= 1);
+    assert!(spec.p >= 1 && spec.ring >= 2 && spec.slivers >= 1 && spec.pn >= 1);
     let coords: Vec<BlockCoord> = KFirstSchedule::with_outer(spec.grid, spec.outer).collect();
     let (info, rotate_hits, b_packs) =
         ring_decisions(&coords, spec.ring, spec.mutant == Mutant::EvictLive);
     let progs = build_programs(spec, &info);
-    let mut report = explore_programs(&progs, spec.ring, spec.slivers, spec.max_states);
+    let barrier = match spec.mutant {
+        Mutant::ParkLostWakeup => BarrierModel::ParkLostWakeup,
+        _ if spec.park => BarrierModel::Park,
+        _ => BarrierModel::Spin,
+    };
+    let mut report = explore_programs_with(&progs, spec.ring, spec.slivers, spec.max_states, barrier);
     report.rotate_hits = rotate_hits;
     report.b_packs = b_packs;
     report
@@ -403,6 +496,8 @@ fn base_spec(p: usize, grid: BlockGrid) -> InterleaveSpec {
         outer: OuterLoop::NOuter,
         slivers: p.max(2),
         ring: 2,
+        pn: 1,
+        park: false,
         mutant: Mutant::None,
         max_states: 400_000,
     }
@@ -458,6 +553,35 @@ pub fn run_default_suite() -> Result<SuiteReport, String> {
         if r.complete { "exhausted" } else { "bounded" }
     ));
 
+    // Parking barrier: same protocol, but waiters may block on the condvar
+    // at any point before the release. Exhausts clean because the release
+    // wakes parked waiters (the SC-fence handshake in cake-core's sync.rs).
+    let park = InterleaveSpec { park: true, ..reversal };
+    let r = explore(&park);
+    if !r.complete || !r.violations.is_empty() {
+        return Err(format!(
+            "interleave [park]: complete={} violations={:?}",
+            r.complete, r.violations
+        ));
+    }
+    report
+        .lines
+        .push(format!("p=2 2x2x1 parking barrier exhausted: {} states, 0 violations", r.states));
+
+    // 2D worker grid: both workers share the row group and read disjoint
+    // column halves of every panel; pack ownership stays 1D.
+    let grid2d = InterleaveSpec { pn: 2, slivers: 4, ..reversal };
+    let r = explore(&grid2d);
+    if !r.complete || !r.violations.is_empty() {
+        return Err(format!(
+            "interleave [2d-grid]: complete={} violations={:?}",
+            r.complete, r.violations
+        ));
+    }
+    report
+        .lines
+        .push(format!("p=2 2x2x1 2D grid (pn=2) exhausted: {} states, 0 violations", r.states));
+
     // Mutant self-validation: the checker must catch a barrier-free
     // protocol and a live-panel eviction, or its green runs mean nothing.
     let no_barriers = InterleaveSpec { mutant: Mutant::SkipBarriers, ..reversal };
@@ -483,9 +607,15 @@ pub fn run_default_suite() -> Result<SuiteReport, String> {
     if r.violations.is_empty() {
         return Err("interleave [mutant]: a stale-sense barrier went undetected".into());
     }
-    report
-        .lines
-        .push("mutants caught: SkipBarriers, EvictLive, StaleSense (baselines clean)".into());
+    let lost = InterleaveSpec { park: true, mutant: Mutant::ParkLostWakeup, ..reversal };
+    let r = explore(&lost);
+    if !r.violations.iter().any(|v| v.contains("deadlock")) {
+        return Err("interleave [mutant]: a lost park wakeup went undetected".into());
+    }
+    report.lines.push(
+        "mutants caught: SkipBarriers, EvictLive, StaleSense, ParkLostWakeup (baselines clean)"
+            .into(),
+    );
 
     Ok(report)
 }
@@ -497,7 +627,64 @@ mod tests {
     #[test]
     fn default_suite_passes() {
         let rep = run_default_suite().expect("interleaving suite must pass");
-        assert_eq!(rep.lines.len(), 4);
+        assert_eq!(rep.lines.len(), 6);
+    }
+
+    #[test]
+    fn parking_barrier_is_violation_free_and_exhaustive() {
+        let spec = InterleaveSpec { park: true, ..base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 }) };
+        let r = explore(&spec);
+        assert!(r.complete, "park model must stay exhaustible");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // The park move genuinely enlarges the state space.
+        let spin = explore(&base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 }));
+        assert!(r.states > spin.states, "park states {} <= spin states {}", r.states, spin.states);
+    }
+
+    #[test]
+    fn park_lost_wakeup_mutant_deadlocks() {
+        let spec = InterleaveSpec {
+            park: true,
+            mutant: Mutant::ParkLostWakeup,
+            ..base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 })
+        };
+        let r = explore(&spec);
+        assert!(
+            r.violations.iter().any(|v| v.contains("deadlock")),
+            "expected a deadlock from the lost wakeup, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn two_d_column_groups_are_violation_free() {
+        // pn=2 over 4 slivers: worker 0 reads slivers 0..2, worker 1 reads
+        // 2..4, and each packs its 1D-owned half.
+        let spec =
+            InterleaveSpec { pn: 2, slivers: 4, ..base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 }) };
+        let r = explore(&spec);
+        assert!(r.complete);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn two_d_grid_still_catches_missing_barriers() {
+        // Partial reads must not blind the checker: a barrier-free protocol
+        // with column-group ownership is still a read-before-pack race.
+        let spec = InterleaveSpec {
+            pn: 2,
+            slivers: 4,
+            mutant: Mutant::SkipBarriers,
+            ..base_spec(2, BlockGrid { mb: 2, kb: 2, nb: 1 })
+        };
+        let r = explore(&spec);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("read before pack") || v.contains("still computing")),
+            "expected a pack/read race, got {:?}",
+            r.violations
+        );
     }
 
     #[test]
@@ -599,6 +786,7 @@ mod tests {
         let initial = MachState {
             pc: vec![0; 2],
             at_barrier: vec![false; 2],
+            parked: vec![false; 2],
             tags: vec![vec![None; 1]; 2],
             readers: vec![0; 2],
         };
@@ -616,7 +804,7 @@ mod tests {
                 continue;
             }
             for w in enabled {
-                if let Ok(next) = apply(&st, w, &progs) {
+                if let Ok(next) = apply(&st, w, &progs, BarrierModel::Spin) {
                     stack.push(next);
                 }
             }
