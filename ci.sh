@@ -5,6 +5,8 @@
 #   ./ci.sh --fast         tier-1 + clippy only (skip audit + verify + bench snapshot)
 #   ./ci.sh --verify       verification suite only (cakectl verify, 256 fuzz cases)
 #   ./ci.sh --scale-smoke  one p=4 GEMM sweep asserting pack counters match p=1
+#   ./ci.sh --kernel-smoke one GEMM per available kernel tier (portable/avx2/
+#                          avx512) asserting pack counters are tier-invariant
 #   ./ci.sh --audit        static analysis only (cakectl audit: unsafe ratchet,
 #                          symbolic bounds proofs, executor phase checker)
 #   ./ci.sh --miri         Miri pass over the pointer-heavy crates (needs a
@@ -29,6 +31,14 @@
 # speedup > 1). On a single-core host the smoke is skipped with an
 # explicit message — the topology clamp would run every p at
 # effective_p=1, proving nothing.
+#
+# The kernel-smoke gate is the dispatch-tier counterpart: one GEMM per
+# kernel tier the host supports (always at least portable), same fixed
+# block grid for all of them. Pack counters tally live source elements,
+# which depend on the block grid and never on the microkernel tile shape
+# — so every tier must report identical a/b/c counters or cakectl exits
+# 1. This catches a tier whose edge handling silently reads or packs a
+# different footprint.
 #
 # Opt-in ThreadSanitizer pass (needs a nightly toolchain with rust-src;
 # not part of the gate because the container pins stable). This covers
@@ -64,6 +74,12 @@ run_scale_smoke() {
         gemm --m 192 --k 192 --n 192 --threads 1,4 --check-counters
 }
 
+run_kernel_smoke() {
+    echo "==> kernel smoke: one GEMM per available tier, pack counters must be tier-invariant"
+    cargo run --release -p cake-bench --bin cakectl -- \
+        gemm --m 192 --k 192 --n 192 --kernel-smoke
+}
+
 run_audit() {
     echo "==> static analysis (cakectl audit)"
     cargo run --release -p cake-bench --bin cakectl -- audit
@@ -97,6 +113,12 @@ if [[ "${1:-}" == "--scale-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--kernel-smoke" ]]; then
+    run_kernel_smoke
+    echo "==> ci.sh: kernel smoke passed"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--audit" ]]; then
     run_audit
     echo "==> ci.sh: audit passed"
@@ -123,6 +145,7 @@ if [[ "${1:-}" != "--fast" ]]; then
     run_audit
     run_verify
     run_scale_smoke
+    run_kernel_smoke
 
     echo "==> bench snapshot (writes BENCH_gemm.json)"
     cargo run --release -p cake-bench --bin bench_snapshot -- --iters 10

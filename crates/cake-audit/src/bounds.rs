@@ -417,9 +417,100 @@ pub fn sites() -> Vec<Site> {
             place: "cake-kernels/src/edge.rs: run_tile scratch[i*nr + j], scratch len MAX_TILE",
             need: v("mr").times(v("nr")),
             cap: c(cake_kernels::edge::MAX_TILE as i128),
-            // The entire declared kernel-shape domain (mr <= 8, nr <= 16
-            // across every kernel this crate can select).
-            ranges: vec![("mr", 1, 8), ("nr", 1, 16)],
+            // The entire declared kernel-shape domain (mr <= 14, nr <= 32
+            // across every kernel this crate can select — the AVX-512 f32
+            // 14x32 tile is the corner that saturates MAX_TILE exactly).
+            // Lemma L6 ties these bounds to the real REGISTERED_SHAPES.
+            ranges: vec![("mr", 1, 14), ("nr", 1, 32)],
+            constraint: None,
+            corner_subst: vec![],
+            finite_domain: true,
+        },
+        // ---- AVX-512 microkernels (cake-kernels/src/avx512.rs) ----
+        // The tile shapes are compile-time constants (f32: 14x32,
+        // f64: 8x16), so `need` closes over kc alone and the inequalities
+        // discharge by structural equality: the innermost read is
+        // a[(kc-1)*MR + (MR-1)] and b[(kc-1)*NR + (NR-1)], one past which
+        // is exactly the kc*MR / kc*NR sliver length the UkrFn contract
+        // guarantees.
+        Site {
+            name: "avx512_f32_a_read",
+            place: "cake-kernels/src/avx512.rs: f32 kernel a.add(k*14 + i), i < 14",
+            need: v("kc").minus(c(1)).times(c(14)).plus(c(13)).plus(c(1)),
+            cap: v("kc").times(c(14)),
+            ranges: vec![("kc", 1, 8)],
+            constraint: None,
+            corner_subst: vec![],
+            finite_domain: false,
+        },
+        Site {
+            name: "avx512_f32_b_read",
+            place: "cake-kernels/src/avx512.rs: f32 kernel _mm512_loadu_ps(b.add(k*32 + 16))",
+            need: v("kc").minus(c(1)).times(c(32)).plus(c(31)).plus(c(1)),
+            cap: v("kc").times(c(32)),
+            ranges: vec![("kc", 1, 8)],
+            constraint: None,
+            corner_subst: vec![],
+            finite_domain: false,
+        },
+        Site {
+            name: "avx512_f64_a_read",
+            place: "cake-kernels/src/avx512.rs: f64 kernel a.add(k*8 + i), i < 8",
+            need: v("kc").minus(c(1)).times(c(8)).plus(c(7)).plus(c(1)),
+            cap: v("kc").times(c(8)),
+            ranges: vec![("kc", 1, 8)],
+            constraint: None,
+            corner_subst: vec![],
+            finite_domain: false,
+        },
+        Site {
+            name: "avx512_f64_b_read",
+            place: "cake-kernels/src/avx512.rs: f64 kernel _mm512_loadu_pd(b.add(k*16 + 8))",
+            need: v("kc").minus(c(1)).times(c(16)).plus(c(15)).plus(c(1)),
+            cap: v("kc").times(c(16)),
+            ranges: vec![("kc", 1, 8)],
+            constraint: None,
+            corner_subst: vec![],
+            finite_domain: false,
+        },
+        // The prefetch addresses are clamped `kpf = (k + PF_DIST_K).min(kc-1)`
+        // before the pointer add, so the computed pointer never leaves the
+        // sliver even on the last K iterations. Prefetch itself cannot
+        // fault, but the *pointer arithmetic* must stay in bounds — that
+        // is what these sites prove. The AVX2 kernels share the identical
+        // clamp (avx2.rs imports PF_DIST_K), so the f32 B case below —
+        // the farthest-reaching prefetch, second 16-lane vector — covers
+        // the whole family's worst corner.
+        Site {
+            name: "avx512_prefetch_a",
+            place: "cake-kernels/src/avx512.rs: _mm_prefetch(a.add(kpf*14)), kpf <= kc-1",
+            need: v("kpf").times(c(14)).plus(c(1)),
+            cap: v("kc").times(c(14)),
+            ranges: vec![("kpf", 0, 7), ("kc", 1, 8)],
+            constraint: Some(|e| e["kpf"] < e["kc"]),
+            corner_subst: vec![("kpf", v("kc").minus(c(1)))],
+            finite_domain: false,
+        },
+        Site {
+            name: "avx512_prefetch_b_second_vec",
+            place: "cake-kernels/src/avx512.rs: _mm_prefetch(b.add(kpf*32 + 16)), kpf <= kc-1",
+            need: v("kpf").times(c(32)).plus(c(16)).plus(c(1)),
+            cap: v("kc").times(c(32)),
+            ranges: vec![("kpf", 0, 7), ("kc", 1, 8)],
+            constraint: Some(|e| e["kpf"] < e["kc"]),
+            corner_subst: vec![("kpf", v("kc").minus(c(1)))],
+            finite_domain: false,
+        },
+        Site {
+            name: "avx512_spill_lanes",
+            place: "cake-kernels/src/avx512.rs: strided-C spill, two storeu into lanes[NR]",
+            // Both kernels spill a full accumulator row into a stack array
+            // before scalar C writes: f32 writes 16+16 floats into
+            // [f32; 32], f64 writes 8+8 into [f64; 16]. Constant domain:
+            // the second store's one-past-end equals the array length.
+            need: c(16).plus(c(16)),
+            cap: c(32),
+            ranges: vec![],
             constraint: None,
             corner_subst: vec![],
             finite_domain: true,
@@ -527,6 +618,19 @@ pub fn mutant_sites() -> Vec<Site> {
             cap: v("p").times(v("s")),
             ranges: vec![("wid", 0, 4), ("p", 1, 4), ("s", 1, 5)],
             constraint: Some(|e| e["wid"] <= e["p"]),
+            corner_subst: vec![],
+            finite_domain: false,
+        },
+        Site {
+            name: "mutant_avx512_b_off_by_one",
+            place: "seeded: AVX-512 f32 B load as if the sliver held one extra element",
+            // The second 16-lane load issued from b.add(k*32 + 17) instead
+            // of +16 — the last lane of the last K iteration reads
+            // b[kc*32], one past the packed sliver. Refuted at kc = 1.
+            need: v("kc").minus(c(1)).times(c(32)).plus(c(32)).plus(c(1)),
+            cap: v("kc").times(c(32)),
+            ranges: vec![("kc", 1, 8)],
+            constraint: None,
             corner_subst: vec![],
             finite_domain: false,
         },
@@ -756,6 +860,29 @@ pub fn lemmas() -> (Vec<String>, Vec<String>) {
         check("executor_small_extent_replay", ok, format!("{detail} ({replays} replays)"));
     }
 
+    // L6: every kernel tile shape the crate can ever dispatch — the real
+    // REGISTERED_SHAPES registry, detection-independent — fits the edge
+    // scratch (MAX_TILE) and lies inside the box the edge_scratch_tile
+    // site enumerates (mr <= 14, nr <= 32). A new kernel that outgrows
+    // either bound fails here even on hosts that cannot execute it.
+    {
+        let mut ok = true;
+        let mut detail = String::new();
+        for (name, mr, nr) in cake_kernels::select::REGISTERED_SHAPES {
+            if mr * nr > cake_kernels::edge::MAX_TILE {
+                ok = false;
+                detail = format!("{name}: {mr}x{nr} = {} > MAX_TILE {}", mr * nr, cake_kernels::edge::MAX_TILE);
+                break;
+            }
+            if mr > 14 || nr > 32 || mr == 0 || nr == 0 {
+                ok = false;
+                detail = format!("{name}: {mr}x{nr} outside the proven (1..=14, 1..=32) box");
+                break;
+            }
+        }
+        check("registered_shapes_fit_edge_scratch", ok, detail);
+    }
+
     (held, failed)
 }
 
@@ -830,7 +957,7 @@ mod tests {
     fn lemmas_hold_against_real_code() {
         let (held, failed) = lemmas();
         assert!(failed.is_empty(), "{failed:?}");
-        assert_eq!(held.len(), 5);
+        assert_eq!(held.len(), 6);
     }
 
     #[test]

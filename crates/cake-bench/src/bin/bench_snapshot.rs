@@ -3,8 +3,12 @@
 //!
 //! Runs CAKE (pipelined executor), the GOTO baseline, and the naive
 //! reference at a few fixed GEMM shapes plus a small CNN forward pass, and
-//! records GFLOP/s, post-warmup allocation counts, and the pipeline's
-//! measured pack-overlap numbers. A `scaling` section then sweeps
+//! records GFLOP/s, post-warmup allocation counts, the dispatched kernel
+//! tier per entry, and the pipeline's measured pack-overlap numbers. A
+//! `kernel_tiers` section benchmarks every kernel tier the host supports
+//! (one single-threaded GEMM per tier per shape on a fixed block grid; the
+//! run aborts if the traffic counters differ across tiers — they count
+//! live elements, a schedule property). A `scaling` section then sweeps
 //! `p in {1, 2, 4, 8}` over each shape on a fixed block grid (see
 //! `cake_bench::scaling`), recording speedup over `p = 1`, scaling
 //! efficiency, the post-clamp `effective_p` and barrier mode per point,
@@ -24,7 +28,10 @@
 use std::time::Instant;
 
 use cake_bench::output::arg_value;
-use cake_bench::scaling::{counters_invariant, scaling_sane, sweep_shape, ScalePoint};
+use cake_bench::scaling::{
+    counters_invariant, kernel_counters_invariant, scaling_sane, sweep_kernels, sweep_shape,
+    KernelPoint, ScalePoint,
+};
 use cake_core::api::{CakeConfig, CakeGemm};
 use cake_core::topology;
 use cake_core::tune::overlap_efficiency;
@@ -93,6 +100,7 @@ struct ShapeResult {
     overlap_efficiency: f64,
     blocks: usize,
     barriers: usize,
+    kernel: &'static str,
 }
 
 fn bench_shape(ctx: &CakeGemm, p: usize, m: usize, k: usize, n: usize, iters: usize) -> ShapeResult {
@@ -133,6 +141,7 @@ fn bench_shape(ctx: &CakeGemm, p: usize, m: usize, k: usize, n: usize, iters: us
         overlap_efficiency: overlap_efficiency(stats.pack_ns, stats.compute_ns),
         blocks: stats.blocks,
         barriers: stats.barriers,
+        kernel: stats.kernel,
     }
 }
 
@@ -168,6 +177,31 @@ fn main() {
                 r.allocs_after_warmup
             );
             r
+        })
+        .collect();
+
+    // Kernel-tier sweep per shape: one single-threaded GEMM per tier the
+    // host supports, fixed block grid, so the per-tier GFLOP/s are directly
+    // comparable and the counters must match exactly.
+    let kernel_tiers: Vec<(usize, usize, usize, Vec<KernelPoint>)> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let points = sweep_kernels(m, k, n, iters);
+            for pt in &points {
+                println!(
+                    "{m}x{k}x{n} tier {} ({}, {}x{}): {:.2} GF/s",
+                    pt.tier.name(),
+                    pt.kernel,
+                    pt.mr,
+                    pt.nr,
+                    pt.gflops
+                );
+            }
+            if let Err(msg) = kernel_counters_invariant(&points) {
+                eprintln!("kernel-tier sweep {m}x{k}x{n}: {msg}");
+                std::process::exit(1);
+            }
+            (m, k, n, points)
         })
         .collect();
 
@@ -244,12 +278,14 @@ fn main() {
     let mut rows = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         rows.push_str(&format!(
-            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"cake_gflops\": {}, \"goto_gflops\": {}, \
+            "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"kernel\": \"{}\", \"cake_gflops\": {}, \
+             \"goto_gflops\": {}, \
              \"naive_gflops\": {}, \"allocs_after_warmup\": {}, \"pack_fraction\": {}, \
              \"overlap_efficiency\": {}, \"blocks\": {}, \"barriers\": {}}}{}\n",
             r.m,
             r.k,
             r.n,
+            r.kernel,
             f3(r.cake_gflops),
             f3(r.goto_gflops),
             f3(r.naive_gflops),
@@ -263,18 +299,45 @@ fn main() {
     }
     rows.push_str("  ]");
     j.field(2, "gemm", &rows, false);
+    let mut kt = String::from("[\n");
+    for (si, (m, k, n, points)) in kernel_tiers.iter().enumerate() {
+        kt.push_str(&format!("    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"tiers\": [\n"));
+        for (i, pt) in points.iter().enumerate() {
+            kt.push_str(&format!(
+                "      {{\"tier\": \"{}\", \"kernel\": \"{}\", \"mr\": {}, \"nr\": {}, \
+                 \"cake_gflops\": {}, \"a_elems\": {}, \"b_elems\": {}, \"c_elems\": {}}}{}\n",
+                pt.tier.name(),
+                pt.kernel,
+                pt.mr,
+                pt.nr,
+                f3(pt.gflops),
+                pt.a_elems,
+                pt.b_elems,
+                pt.c_elems,
+                if i + 1 == points.len() { "" } else { "," }
+            ));
+        }
+        kt.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 == kernel_tiers.len() { "" } else { "," }
+        ));
+    }
+    kt.push_str("  ]");
+    j.field(2, "kernel_tiers", &kt, false);
     let mut sc = String::from("[\n");
     for (si, (m, k, n, points)) in scaling.iter().enumerate() {
         sc.push_str(&format!("    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"points\": [\n"));
         for (i, pt) in points.iter().enumerate() {
             sc.push_str(&format!(
                 "      {{\"p\": {}, \"effective_p\": {}, \"barrier_mode\": \"{}\", \
+                 \"kernel\": \"{}\", \
                  \"cake_gflops\": {}, \"speedup\": {}, \"efficiency\": {}, \
                  \"a_elems\": {}, \"b_elems\": {}, \"c_elems\": {}, \
                  \"barrier_wait_ns_max\": {}, \"barrier_wait_ns_sum\": {}, \"imbalance\": {}}}{}\n",
                 pt.p,
                 pt.effective_p,
                 pt.barrier_mode,
+                pt.kernel,
                 f3(pt.gflops),
                 f3(pt.speedup),
                 f3(pt.efficiency),

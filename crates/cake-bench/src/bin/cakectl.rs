@@ -6,8 +6,9 @@
 //! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
 //! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
 //! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats] [--pin]
-//!                  [--explain] [--llc-mib MIB]
+//!                  [--explain] [--llc-mib MIB] [--kernel portable|avx2|avx512]
 //!                  [--threads P | --threads P1,P2,...] [--check-counters]
+//!                  [--kernel-smoke]
 //! cakectl verify   [--cases C] [--seed S]
 //! cakectl audit    [--bless] [--root DIR]
 //! ```
@@ -24,6 +25,11 @@
 //! topology clamp from requested to effective `p`, and the barrier mode —
 //! each with the reason it was chosen.
 //!
+//! `--kernel TIER` caps the dispatch tier (`portable`, `avx2`, `avx512`)
+//! by setting `CAKE_KERNEL` before any selection happens — the A/B lever
+//! for comparing tiers on one host. A tier the host lacks falls down the
+//! ladder (avx512 → avx2 → portable) rather than failing.
+//!
 //! `--threads` switches `gemm` into a strong-scaling sweep on a fixed
 //! block grid (one `p` per comma-separated entry — a single entry is a
 //! one-row sweep): per-`p` GFLOP/s, speedup over the first entry, scaling
@@ -33,6 +39,12 @@
 //! (`cores >= 2p`, unclamped) fails to beat the single-core baseline —
 //! the CB-block bandwidth and scaling claims as a CI gate
 //! (`ci.sh --scale-smoke`).
+//!
+//! `--kernel-smoke` runs one single-threaded GEMM per kernel tier the host
+//! supports on one fixed block grid and exits 1 unless the traffic
+//! counters are identical across tiers — live element movement is a
+//! property of the block schedule, never of the register tile
+//! (`ci.sh --kernel-smoke`).
 //!
 //! `verify` runs the full `cake-verify` harness: the differential fuzzer
 //! (default 256 cases; `--seed` or `CAKE_TEST_SEED` perturbs the stream),
@@ -47,7 +59,9 @@
 //! checking. Exit status 1 on any violation.
 
 use cake_bench::output::{arg_value, has_flag, render_table};
-use cake_bench::scaling::{counters_invariant, scaling_sane, sweep_shape};
+use cake_bench::scaling::{
+    counters_invariant, kernel_counters_invariant, scaling_sane, sweep_kernels, sweep_shape,
+};
 use cake_core::api::{CakeConfig, CakeGemm};
 use cake_core::executor::ExecStats;
 use cake_core::model::CakeModel;
@@ -207,6 +221,7 @@ fn cmd_traffic() {
 fn print_exec_stats(s: &ExecStats) {
     let busy = (s.pack_ns + s.compute_ns + s.barrier_wait_ns).max(1) as f64;
     println!("Executor stats (pipelined, measured):");
+    println!("  kernel           : {:>12}  (dispatch tier for this run)", s.kernel);
     println!("  CB blocks        : {:>12}", s.blocks);
     println!(
         "  workers          : {:>12}  (requested {}, host has {} core(s))",
@@ -326,6 +341,50 @@ fn cmd_gemm() {
     let iters = opt_usize("--iters", 3).max(1);
     let pin = has_flag("--pin");
 
+    // Tier cap for A/B runs: exported before any kernel selection so every
+    // best_kernel call below (and in the sweeps) honors it.
+    if let Some(tier) = arg_value("--kernel") {
+        if cake_kernels::KernelTier::parse(&tier).is_none() {
+            eprintln!("unknown --kernel '{tier}' (expected portable|avx2|avx512)");
+            std::process::exit(2);
+        }
+        std::env::set_var("CAKE_KERNEL", &tier);
+    }
+
+    if has_flag("--kernel-smoke") {
+        let points = sweep_kernels(m, k, n, iters);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|pt| {
+                vec![
+                    pt.tier.name().into(),
+                    pt.kernel.into(),
+                    format!("{}x{}", pt.mr, pt.nr),
+                    format!("{:.2}", pt.gflops),
+                    pt.a_elems.to_string(),
+                    pt.b_elems.to_string(),
+                    pt.c_elems.to_string(),
+                ]
+            })
+            .collect();
+        println!("GEMM {m}x{k}x{n} kernel-tier smoke (fixed block grid, p = 1, best of {iters}):\n");
+        println!(
+            "{}",
+            render_table(
+                &["tier", "kernel", "mr x nr", "GFLOP/s", "A elems", "B elems", "C elems"],
+                &rows
+            )
+        );
+        match kernel_counters_invariant(&points) {
+            Ok(()) => println!("pack counters invariant across kernel tiers: OK"),
+            Err(msg) => {
+                eprintln!("kernel-tier counter invariance FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if let Some(list) = arg_value("--threads") {
         let threads: Vec<usize> = list
             .split(',')
@@ -356,9 +415,10 @@ fn cmd_gemm() {
             })
             .collect();
         let cores = cake_core::topology::available_cores();
+        let kernel = points.first().map_or("", |pt| pt.kernel);
         println!(
-            "GEMM {m}x{k}x{n} strong-scaling sweep (fixed block grid, best of {iters}, \
-             host has {cores} core(s)):\n"
+            "GEMM {m}x{k}x{n} strong-scaling sweep (fixed block grid, kernel {kernel}, \
+             best of {iters}, host has {cores} core(s)):\n"
         );
         println!(
             "{}",
@@ -401,9 +461,9 @@ fn cmd_gemm() {
         ..CakeConfig::tuned_for(p, llc_bytes)
     };
     if has_flag("--explain") {
-        let ukr = cake_kernels::best_kernel::<f32>();
-        let d = cfg.explain_shape(m, k, n, ukr.mr(), ukr.nr(), 4, (ukr.mr() * ukr.nr()) as f64);
-        println!("{d}");
+        // Kernel-aware: the decision derives from (and records) the kernel
+        // this run will actually dispatch to.
+        println!("{}", cfg.explain_shape_for::<f32>(m, k, n));
     }
     let ctx = CakeGemm::new(cfg);
     let a = cake_matrix::init::random::<f32>(m, k, 1);
@@ -418,7 +478,11 @@ fn cmd_gemm() {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     let gflops = 2.0 * (m as f64) * (k as f64) * (n as f64) / best / 1e9;
-    println!("GEMM {m}x{k}x{n}, p = {p}: {:.3} ms best of {iters} ({gflops:.2} GFLOP/s)", best * 1e3);
+    println!(
+        "GEMM {m}x{k}x{n}, p = {p}, kernel {}: {:.3} ms best of {iters} ({gflops:.2} GFLOP/s)",
+        ctx.last_stats().kernel,
+        best * 1e3
+    );
     if has_flag("--stats") {
         print_exec_stats(&ctx.last_stats());
     }

@@ -21,6 +21,18 @@
 //!     passing vacuously.
 //! - `gemm` — per-shape rows: CAKE vs GOTO vs naive GFLOP/s, post-warmup
 //!   allocations, pack fraction, overlap efficiency, block/barrier counts.
+//!   Each row also records `kernel`: the microkernel name the dispatcher
+//!   selected for that run (e.g. `"avx512_f32_14x32"`), so a snapshot is
+//!   attributable to a tier even when regenerated on a different host.
+//! - `kernel_tiers` — per-shape A/B sweep over every tier *available on
+//!   this host* (`cake_kernels::available_tiers()`), single-threaded on a
+//!   fixed block grid. Each point carries `tier` (`"portable"`, `"avx2"`,
+//!   `"avx512"`), `kernel` (the concrete microkernel name), its `mr`/`nr`
+//!   tile shape, `cake_gflops`, and the `a_elems`/`b_elems`/`c_elems`
+//!   pack counters — which must be identical across tiers (the run aborts
+//!   otherwise): packing traffic depends on the block grid, never on the
+//!   microkernel tile. This section is how the snapshot documents the
+//!   prefetch/vector-width gain (or explicit parity) between tiers.
 //! - `scaling` — per-shape strong-scaling sweeps over a fixed block grid.
 //!   Each point carries:
 //!   - `p`: requested worker count (drives block shape and the model),
@@ -29,6 +41,9 @@
 //!     clamped run, not a scaling regression,
 //!   - `barrier_mode`: `"spin"` or `"park"` as selected by
 //!     `BarrierMode::auto(p, cores)`,
+//!   - `kernel`: the microkernel name used at this `p` (same dispatcher
+//!     as the gemm rows; recorded per point because a regenerated
+//!     snapshot may mix hosts),
 //!   - `cake_gflops`, `speedup`, `efficiency` (speedup over the first
 //!     point and `speedup / p`),
 //!   - `a_elems` / `b_elems` / `c_elems`: measured pack-element counters,

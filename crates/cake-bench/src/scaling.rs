@@ -57,6 +57,12 @@ pub struct ScalePoint {
     pub barrier_wait_ns_sum: u64,
     /// Per-worker compute imbalance (`max * p / sum`; 1.0 = perfectly even).
     pub imbalance: f64,
+    /// Microkernel that produced this point (from [`ExecStats::kernel`];
+    /// all points of one sweep share it — recorded so `BENCH_gemm.json`
+    /// attributes every number to its dispatch tier).
+    ///
+    /// [`ExecStats::kernel`]: cake_core::executor::ExecStats::kernel
+    pub kernel: &'static str,
 }
 
 /// Block dimensions for a grid-invariant sweep: `bm` is a multiple of
@@ -136,6 +142,7 @@ pub fn sweep_shape(
             barrier_wait_ns_max: stats.barrier_wait_ns_max,
             barrier_wait_ns_sum: stats.barrier_wait_ns,
             imbalance: stats.compute_imbalance(),
+            kernel: stats.kernel,
         });
     }
     points
@@ -180,6 +187,102 @@ pub fn scaling_sane(points: &[ScalePoint], cores: usize) -> Result<(), String> {
                 "p={} ran at {:.2}x on a {cores}-core host (effective_p={}, barrier={}) — \
                  multicore must win when cores >= 2p",
                 pt.p, pt.speedup, pt.effective_p, pt.barrier_mode
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One kernel tier of a tier sweep (`cakectl gemm --kernel-smoke`).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelPoint {
+    /// The dispatch tier this point ran on.
+    pub tier: cake_kernels::KernelTier,
+    /// The tier's kernel name as reported by the executor.
+    pub kernel: &'static str,
+    /// Register-tile shape of that kernel.
+    pub mr: usize,
+    /// Register-tile shape of that kernel.
+    pub nr: usize,
+    /// Best-of-iters throughput.
+    pub gflops: f64,
+    /// A elements packed (0 unless `traffic-counters` is enabled).
+    pub a_elems: u64,
+    /// B elements packed.
+    pub b_elems: u64,
+    /// C elements updated.
+    pub c_elems: u64,
+}
+
+/// Run one single-threaded f32 GEMM per kernel tier the host supports, on
+/// one fixed block grid. The traffic counters tally live elements packed
+/// from the source views — a property of the block schedule, not of the
+/// kernel's register tile — so they must be identical across tiers
+/// ([`kernel_counters_invariant`], the `ci.sh --kernel-smoke` gate).
+pub fn sweep_kernels(m: usize, k: usize, n: usize, iters: usize) -> Vec<KernelPoint> {
+    let (bm, bk, bn) = fixed_grid_dims(m, k, n, 1);
+    let shape = CbBlockShape::fixed(1, bm, bk, bn);
+    let iters = iters.max(1);
+    let a = init::random::<f32>(m, k, 1);
+    let b = init::random::<f32>(k, n, 2);
+
+    let tiers = cake_kernels::available_tiers();
+    let mut points = Vec::with_capacity(tiers.len());
+    for tier in tiers {
+        let ukr = cake_kernels::tier_kernel::<f32>(tier).expect("available tier has a kernel");
+        let pool = ThreadPool::with_affinity(1, false);
+        let mut ws = GemmWorkspace::<f32>::new();
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let mut stats =
+            execute_with_stats_in(&a.view(), &b.view(), &mut c.view_mut(), &shape, &ukr, &pool, &mut ws);
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            stats = execute_with_stats_in(
+                &a.view(),
+                &b.view(),
+                &mut c.view_mut(),
+                &shape,
+                &ukr,
+                &pool,
+                &mut ws,
+            );
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        points.push(KernelPoint {
+            tier,
+            kernel: stats.kernel,
+            mr: ukr.mr(),
+            nr: ukr.nr(),
+            gflops: 2.0 * m as f64 * k as f64 * n as f64 / best / 1e9,
+            a_elems: stats.a_elems_loaded,
+            b_elems: stats.b_elems_loaded,
+            c_elems: stats.c_elems_updated,
+        });
+    }
+    points
+}
+
+/// The tier-invariance gate: on a fixed block grid every kernel tier must
+/// have packed/updated exactly the same element counts — wider register
+/// tiles change how a block is carved, never how many live elements move.
+pub fn kernel_counters_invariant(points: &[KernelPoint]) -> Result<(), String> {
+    let Some(first) = points.first() else {
+        return Ok(());
+    };
+    for pt in &points[1..] {
+        if (pt.a_elems, pt.b_elems, pt.c_elems) != (first.a_elems, first.b_elems, first.c_elems) {
+            return Err(format!(
+                "tier counters diverge: {} moved (A {}, B {}, C {}) but {} moved \
+                 (A {}, B {}, C {})",
+                first.kernel,
+                first.a_elems,
+                first.b_elems,
+                first.c_elems,
+                pt.kernel,
+                pt.a_elems,
+                pt.b_elems,
+                pt.c_elems
             ));
         }
     }
@@ -259,7 +362,37 @@ mod tests {
             barrier_wait_ns_max: 0,
             barrier_wait_ns_sum: 0,
             imbalance: 1.0,
+            kernel: "",
         }
+    }
+
+    #[test]
+    fn kernel_sweep_covers_available_tiers_with_invariant_counters() {
+        let points = sweep_kernels(48, 40, 56, 1);
+        let tiers = cake_kernels::available_tiers();
+        assert_eq!(points.len(), tiers.len());
+        for (pt, tier) in points.iter().zip(tiers) {
+            assert_eq!(pt.tier, tier);
+            assert!(pt.kernel.starts_with(tier.name()), "{} vs {}", pt.kernel, tier);
+            assert!(pt.gflops > 0.0 && pt.mr >= 1 && pt.nr >= 1);
+        }
+        assert!(points[0].a_elems > 0, "counters should be compiled in");
+        kernel_counters_invariant(&points).expect("fixed grid must move identical elements");
+        // The sweep's points all record their own kernel name.
+        let mut seen: Vec<&str> = points.iter().map(|p| p.kernel).collect();
+        seen.dedup();
+        assert_eq!(seen.len(), points.len(), "each tier reports a distinct kernel");
+    }
+
+    #[test]
+    fn divergent_kernel_counters_are_reported() {
+        let mut points = sweep_kernels(24, 24, 24, 1);
+        if points.len() < 2 {
+            return; // single-tier host: nothing to diverge
+        }
+        points[1].c_elems += 7;
+        let err = kernel_counters_invariant(&points).unwrap_err();
+        assert!(err.contains("diverge"), "{err}");
     }
 
     #[test]

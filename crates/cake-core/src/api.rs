@@ -169,7 +169,43 @@ impl CakeConfig {
             analytic,
             shape,
             lru_ok: shape.fits_llc_lru(self.llc_bytes, elem_bytes),
+            kernel: "",
         }
+    }
+
+    /// The microkernel a GEMM through this config dispatches to for element
+    /// type `T`: the portable tier when `force_portable_kernel` is set,
+    /// otherwise the tier ladder's pick (honoring the `CAKE_KERNEL` cap).
+    pub fn selected_kernel<T: KernelSelect>(&self) -> cake_kernels::Ukr<T> {
+        if self.force_portable_kernel {
+            cake_kernels::portable_kernel::<T>()
+        } else {
+            cake_kernels::best_kernel::<T>()
+        }
+    }
+
+    /// [`explain_shape`](Self::explain_shape) driven by the kernel this
+    /// config actually dispatches to for `T`: the block geometry derives
+    /// from the *selected* kernel's `(mr, nr)` and the decision records the
+    /// kernel's name.
+    pub fn explain_shape_for<T: Element + KernelSelect>(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> TuneDecision {
+        let ukr = self.selected_kernel::<T>();
+        let mut d = self.explain_shape(
+            m,
+            k,
+            n,
+            ukr.mr(),
+            ukr.nr(),
+            T::BYTES,
+            (ukr.mr() * ukr.nr()) as f64,
+        );
+        d.kernel = ukr.name();
+        d
     }
 }
 
@@ -219,11 +255,7 @@ pub fn cake_gemm_views<T: Element + KernelSelect>(
     c: &mut MatrixViewMut<'_, T>,
     cfg: &CakeConfig,
 ) {
-    let ukr = if cfg.force_portable_kernel {
-        cake_kernels::portable_kernel::<T>()
-    } else {
-        cake_kernels::best_kernel::<T>()
-    };
+    let ukr = cfg.selected_kernel::<T>();
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     if m == 0 || k == 0 || n == 0 {
         return;
@@ -311,11 +343,7 @@ impl CakeGemm {
         b: &Matrix<T>,
         c: &mut Matrix<T>,
     ) -> ExecStats {
-        let ukr = if self.cfg.force_portable_kernel {
-            cake_kernels::portable_kernel::<T>()
-        } else {
-            cake_kernels::best_kernel::<T>()
-        };
+        let ukr = self.cfg.selected_kernel::<T>();
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         if m == 0 || k == 0 || n == 0 {
             return ExecStats::default();
@@ -607,6 +635,36 @@ mod tests {
         };
         let d3 = cfg3.explain_shape(256, 256, 256, 6, 16, 4, 96.0);
         assert_eq!(d3.alpha_source, crate::tune::AlphaSource::BandwidthModel);
+    }
+
+    #[test]
+    fn explain_shape_for_records_selected_kernel() {
+        let cfg = CakeConfig::tuned_for(1, 16 * 1024 * 1024);
+        let ukr = cfg.selected_kernel::<f32>();
+        let d = cfg.explain_shape_for::<f32>(256, 256, 256);
+        assert_eq!(d.kernel, ukr.name());
+        assert_eq!(
+            d.shape,
+            cfg.resolve_shape(
+                256,
+                256,
+                256,
+                ukr.mr(),
+                ukr.nr(),
+                4,
+                (ukr.mr() * ukr.nr()) as f64
+            )
+        );
+        assert!(d.render().contains(d.kernel));
+        // Forcing the portable tier is reflected in the decision.
+        let portable = CakeConfig {
+            force_portable_kernel: true,
+            ..cfg
+        };
+        assert!(portable
+            .explain_shape_for::<f32>(64, 64, 64)
+            .kernel
+            .starts_with("portable"));
     }
 
     #[test]

@@ -181,6 +181,11 @@ pub struct ExecStats {
     /// `1 / kb` reaches DRAM as final writes. Requires the
     /// `traffic-counters` feature; 0 otherwise.
     pub c_elems_updated: u64,
+    /// Name of the microkernel that produced this call's numbers
+    /// (e.g. `"avx512_f32_14x32"`) — records the dispatch tier per run so
+    /// benchmark output can attribute each measurement. Empty on a
+    /// default-constructed (never-ran) record.
+    pub kernel: &'static str,
 }
 
 impl ExecStats {
@@ -602,6 +607,7 @@ pub fn execute_with_stats_in<T: Element>(
         a_elems_loaded,
         b_elems_loaded,
         c_elems_updated,
+        kernel: ukr.name(),
         ..ExecStats::default()
     };
     // Replay the panel ring the workers ran (same pure function of the

@@ -139,6 +139,10 @@ pub struct TuneDecision {
     /// Whether the final shape satisfies `C + 2(A + B) <= S` for the
     /// configured LLC.
     pub lru_ok: bool,
+    /// Name of the microkernel whose `(mr, nr)` the block geometry was
+    /// derived from (e.g. `"avx512_f32_14x32"`; empty when the caller
+    /// passed raw tile dims rather than a selected kernel).
+    pub kernel: &'static str,
 }
 
 impl TuneDecision {
@@ -161,6 +165,9 @@ impl TuneDecision {
             BarrierMode::Park => "workers exceed cores; park instead of spin-thrashing",
         };
         let _ = writeln!(out, "barrier: {} ({})", self.barrier_mode, why_mode);
+        if !self.kernel.is_empty() {
+            let _ = writeln!(out, "kernel: {} (tile dims drive mc/nc rounding)", self.kernel);
+        }
         let _ = writeln!(
             out,
             "alpha: {:.2} via {}",
@@ -326,6 +333,7 @@ mod tests {
             analytic: crate::shape::CbBlockShape::fixed(8, 96, 96, 768),
             shape: crate::shape::CbBlockShape::fixed(8, 12, 12, 96),
             lru_ok: true,
+            kernel: "avx512_f32_14x32",
         };
         let r = d.render();
         for needle in [
@@ -333,6 +341,7 @@ mod tests {
             "effective 1",
             "clamped",
             "spin",
+            "kernel: avx512_f32_14x32",
             "LLC fill",
             "LLC-LRU <= 97",
             "problem clamp",

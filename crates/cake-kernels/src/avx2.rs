@@ -9,10 +9,15 @@
 //! * f64 `4 x 8`: 8 accumulators (4 rows x 2 vectors of 4 lanes) + 3.
 //!
 //! Both kernels have a fast store path for unit column stride (`csc == 1`,
-//! i.e. row-major `C`) and a scalar fallback for arbitrary strides.
+//! i.e. row-major `C`) and a scalar fallback for arbitrary strides. The
+//! K-loop issues software prefetches [`crate::avx512::PF_DIST_K`]
+//! iterations ahead into the packed slivers, and the `C` tile rows are
+//! prefetched at kernel entry (BLIS prefetch discipline; see `avx512.rs`
+//! for the rationale).
 
 use core::arch::x86_64::*;
 
+use crate::avx512::PF_DIST_K;
 use crate::ukernel::Ukr;
 
 /// The f32 `6x16` AVX2+FMA kernel, if the CPU supports it.
@@ -69,13 +74,27 @@ unsafe fn ukr_f32_6x16_impl(
 
     // SAFETY: UkrFn's contract gives `a` kc*6 elements, `b` kc*16 elements,
     // and valid non-aliasing C addresses c[i*rsc + j*csc] for i < 6, j < 16;
-    // every pointer offset below stays within those ranges, and the unaligned
-    // load/store intrinsics have no alignment requirement.
+    // every pointer offset below stays within those ranges, the prefetch
+    // offsets are clamped to the same ranges ((k + PF_DIST_K).min(kc - 1)
+    // keeps the prefetched k in [0, kc)), and the unaligned load/store
+    // intrinsics have no alignment requirement.
     unsafe {
+        // Warm the C tile rows the store loop will read-modify-write.
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
         let mut acc0 = [_mm256_setzero_ps(); MR];
         let mut acc1 = [_mm256_setzero_ps(); MR];
 
         for k in 0..kc {
+            let kpf = (k + PF_DIST_K).min(kc - 1);
+            _mm_prefetch(a.add(kpf * MR).cast::<i8>(), _MM_HINT_T0);
+            // One B row is 64 B = one cache line.
+            _mm_prefetch(b.add(kpf * 16).cast::<i8>(), _MM_HINT_T0);
+
             let bk = b.add(k * 16);
             let b0 = _mm256_loadu_ps(bk);
             let b1 = _mm256_loadu_ps(bk.add(8));
@@ -124,13 +143,27 @@ unsafe fn ukr_f64_4x8_impl(
 
     // SAFETY: UkrFn's contract gives `a` kc*4 elements, `b` kc*8 elements,
     // and valid non-aliasing C addresses c[i*rsc + j*csc] for i < 4, j < 8;
-    // all offsets below stay within those ranges, and the unaligned
-    // load/store intrinsics have no alignment requirement.
+    // all offsets below stay within those ranges, the prefetch offsets are
+    // clamped to the same ranges ((k + PF_DIST_K).min(kc - 1) keeps the
+    // prefetched k in [0, kc)), and the unaligned load/store intrinsics
+    // have no alignment requirement.
     unsafe {
+        // Warm the C tile rows the store loop will read-modify-write.
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
         let mut acc0 = [_mm256_setzero_pd(); MR];
         let mut acc1 = [_mm256_setzero_pd(); MR];
 
         for k in 0..kc {
+            let kpf = (k + PF_DIST_K).min(kc - 1);
+            _mm_prefetch(a.add(kpf * MR).cast::<i8>(), _MM_HINT_T0);
+            // One B row is 64 B = one cache line.
+            _mm_prefetch(b.add(kpf * 8).cast::<i8>(), _MM_HINT_T0);
+
             let bk = b.add(k * 8);
             let b0 = _mm256_loadu_pd(bk);
             let b1 = _mm256_loadu_pd(bk.add(4));

@@ -1,0 +1,307 @@
+//! AVX-512F microkernels (x86_64 only, selected at runtime).
+//!
+//! Register blocking widens the AVX2 Haswell tiles to the 32-register
+//! zmm file (MOMMS: the tile shape must grow with the machine's
+//! compute/bandwidth ratio):
+//!
+//! * f32 `14 x 32`: 28 accumulator ZMM registers (14 rows x 2 vectors of
+//!   16 lanes), 2 registers for the `B` row, 1 for the `A` broadcast —
+//!   31 of the 32 architectural ZMM registers.
+//! * f64 `8 x 16`: 16 accumulators (8 rows x 2 vectors of 8 lanes) + 3.
+//!
+//! Both kernels share the AVX2 tier's structure: a fast store path for
+//! unit column stride (`csc == 1`, row-major `C`) and a scalar fallback
+//! for arbitrary strides. The K-loop additionally issues software
+//! prefetches [`PF_DIST_K`] iterations ahead into the current packed
+//! slivers, and the `C` tile rows are prefetched once at kernel entry so
+//! the read-modify-write at store time hits cache (the BLIS prefetch
+//! discipline). Only `avx512f` is required; the wider `bw/dq/vl` subsets
+//! are not used.
+
+use core::arch::x86_64::*;
+
+use crate::ukernel::Ukr;
+
+/// K-loop software-prefetch distance, in k iterations. One iteration of
+/// the f32 kernel consumes 56 B of A and 128 B of B; four iterations
+/// ahead keeps ~0.5 KiB in flight — far enough to cover an L2 hit,
+/// near enough not to thrash L1. Shared with the AVX2 tier.
+pub const PF_DIST_K: usize = 4;
+
+/// The f32 `14x32` AVX-512F kernel, if the CPU supports it.
+pub fn avx512_f32_14x32() -> Option<Ukr<f32>> {
+    if is_x86_feature_detected!("avx512f") {
+        Some(Ukr::new(14, 32, "avx512_f32_14x32", ukr_f32_14x32))
+    } else {
+        None
+    }
+}
+
+/// The f64 `8x16` AVX-512F kernel, if the CPU supports it.
+pub fn avx512_f64_8x16() -> Option<Ukr<f64>> {
+    if is_x86_feature_detected!("avx512f") {
+        Some(Ukr::new(8, 16, "avx512_f64_8x16", ukr_f64_8x16))
+    } else {
+        None
+    }
+}
+
+/// Thin wrapper: dispatch requires a plain fn pointer, but the
+/// target-feature function below must only be called after detection,
+/// which `avx512_f32_14x32` guarantees.
+///
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX-512F must be available.
+unsafe fn ukr_f32_14x32(kc: usize, a: *const f32, b: *const f32, c: *mut f32, rsc: usize, csc: usize) {
+    // SAFETY: this fn pointer is only installed by `avx512_f32_14x32`
+    // after runtime AVX-512F detection, and the caller upholds UkrFn's
+    // contract, which is exactly the impl's pointer-validity requirement.
+    unsafe { ukr_f32_14x32_impl(kc, a, b, c, rsc, csc) }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX-512F must be available.
+unsafe fn ukr_f64_8x16(kc: usize, a: *const f64, b: *const f64, c: *mut f64, rsc: usize, csc: usize) {
+    // SAFETY: installed by `avx512_f64_8x16` after AVX-512F detection;
+    // the caller upholds UkrFn's contract.
+    unsafe { ukr_f64_8x16_impl(kc, a, b, c, rsc, csc) }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; AVX-512F enforced by `target_feature`.
+#[target_feature(enable = "avx512f")]
+unsafe fn ukr_f32_14x32_impl(
+    kc: usize,
+    a: *const f32,
+    b: *const f32,
+    c: *mut f32,
+    rsc: usize,
+    csc: usize,
+) {
+    const MR: usize = 14;
+    const NR: usize = 32;
+
+    // SAFETY: UkrFn's contract gives `a` kc*14 elements, `b` kc*32, and
+    // valid non-aliasing C addresses c[i*rsc + j*csc] for i < 14, j < 32.
+    // Every offset below stays within those ranges — prefetch offsets are
+    // clamped ((k + PF_DIST_K).min(kc - 1) keeps the prefetched k in
+    // [0, kc)) — and the unaligned intrinsics have no alignment needs.
+    unsafe {
+        // Warm the C tile while the K-loop runs: these are exactly the
+        // row base addresses the store loop will read-modify-write.
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
+        let mut acc0 = [_mm512_setzero_ps(); MR];
+        let mut acc1 = [_mm512_setzero_ps(); MR];
+
+        for k in 0..kc {
+            let kpf = (k + PF_DIST_K).min(kc - 1);
+            _mm_prefetch(a.add(kpf * MR).cast::<i8>(), _MM_HINT_T0);
+            // One B row is 128 B = two cache lines.
+            _mm_prefetch(b.add(kpf * NR).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(b.add(kpf * NR + 16).cast::<i8>(), _MM_HINT_T0);
+
+            let bk = b.add(k * NR);
+            let b0 = _mm512_loadu_ps(bk);
+            let b1 = _mm512_loadu_ps(bk.add(16));
+            let ak = a.add(k * MR);
+            for i in 0..MR {
+                let ai = _mm512_set1_ps(*ak.add(i));
+                acc0[i] = _mm512_fmadd_ps(ai, b0, acc0[i]);
+                acc1[i] = _mm512_fmadd_ps(ai, b1, acc1[i]);
+            }
+        }
+
+        if csc == 1 {
+            for i in 0..MR {
+                let row = c.add(i * rsc);
+                let c0 = _mm512_loadu_ps(row);
+                let c1 = _mm512_loadu_ps(row.add(16));
+                _mm512_storeu_ps(row, _mm512_add_ps(c0, acc0[i]));
+                _mm512_storeu_ps(row.add(16), _mm512_add_ps(c1, acc1[i]));
+            }
+        } else {
+            let mut lanes = [0.0f32; NR];
+            for i in 0..MR {
+                _mm512_storeu_ps(lanes.as_mut_ptr(), acc0[i]);
+                _mm512_storeu_ps(lanes.as_mut_ptr().add(16), acc1[i]);
+                for (j, &v) in lanes.iter().enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += v;
+                }
+            }
+        }
+    }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; AVX-512F enforced by `target_feature`.
+#[target_feature(enable = "avx512f")]
+unsafe fn ukr_f64_8x16_impl(
+    kc: usize,
+    a: *const f64,
+    b: *const f64,
+    c: *mut f64,
+    rsc: usize,
+    csc: usize,
+) {
+    const MR: usize = 8;
+    const NR: usize = 16;
+
+    // SAFETY: UkrFn's contract gives `a` kc*8 elements, `b` kc*16
+    // elements, and valid non-aliasing C addresses c[i*rsc + j*csc] for
+    // i < 8, j < 16. All offsets below stay within those ranges, the
+    // prefetch offsets are clamped to the same ranges, and the unaligned
+    // load/store intrinsics have no alignment requirement.
+    unsafe {
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
+        let mut acc0 = [_mm512_setzero_pd(); MR];
+        let mut acc1 = [_mm512_setzero_pd(); MR];
+
+        for k in 0..kc {
+            let kpf = (k + PF_DIST_K).min(kc - 1);
+            _mm_prefetch(a.add(kpf * MR).cast::<i8>(), _MM_HINT_T0);
+            // One B row is 128 B = two cache lines.
+            _mm_prefetch(b.add(kpf * NR).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(b.add(kpf * NR + 8).cast::<i8>(), _MM_HINT_T0);
+
+            let bk = b.add(k * NR);
+            let b0 = _mm512_loadu_pd(bk);
+            let b1 = _mm512_loadu_pd(bk.add(8));
+            let ak = a.add(k * MR);
+            for i in 0..MR {
+                let ai = _mm512_set1_pd(*ak.add(i));
+                acc0[i] = _mm512_fmadd_pd(ai, b0, acc0[i]);
+                acc1[i] = _mm512_fmadd_pd(ai, b1, acc1[i]);
+            }
+        }
+
+        if csc == 1 {
+            for i in 0..MR {
+                let row = c.add(i * rsc);
+                let c0 = _mm512_loadu_pd(row);
+                let c1 = _mm512_loadu_pd(row.add(8));
+                _mm512_storeu_pd(row, _mm512_add_pd(c0, acc0[i]));
+                _mm512_storeu_pd(row.add(8), _mm512_add_pd(c1, acc1[i]));
+            }
+        } else {
+            let mut lanes = [0.0f64; NR];
+            for i in 0..MR {
+                _mm512_storeu_pd(lanes.as_mut_ptr(), acc0[i]);
+                _mm512_storeu_pd(lanes.as_mut_ptr().add(8), acc1[i]);
+                for (j, &v) in lanes.iter().enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ukernel::reference_ukr;
+    use cake_matrix::init;
+
+    fn check_f32(kc: usize, rsc: usize, csc: usize, c_len: usize) {
+        let Some(ukr) = avx512_f32_14x32() else {
+            eprintln!("AVX-512F not available; skipping");
+            return;
+        };
+        let a = init::random::<f32>(kc, 14, 5);
+        let b = init::random::<f32>(kc, 32, 6);
+        let mut c1 = vec![1.0f32; c_len];
+        let mut c2 = c1.clone();
+        // SAFETY: a/b are kc*14- and kc*32-element slivers, and each caller
+        // passes a c_len large enough that 13*rsc + 31*csc < c_len.
+        unsafe {
+            ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
+        };
+        reference_ukr(kc, 14, 32, a.as_slice(), b.as_slice(), &mut c2, rsc, csc);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn f32_unit_stride_matches_reference() {
+        for kc in [1, 2, 5, 9, 100] {
+            check_f32(kc, 32, 1, 14 * 32);
+        }
+    }
+
+    #[test]
+    fn f32_wide_row_stride() {
+        check_f32(33, 40, 1, 14 * 40);
+    }
+
+    #[test]
+    fn f32_column_major_c() {
+        check_f32(17, 1, 14, 32 * 14);
+    }
+
+    #[test]
+    fn f64_matches_reference_various_strides() {
+        let Some(ukr) = avx512_f64_8x16() else {
+            eprintln!("AVX-512F not available; skipping");
+            return;
+        };
+        for (kc, rsc, csc, len) in [(1, 16, 1, 128), (23, 19, 1, 8 * 19), (23, 1, 8, 128)] {
+            let a = init::random::<f64>(kc, 8, 7);
+            let b = init::random::<f64>(kc, 16, 8);
+            let mut c1 = vec![0.5f64; len];
+            let mut c2 = c1.clone();
+            // SAFETY: a/b are kc*8- and kc*16-element slivers; each (rsc,
+            // csc, len) triple satisfies 7*rsc + 15*csc < len.
+            unsafe {
+                ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
+            };
+            reference_ukr(kc, 8, 16, a.as_slice(), b.as_slice(), &mut c2, rsc, csc);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate_rather_than_overwrite() {
+        let Some(ukr) = avx512_f32_14x32() else {
+            return;
+        };
+        let kc = 4;
+        let a = init::ones::<f32>(kc, 14);
+        let b = init::ones::<f32>(kc, 32);
+        let mut c = vec![10.0f32; 14 * 32];
+        // SAFETY: a/b are kc*14 and kc*32 ones-filled slivers, and c is a
+        // dense 14x32 row-major tile (rsc=32, csc=1).
+        unsafe {
+            ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c.as_mut_ptr(), 32, 1)
+        };
+        // Each element: 10 + sum_k 1*1 = 10 + kc.
+        assert!(c.iter().all(|&x| x == 14.0));
+    }
+
+    #[test]
+    fn shapes_agree_with_the_tier_registry() {
+        // The selection ladder and the audit lemma both rely on these
+        // exact shapes; pin them here where the kernels live.
+        if let Some(kf) = avx512_f32_14x32() {
+            assert_eq!((kf.mr(), kf.nr()), (14, 32));
+            assert!(kf.mr() * kf.nr() <= crate::edge::MAX_TILE);
+        }
+        if let Some(kd) = avx512_f64_8x16() {
+            assert_eq!((kd.mr(), kd.nr()), (8, 16));
+            assert!(kd.mr() * kd.nr() <= crate::edge::MAX_TILE);
+        }
+    }
+}

@@ -11,8 +11,10 @@ use cake_matrix::Element;
 use crate::ukernel::Ukr;
 
 /// Upper bound on `mr * nr` across all kernels in this crate
-/// (largest is the AVX2 f32 `6x16` = 96; portable `8x8` = 64).
-pub const MAX_TILE: usize = 128;
+/// (largest is the AVX-512 f32 `14x32` = 448; AVX2 f32 `6x16` = 96;
+/// portable `8x8` = 64). Sized exactly to the largest registered tile so
+/// the stack scratch stays small (f64: 448 * 8 B = 3.5 KiB).
+pub const MAX_TILE: usize = 448;
 
 /// Run one microkernel invocation with edge masking.
 ///

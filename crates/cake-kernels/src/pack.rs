@@ -20,6 +20,44 @@
 
 use cake_matrix::{Element, MatrixView};
 
+/// How many source columns/rows ahead the packing loops prefetch. Packing
+/// streams are short (one sliver column is `mr <= 14` elements), so a small
+/// distance keeps the next line in flight without outrunning L1.
+const PF_DIST: usize = 4;
+
+/// Hint the CPU to pull `src[idx]`'s cache line into L1. No-op on
+/// non-x86_64 targets and for out-of-range `idx`, so callers can pass
+/// speculative indices unguarded.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn prefetch_read<T: Element>(src: &[T], idx: usize) {
+    if idx < src.len() {
+        // SAFETY: idx < src.len(), so the offset pointer stays inside the
+        // slice allocation; `_mm_prefetch` is a hint with no validity
+        // requirements beyond the pointer computation and never faults.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                src.as_ptr().add(idx).cast::<i8>(),
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn prefetch_read<T: Element>(_src: &[T], _idx: usize) {}
+
+/// Prefetch the head and tail lines of a short contiguous run (a packing
+/// sliver column/row spans at most a couple of cache lines).
+#[inline(always)]
+fn prefetch_run<T: Element>(src: &[T]) {
+    prefetch_read(src, 0);
+    if std::mem::size_of_val(src) > 64 {
+        prefetch_read(src, src.len() - 1);
+    }
+}
+
 /// Elements needed to pack an `mc x kc` block of `A` with sliver height `mr`.
 pub fn packed_a_size(mc: usize, kc: usize, mr: usize) -> usize {
     if mc == 0 || kc == 0 {
@@ -90,6 +128,10 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
             // Column-major A: the `mr` rows of one k are contiguous —
             // exactly one packed-A sliver column, a straight memcpy.
             for k in 0..kc {
+                // Pull the column PF_DIST k's ahead while this one copies.
+                if let Some(ahead) = src.contiguous_col((k + PF_DIST).min(kc - 1), row0, live) {
+                    prefetch_run(ahead);
+                }
                 let out = &mut sliv[k * mr..(k + 1) * mr];
                 let col = src.contiguous_col(k, row0, live).expect("unit row stride");
                 out[..live].copy_from_slice(col);
@@ -102,6 +144,12 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
             // with an `mr`-strided scatter instead of per-element 2-D
             // indexing.
             for i in 0..live {
+                // Pull the head of the next source row while this one streams.
+                if i + 1 < live {
+                    if let Some(ahead) = src.contiguous_row(row0 + i + 1, 0, kc) {
+                        prefetch_read(ahead, 0);
+                    }
+                }
                 let row = src.contiguous_row(row0 + i, 0, kc).expect("unit col stride");
                 for (k, &v) in row.iter().enumerate() {
                     sliv[k * mr + i] = v;
@@ -144,6 +192,10 @@ pub fn pack_b<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], nr: usize) {
             // Row-major B: the `nr` columns of one k are contiguous —
             // exactly one packed-B sliver row, a straight memcpy.
             for k in 0..kc {
+                // Pull the row PF_DIST k's ahead while this one copies.
+                if let Some(ahead) = src.contiguous_row((k + PF_DIST).min(kc - 1), col0, live) {
+                    prefetch_run(ahead);
+                }
                 let out = &mut sliv[k * nr..(k + 1) * nr];
                 let row = src.contiguous_row(k, col0, live).expect("unit col stride");
                 out[..live].copy_from_slice(row);
@@ -153,6 +205,13 @@ pub fn pack_b<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], nr: usize) {
             // Column-major B: each source column is contiguous along k —
             // stream each column once with an `nr`-strided scatter.
             for j in 0..live {
+                // Pull the head of the next source column while this one
+                // streams.
+                if j + 1 < live {
+                    if let Some(ahead) = src.contiguous_col(col0 + j + 1, 0, kc) {
+                        prefetch_read(ahead, 0);
+                    }
+                }
                 let col = src.contiguous_col(col0 + j, 0, kc).expect("unit row stride");
                 for (k, &v) in col.iter().enumerate() {
                     sliv[k * nr + j] = v;

@@ -10,6 +10,15 @@
 //! workspace's relative `gemm_tolerance` bound only where cancellation
 //! makes ULP distance meaningless.
 //!
+//! On top of the three engines, every case also sweeps the CAKE executor
+//! over **all kernel tiers available on the host**
+//! (`cake_kernels::available_tiers()`: portable always, AVX2 and AVX-512
+//! when detected), holding the inputs and block geometry fixed. Each
+//! tier's output is held to the same ULP/exact bounds against the naive
+//! reference, so the vectorized tiers are cross-checked against each
+//! other on every generated case — a divergence reports the concrete
+//! microkernel name (e.g. `avx512_f32_14x32`) as the engine.
+//!
 //! On failure the case is **shrunk**: dimensions halved/decremented,
 //! threads dropped to 1, view and layout flags cleared — greedily, while
 //! the mismatch persists — so the report carries a minimal reproducer
@@ -22,7 +31,7 @@ use cake_core::workspace::GemmWorkspace;
 use cake_goto::api::{goto_gemm_views, GotoConfig};
 use cake_goto::naive::naive_gemm_views;
 use cake_kernels::select::KernelSelect;
-use cake_kernels::{best_kernel, portable_kernel};
+use cake_kernels::{available_tiers, best_kernel, portable_kernel, tier_kernel};
 use cake_matrix::{init, Element, Layout, Matrix};
 use proptest::test_runner::TestRng;
 
@@ -367,7 +376,29 @@ fn check_typed<T: UlpElement + KernelSelect>(case: &GemmCase, max_ulps: &mut u64
     let mut c_goto = Matrix::<T>::zeros_with_layout(m, n, layout);
     goto_gemm_views(&av, &bv, &mut c_goto.view_mut(), &goto_cfg);
     let c_goto = c_goto.to_layout(Layout::RowMajor);
-    compare("GOTO", &c_goto, &c_ref, k, case.int_data, max_ulps)
+    if let Some(mm) = compare("GOTO", &c_goto, &c_ref, k, case.int_data, max_ulps) {
+        return Some(mm);
+    }
+
+    // Kernel-tier sweep: the same case through the CAKE executor once per
+    // tier the host supports, each held to the same bounds against the
+    // reference. This bit-cross-checks AVX-512 vs AVX2 vs portable on
+    // every generated geometry (the `int_data` cases compare at 0 ULP, so
+    // any tier whose edge handling drops or double-counts an element is
+    // caught exactly). Single-threaded: the p-dimension is already
+    // exercised by the main CAKE run above.
+    for tier in available_tiers() {
+        let tukr = tier_kernel::<T>(tier)
+            .expect("available_tiers() only lists tiers whose kernels exist");
+        let pool = ThreadPool::new(1);
+        let mut c_tier = Matrix::<T>::zeros_with_layout(m, n, layout);
+        execute_in(&av, &bv, &mut c_tier.view_mut(), &shape, &tukr, &pool, &mut ws);
+        let c_tier = c_tier.to_layout(Layout::RowMajor);
+        if let Some(mm) = compare(tukr.name(), &c_tier, &c_ref, k, case.int_data, max_ulps) {
+            return Some(mm);
+        }
+    }
+    None
 }
 
 /// Run one case through all three engines; `Some` on divergence.
