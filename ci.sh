@@ -7,6 +7,9 @@
 #   ./ci.sh --scale-smoke  one p=4 GEMM sweep asserting pack counters match p=1
 #   ./ci.sh --kernel-smoke one GEMM per available kernel tier (portable/avx2/
 #                          avx512) asserting pack counters are tier-invariant
+#   ./ci.sh --sim-smoke    one deterministic + one fuzzed-ordering event-
+#                          simulator run per Table-2 CPU; exits 1 if any
+#                          same-tick permutation moves a traffic counter
 #   ./ci.sh --audit        static analysis only (cakectl audit: unsafe ratchet,
 #                          symbolic bounds proofs, executor phase checker)
 #   ./ci.sh --miri         Miri pass over the pointer-heavy crates (needs a
@@ -80,6 +83,22 @@ run_kernel_smoke() {
         gemm --m 192 --k 192 --n 192 --kernel-smoke
 }
 
+run_sim_smoke() {
+    # The discrete-event simulator gate: for each Table-2 CPU, one
+    # deterministic run (FIFO tie-break) and one 64-seed fuzzed-ordering
+    # sweep. cakectl exits 1 on any counter divergence, printing the
+    # diverging seed, counter, and event-trace witness — a schedule race
+    # in the event machine, caught the same way cake-verify's
+    # interleaving DFS catches executor races.
+    echo "==> sim smoke (event simulator determinism + ordering fuzz)"
+    for cpu in intel amd arm; do
+        cargo run --release -p cake-bench --bin cakectl -- \
+            sim --cpu "$cpu" --m 600 --k 480 --n 552 --fuzz-orderings 64
+        cargo run --release -p cake-bench --bin cakectl -- \
+            sim --cpu "$cpu" --m 600 --k 480 --n 552 --algo goto --fuzz-orderings 64
+    done
+}
+
 run_audit() {
     echo "==> static analysis (cakectl audit)"
     cargo run --release -p cake-bench --bin cakectl -- audit
@@ -119,6 +138,12 @@ if [[ "${1:-}" == "--kernel-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--sim-smoke" ]]; then
+    run_sim_smoke
+    echo "==> ci.sh: sim smoke passed"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--audit" ]]; then
     run_audit
     echo "==> ci.sh: audit passed"
@@ -146,6 +171,7 @@ if [[ "${1:-}" != "--fast" ]]; then
     run_verify
     run_scale_smoke
     run_kernel_smoke
+    run_sim_smoke
 
     echo "==> bench snapshot (writes BENCH_gemm.json)"
     cargo run --release -p cake-bench --bin bench_snapshot -- --iters 10

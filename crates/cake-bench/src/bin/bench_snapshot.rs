@@ -17,9 +17,12 @@
 //! machine's core count and the same-host scaling-gate outcome
 //! (`scaling_sane`: with `cores >= 2p` headroom, `p > 1` must beat the
 //! baseline; on hosts without headroom the gate records an explicit skip
-//! instead of a vacuous pass). Full field-by-field schema docs live in
-//! `cake_bench::output`. Intended to run via `ci.sh` so the snapshot
-//! tracks the executor's health over time.
+//! instead of a vacuous pass). A `sim` section records discrete-event
+//! simulated p-sweeps (CAKE vs GOTO throughput and DRAM bandwidth) on the
+//! three Table-2 CPUs — the Figure 9-12 series as tracked data, identical
+//! on every host because no wall clock is involved. Full field-by-field
+//! schema docs live in `cake_bench::output`. Intended to run via `ci.sh`
+//! so the snapshot tracks the executor's health over time.
 //!
 //! ```text
 //! bench_snapshot [--iters I] [--p P] [--out PATH]
@@ -42,6 +45,8 @@ use cake_dnn::tensor::Tensor;
 use cake_goto::api::{goto_gemm, GotoConfig};
 use cake_goto::naive::naive_gemm;
 use cake_matrix::{init, Matrix};
+use cake_sim::config::CpuConfig;
+use cake_sim::engine::{simulate_cake, simulate_goto, SimParams};
 
 /// Best-of-`iters` wall time for `f`, in seconds.
 fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -357,6 +362,49 @@ fn main() {
     }
     sc.push_str("  ]");
     j.field(2, "scaling", &sc, false);
+    // Simulated p-sweeps on the three Table-2 CPUs (discrete-event
+    // engine, no wall-clock involved): the Figure 9-12 series as data,
+    // tracked over time like the measured sections. Schema docs in
+    // `cake_bench::output`.
+    let mut sim = String::from("[\n");
+    let sim_cpus = CpuConfig::table2();
+    for (ci, cpu) in sim_cpus.iter().enumerate() {
+        let n = match cpu.cores {
+            0..=4 => 3000,
+            5..=10 => 4608,
+            _ => 9216,
+        };
+        let ps: Vec<usize> =
+            [1, cpu.cores / 4, cpu.cores / 2, cpu.cores].iter().copied().filter(|p| *p >= 1).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        sim.push_str(&format!(
+            "    {{\"cpu\": \"{}\", \"n\": {n}, \"points\": [\n",
+            cpu.name
+        ));
+        for (i, &sp_p) in ps.iter().enumerate() {
+            let sp = SimParams::square(n, sp_p);
+            let c = simulate_cake(cpu, &sp);
+            let g = simulate_goto(cpu, &sp);
+            sim.push_str(&format!(
+                "      {{\"p\": {sp_p}, \"cake_gflops\": {}, \"cake_dram_gbs\": {}, \
+                 \"goto_gflops\": {}, \"goto_dram_gbs\": {}, \"cake_dram_bytes\": {}, \
+                 \"goto_dram_bytes\": {}, \"events\": {}}}{}\n",
+                f3(c.gflops),
+                f3(c.avg_dram_bw_gbs),
+                f3(g.gflops),
+                f3(g.avg_dram_bw_gbs),
+                c.dram_bytes,
+                g.dram_bytes,
+                c.events + g.events,
+                if i + 1 == ps.len() { "" } else { "," }
+            ));
+        }
+        sim.push_str(&format!(
+            "    ]}}{}\n",
+            if ci + 1 == sim_cpus.len() { "" } else { "," }
+        ));
+    }
+    sim.push_str("  ]");
+    j.field(2, "sim", &sim, false);
     j.field(
         2,
         "dnn_forward",

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cakectl shape    --cpu intel|amd|arm --p P [--m M --k K --n N] [--alpha A]
-//! cakectl simulate --cpu intel|amd|arm --p P --m M --k K --n N [--algo cake|goto]
+//! cakectl sim      --cpu intel|amd|arm --p P --m M --k K --n N [--algo cake|goto]
+//!                  [--fuzz-orderings N] [--trace] (`simulate` is an alias)
 //! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
 //! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
 //! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats] [--pin]
@@ -72,15 +73,13 @@ use cake_sim::engine::{resolve_cake_shape, simulate_cake, simulate_goto, SimPara
 use cake_sim::search::{analytic_point, grid_search};
 
 fn cpu_by_name(name: &str) -> CpuConfig {
-    match name {
-        "intel" => CpuConfig::intel_i9_10900k(),
-        "amd" => CpuConfig::amd_ryzen_9_5950x(),
-        "arm" => CpuConfig::arm_cortex_a53(),
-        other => {
-            eprintln!("unknown cpu '{other}' (expected intel|amd|arm)");
-            std::process::exit(2);
-        }
-    }
+    CpuConfig::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown cpu '{name}' (expected {})",
+            CpuConfig::table2_names().join("|")
+        );
+        std::process::exit(2);
+    })
 }
 
 fn req_usize(key: &str) -> usize {
@@ -129,24 +128,52 @@ fn cmd_shape() {
     println!("  peak throughput        : {:>8.2} GFLOP/s", model.peak_gflops());
 }
 
-fn cmd_simulate() {
+fn cmd_sim() {
+    use cake_sim::engine::{check_ordering_invariance, simulate_traced, Algo, SimOptions};
     let cpu = cpu_by_name(&arg_value("--cpu").unwrap_or_else(|| "intel".into()));
     let p = opt_usize("--p", cpu.cores);
     let sp = SimParams::new(req_usize("--m"), req_usize("--k"), req_usize("--n"), p);
-    let algo = arg_value("--algo").unwrap_or_else(|| "cake".into());
-    let rep = match algo.as_str() {
-        "cake" => simulate_cake(&cpu, &sp),
-        "goto" => simulate_goto(&cpu, &sp),
+    let algo = match arg_value("--algo").unwrap_or_else(|| "cake".into()).as_str() {
+        "cake" => Algo::Cake,
+        "goto" => Algo::Goto,
         other => {
             eprintln!("unknown algo '{other}' (expected cake|goto)");
             std::process::exit(2);
         }
     };
+    let rep = match algo {
+        Algo::Cake => simulate_cake(&cpu, &sp),
+        Algo::Goto => simulate_goto(&cpu, &sp),
+    };
     println!("{}", cpu.name);
     println!("{rep}");
     println!("  simulated time : {:.4} ms", rep.seconds * 1e3);
     println!("  DRAM traffic   : {:.1} MiB", rep.dram_bytes as f64 / 1048576.0);
-    println!("  steps          : {}", rep.steps);
+    println!("  steps / events : {} / {}", rep.steps, rep.events);
+
+    if has_flag("--trace") {
+        let (_, trace) = simulate_traced(&cpu, &sp, algo, SimOptions::default());
+        println!("event trace (last {} events retained):", trace.len());
+        for ev in &trace {
+            println!("  {ev}");
+        }
+    }
+
+    if let Some(n) = arg_value("--fuzz-orderings") {
+        let seeds: u64 = n.parse().unwrap_or(64);
+        match check_ordering_invariance(&cpu, &sp, algo, seeds) {
+            Ok(checked) => {
+                println!(
+                    "ordering invariance: {checked} fuzzed same-tick orderings, \
+                     all traffic/result counters bit-identical"
+                );
+            }
+            Err(div) => {
+                eprintln!("ORDERING DIVERGENCE (schedule race):\n{div}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn cmd_search() {
@@ -492,7 +519,7 @@ fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_default();
     match cmd.as_str() {
         "shape" => cmd_shape(),
-        "simulate" => cmd_simulate(),
+        "sim" | "simulate" => cmd_sim(),
         "search" => cmd_search(),
         "traffic" => cmd_traffic(),
         "gemm" => cmd_gemm(),
@@ -500,7 +527,7 @@ fn main() {
         "audit" => cmd_audit(),
         _ => {
             eprintln!(
-                "usage: cakectl <shape|simulate|search|traffic|gemm|verify|audit> [options]\n\
+                "usage: cakectl <shape|sim|search|traffic|gemm|verify|audit> [options]\n\
                  see module docs (crates/cake-bench/src/bin/cakectl.rs) for flags"
             );
             std::process::exit(2);

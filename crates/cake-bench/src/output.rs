@@ -49,6 +49,21 @@
 //!   - `a_elems` / `b_elems` / `c_elems`: measured pack-element counters,
 //!     identical across `p` by construction (the run aborts otherwise),
 //!   - `barrier_wait_ns_max` / `barrier_wait_ns_sum`, `imbalance`.
+//! - `sim` — simulated p-sweeps from the discrete-event engine
+//!   (`cake_sim::engine`), one entry per Table-2 CPU. Unlike every other
+//!   section these numbers involve no wall clock: they are bit-identical
+//!   on any host, so a diff in this section always means the simulator or
+//!   the shaping changed, never the machine. Each entry carries `cpu`
+//!   (the Table-2 name), `n` (the square problem side), and `points`:
+//!   - `p`: simulated core count,
+//!   - `cake_gflops` / `goto_gflops`: simulated throughput of each
+//!     schedule (Figures 9b/10b/11b/12b),
+//!   - `cake_dram_gbs` / `goto_dram_gbs`: average DRAM bandwidth — CAKE's
+//!     column stays flat in `p` (Eq. 4) while GOTO's grows until the
+//!     machine's usable bandwidth caps it (Figures 10a/11a/12a),
+//!   - `cake_dram_bytes` / `goto_dram_bytes`: exact traffic counters
+//!     (u64; equal to the `cake_core::traffic` closed-form tally),
+//!   - `events`: discrete events processed for the two runs combined.
 //! - `dnn_forward` — tiny CNN forward pass: cold vs warm seconds, warm
 //!   GFLOP/s, warm allocations.
 

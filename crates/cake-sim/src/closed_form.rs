@@ -1,0 +1,163 @@
+//! The previous fixed-pipeline timing engine, kept behind the
+//! `closed-form` feature as a differential oracle for the event engine.
+//!
+//! Each lowered [`StepLoad`] costs `max(t_compute, t_dram, t_internal)` —
+//! the double-buffering assumption applied as arithmetic instead of event
+//! causality. Because both engines consume the *same* lowering
+//! ([`crate::engine::lower_cake`] / [`crate::engine::lower_goto`]), their
+//! DRAM byte totals are u64-identical by construction; the interesting
+//! differential is timing, where the event engine adds real pipeline
+//! fill, barrier edges, clock-divider quantization, and posted-write
+//! serialization. Tests pin the two engines' `seconds` within a
+//! documented tolerance (see `tests/simulator_checks.rs`).
+
+use cake_core::shape::CbBlockShape;
+use cake_goto::params::GotoParams;
+
+use crate::config::CpuConfig;
+use crate::engine::{lower_cake, lower_goto, resolve_cake_shape, resolve_goto_params, Algo, SimParams};
+use crate::machine::StepLoad;
+use crate::report::SimReport;
+
+struct StepAccumulator {
+    seconds: f64,
+    dram_bytes: u64,
+    int_bytes: u64,
+    macs: u64,
+    dram_stall: f64,
+    int_stall: f64,
+    steps: usize,
+    dram_gbps: f64,
+    int_gbps: f64,
+    freq_hz: f64,
+    macs_per_cycle: f64,
+}
+
+impl StepAccumulator {
+    fn new(cpu: &CpuConfig, sp: &SimParams) -> Self {
+        Self {
+            seconds: 0.0,
+            dram_bytes: 0,
+            int_bytes: 0,
+            macs: 0,
+            dram_stall: 0.0,
+            int_stall: 0.0,
+            steps: 0,
+            dram_gbps: cpu.usable_dram_bw_gbs() * 1e9,
+            int_gbps: sp
+                .internal_bw_gbs_override
+                .unwrap_or_else(|| cpu.internal_bw_gbs(sp.p))
+                * 1e9,
+            freq_hz: cpu.freq_ghz * 1e9,
+            macs_per_cycle: cpu.macs_per_cycle_f32,
+        }
+    }
+
+    /// One step: with double buffering IO overlaps compute, so the step
+    /// costs `max(t_compute, t_dram, t_internal)`; the excess of either IO
+    /// time over compute is recorded as stall time (the quantity
+    /// VTune/perf report in Figure 7).
+    fn step(&mut self, ld: &StepLoad) {
+        let ext_bytes = ld.ext_read_bytes + ld.ext_write_bytes;
+        let t_comp =
+            ld.macs as f64 / (ld.active.max(1) as f64 * self.macs_per_cycle) / self.freq_hz;
+        let t_dram = ext_bytes as f64 / self.dram_gbps;
+        let t_int = ld.int_bytes as f64 / self.int_gbps;
+        let t = t_comp.max(t_dram).max(t_int);
+        self.seconds += t;
+        self.dram_bytes += ext_bytes;
+        self.int_bytes += ld.int_bytes;
+        self.macs += ld.macs;
+        self.dram_stall += (t_dram - t_comp).max(0.0);
+        self.int_stall += (t_int - t_comp).max(0.0);
+        self.steps += 1;
+    }
+
+    fn report(self, cpu: &CpuConfig, algo: Algo, sp: &SimParams) -> SimReport {
+        let flops = 2.0 * sp.m as f64 * sp.k as f64 * sp.n as f64;
+        SimReport {
+            cpu: cpu.name.clone(),
+            algo: algo.name().into(),
+            p: sp.p,
+            m: sp.m,
+            k: sp.k,
+            n: sp.n,
+            seconds: self.seconds,
+            gflops: if self.seconds > 0.0 { flops / self.seconds / 1e9 } else { 0.0 },
+            dram_bytes: self.dram_bytes,
+            avg_dram_bw_gbs: if self.seconds > 0.0 {
+                self.dram_bytes as f64 / self.seconds / 1e9
+            } else {
+                0.0
+            },
+            dram_stall_seconds: self.dram_stall,
+            internal_stall_seconds: self.int_stall,
+            steps: self.steps,
+            macs: self.macs,
+            int_bytes: self.int_bytes,
+            events: 0,
+            engine: "closed-form".into(),
+        }
+    }
+}
+
+fn run(cpu: &CpuConfig, sp: &SimParams, algo: Algo, loads: &[StepLoad]) -> SimReport {
+    let mut acc = StepAccumulator::new(cpu, sp);
+    for ld in loads {
+        acc.step(ld);
+    }
+    acc.report(cpu, algo, sp)
+}
+
+/// Closed-form CAKE simulation (auto-resolved shape).
+pub fn simulate_cake(cpu: &CpuConfig, sp: &SimParams) -> SimReport {
+    let shape = resolve_cake_shape(cpu, sp);
+    simulate_cake_with_shape(cpu, sp, &shape)
+}
+
+/// Closed-form CAKE simulation with an explicit CB shape.
+pub fn simulate_cake_with_shape(cpu: &CpuConfig, sp: &SimParams, shape: &CbBlockShape) -> SimReport {
+    run(cpu, sp, Algo::Cake, &lower_cake(cpu, sp, shape))
+}
+
+/// Closed-form GOTO simulation (auto-resolved blocking).
+pub fn simulate_goto(cpu: &CpuConfig, sp: &SimParams) -> SimReport {
+    let g = resolve_goto_params(cpu, sp);
+    simulate_goto_with_params(cpu, sp, &g)
+}
+
+/// Closed-form GOTO simulation with explicit blocking.
+pub fn simulate_goto_with_params(cpu: &CpuConfig, sp: &SimParams, g: &GotoParams) -> SimReport {
+    run(cpu, sp, Algo::Goto, &lower_goto(cpu, sp, g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_traffic_equals_event_engine_by_construction() {
+        let cpu = CpuConfig::intel_i9_10900k();
+        let sp = SimParams::new(300, 150, 260, 4);
+        let cf = simulate_cake(&cpu, &sp);
+        let ev = crate::engine::simulate_cake(&cpu, &sp);
+        assert_eq!(cf.dram_bytes, ev.dram_bytes);
+        assert_eq!(cf.int_bytes, ev.int_bytes);
+        assert_eq!(cf.macs, ev.macs);
+        assert_eq!(cf.steps, ev.steps);
+        assert_eq!(cf.engine, "closed-form");
+        assert_eq!(ev.engine, "event");
+    }
+
+    #[test]
+    fn closed_form_times_are_in_the_event_engine_ballpark() {
+        // Coarse in-crate guard; the documented tolerance is pinned in
+        // tests/simulator_checks.rs over every standing SimParams case.
+        let cpu = CpuConfig::arm_cortex_a53();
+        let sp = SimParams::square(1000, 4);
+        let cf = simulate_cake(&cpu, &sp);
+        let ev = crate::engine::simulate_cake(&cpu, &sp);
+        let ratio = ev.seconds / cf.seconds;
+        assert!((0.8..1.3).contains(&ratio), "event/closed-form = {ratio:.3}");
+    }
+}

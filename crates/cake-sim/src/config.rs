@@ -105,6 +105,12 @@ pub struct CpuConfig {
     /// ~1.0 for desktop DDR4, well below 1 for the A53's LPDDR interface
     /// (Figure 11a: ARMPL saturates near 1.1 GB/s of the nominal 2).
     pub dram_efficiency: f64,
+    /// Memory-bus clock, GHz (DDR4-2933 runs its bus at 1.4665 GHz, etc).
+    /// The event engine derives the DRAM channel's clock divider from the
+    /// ratio of this to `freq_ghz`.
+    pub dram_clock_ghz: f64,
+    /// Uncore / LLC-fabric clock, GHz; divider source for the LLC port.
+    pub llc_clock_ghz: f64,
     /// Whether DRAM stores allocate (read the line first). Vendor desktop
     /// libraries use non-temporal stores for C (no allocate); the ARM
     /// kernels use plain stores, doubling partial-C write traffic.
@@ -138,6 +144,8 @@ impl CpuConfig {
             dram_bytes: 32 * 1024 * MIB,
             dram_bw_gbs: 40.0,
             dram_efficiency: 0.95,
+            dram_clock_ghz: 1.4665, // DDR4-2933 bus clock
+            llc_clock_ghz: 3.0,     // Comet Lake uncore
             write_allocate: false,
             internal_bw: InternalBwCurve::Saturating {
                 gbs_per_core: 58.0,
@@ -164,6 +172,8 @@ impl CpuConfig {
             dram_bytes: 128 * 1024 * MIB,
             dram_bw_gbs: 47.0,
             dram_efficiency: 0.95,
+            dram_clock_ghz: 1.6, // DDR4-3200 bus clock
+            llc_clock_ghz: 1.8,  // Zen 3 fabric (fclk)
             write_allocate: false,
             internal_bw: InternalBwCurve::Linear { gbs_per_core: 50.0 },
             macs_per_cycle_f32: 11.0, // ~1.2 TFLOP/s at 16 cores
@@ -189,6 +199,8 @@ impl CpuConfig {
             dram_bytes: 1024 * MIB,
             dram_bw_gbs: 2.0,
             dram_efficiency: 0.55,
+            dram_clock_ghz: 0.8, // LPDDR3 bus clock
+            llc_clock_ghz: 0.7,  // CCI/L2 fabric
             write_allocate: true,
             internal_bw: InternalBwCurve::Flat {
                 base_gbs: 10.0,
@@ -208,6 +220,21 @@ impl CpuConfig {
             Self::amd_ryzen_9_5950x(),
             Self::arm_cortex_a53(),
         ]
+    }
+
+    /// Look a Table-2 CPU up by its short name (`intel`, `amd`, `arm`).
+    pub fn by_name(name: &str) -> Option<CpuConfig> {
+        match name {
+            "intel" => Some(Self::intel_i9_10900k()),
+            "amd" => Some(Self::amd_ryzen_9_5950x()),
+            "arm" => Some(Self::arm_cortex_a53()),
+            _ => None,
+        }
+    }
+
+    /// Short names accepted by [`Self::by_name`], in Table-2 order.
+    pub fn table2_names() -> [&'static str; 3] {
+        ["intel", "amd", "arm"]
     }
 
     /// Internal bandwidth at `p` cores, GB/s (measured shape).
@@ -301,6 +328,25 @@ mod tests {
         let arm = CpuConfig::arm_cortex_a53();
         let g = arm.peak_gflops(4);
         assert!((8.0..14.0).contains(&g), "arm {g}");
+    }
+
+    #[test]
+    fn by_name_covers_table2_and_rejects_unknown() {
+        for name in CpuConfig::table2_names() {
+            assert!(CpuConfig::by_name(name).is_some(), "{name} missing");
+        }
+        assert!(CpuConfig::by_name("m1").is_none());
+        assert_eq!(CpuConfig::by_name("arm").unwrap().cores, 4);
+    }
+
+    #[test]
+    fn clock_domains_are_slower_than_cores() {
+        // Every Table-2 part clocks its memory bus and LLC fabric at or
+        // below the core clock, so the event engine's dividers are >= 1.
+        for c in CpuConfig::table2() {
+            assert!(c.dram_clock_ghz > 0.0 && c.dram_clock_ghz <= c.freq_ghz);
+            assert!(c.llc_clock_ghz > 0.0 && c.llc_clock_ghz <= c.freq_ghz);
+        }
     }
 
     #[test]

@@ -1,14 +1,34 @@
-//! Block-level discrete-event timing engine.
+//! Discrete-event timing engine for CB-block schedules.
 //!
 //! Models what the paper's SystemC simulator models (Section 6.2): the
-//! timings between external memory, local memory, and cores. Execution is
-//! a sequence of *steps* (CB blocks for CAKE, panel rounds for GOTO); each
-//! step has a compute time, a DRAM-IO time, and an internal (LLC<->cores)
-//! IO time. With double buffering, IO overlaps compute, so a step costs
-//! `max(t_compute, t_dram, t_internal)`; the excess of either IO time over
-//! compute time is recorded as stall time (the quantity VTune/perf report
-//! in Figure 7, and the mechanism behind every saturation in Figures
-//! 9–12).
+//! timings between external memory, local memory, and cores. The engine
+//! works in two passes:
+//!
+//! 1. **Lowering** ([`lower_cake`] / [`lower_goto`]): walk the *real*
+//!    schedule (the K-first snake over `BlockGrid`, or GOTO's
+//!    `jc/pc/ic` loop nest) and emit one [`StepLoad`] per CB block /
+//!    parallel round, with its exact resource demands: MACs, active
+//!    cores, DRAM read/write bytes (adjacency-shared A/B, one final C
+//!    write per completed panel, write-allocate factor), and internal
+//!    LLC<->core bytes. This pass is pure traffic accounting — both the
+//!    event engine and the feature-gated closed-form oracle
+//!    (`crate::closed_form`) consume the same loads, so their DRAM byte
+//!    totals agree u64-exactly by construction.
+//! 2. **Event execution** ([`crate::machine`]): play the loads through a
+//!    component machine — shared DRAM channel and LLC port on their own
+//!    clock dividers ([`CpuConfig::dram_clock_ghz`] /
+//!    [`CpuConfig::llc_clock_ghz`]), a per-stream pack unit enforcing the
+//!    Section 4.3 double-buffer look-ahead, per-core compute units, and a
+//!    rotation barrier — driven by a min-heap of `(tick, seq, component)`
+//!    events. IO/compute overlap is event causality, not a closed-form
+//!    `max()`: a step stalls on DRAM only if its read physically hasn't
+//!    landed when the cores go idle.
+//!
+//! Same-tick event ordering is governed by [`SimOptions::tie_break`]:
+//! FIFO (deterministic, the reference ordering) or a seeded permutation
+//! ([`TieBreak::Fuzzed`]) under which all traffic/result counters must be
+//! invariant — [`check_ordering_invariance`] sweeps seeds and reports any
+//! divergence with the event trace as a witness.
 
 use cake_core::schedule::{BlockGrid, KFirstSchedule};
 use cake_core::shape::CbBlockShape;
@@ -16,6 +36,8 @@ use cake_core::tune;
 use cake_goto::params::GotoParams;
 
 use crate::config::CpuConfig;
+use crate::event::{Clock, TieBreak, TraceEvent};
+use crate::machine::{Machine, MachineParams, PortSpec, StepLoad, StreamSpec, StreamStats};
 use crate::report::SimReport;
 
 /// Inputs for one simulated GEMM.
@@ -46,16 +68,7 @@ pub struct SimParams {
 impl SimParams {
     /// Square `n x n x n` problem on `p` cores, f32.
     pub fn square(n: usize, p: usize) -> Self {
-        Self {
-            m: n,
-            k: n,
-            n,
-            p,
-            elem_bytes: 4,
-            alpha: None,
-            internal_bw_gbs_override: None,
-            llc_bytes_override: None,
-        }
+        Self::new(n, n, n, p)
     }
 
     /// General `m x k x n` problem on `p` cores, f32.
@@ -79,6 +92,40 @@ impl SimParams {
     fn internal_bw_gbs(&self, cpu: &CpuConfig) -> f64 {
         self.internal_bw_gbs_override
             .unwrap_or_else(|| cpu.internal_bw_gbs(self.p))
+    }
+}
+
+/// Which schedule to lower and simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// CAKE's K-first CB-block schedule.
+    Cake,
+    /// The GOTO `jc/pc/ic` loop nest (vendor-library stand-in).
+    Goto,
+}
+
+impl Algo {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Cake => "CAKE",
+            Algo::Goto => "GOTO",
+        }
+    }
+}
+
+/// Knobs of one engine run that are not part of the problem.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Same-tick event ordering policy.
+    pub tie_break: TieBreak,
+    /// Keep a bounded event trace (returned in panics/witnesses).
+    pub trace: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self { tie_break: TieBreak::Fifo, trace: false }
     }
 }
 
@@ -119,83 +166,14 @@ pub fn resolve_goto_params(cpu: &CpuConfig, sp: &SimParams) -> GotoParams {
     GotoParams::fixed(sp.p, mc.max(cpu.mr), kc, nc)
 }
 
-struct StepAccumulator {
-    seconds: f64,
-    dram_bytes: u64,
-    dram_stall: f64,
-    int_stall: f64,
-    steps: usize,
-    dram_gbps: f64,
-    int_gbps: f64,
-    freq_hz: f64,
-    macs_per_cycle: f64,
-}
-
-impl StepAccumulator {
-    fn new(cpu: &CpuConfig, sp: &SimParams) -> Self {
-        Self {
-            seconds: 0.0,
-            dram_bytes: 0,
-            dram_stall: 0.0,
-            int_stall: 0.0,
-            steps: 0,
-            dram_gbps: cpu.usable_dram_bw_gbs() * 1e9,
-            int_gbps: sp.internal_bw_gbs(cpu) * 1e9,
-            freq_hz: cpu.freq_ghz * 1e9,
-            macs_per_cycle: cpu.macs_per_cycle_f32,
-        }
-    }
-
-    /// One step: `macs` multiply-accumulates on `active` cores, moving
-    /// `ext_bytes` over the DRAM bus and `int_bytes` over the LLC bus.
-    fn step(&mut self, macs: f64, active: usize, ext_bytes: u64, int_bytes: u64) {
-        let t_comp = macs / (active.max(1) as f64 * self.macs_per_cycle) / self.freq_hz;
-        let t_dram = ext_bytes as f64 / self.dram_gbps;
-        let t_int = int_bytes as f64 / self.int_gbps;
-        let t = t_comp.max(t_dram).max(t_int);
-        self.seconds += t;
-        self.dram_bytes += ext_bytes;
-        self.dram_stall += (t_dram - t_comp).max(0.0);
-        self.int_stall += (t_int - t_comp).max(0.0);
-        self.steps += 1;
-    }
-
-    fn report(self, cpu: &CpuConfig, algo: &str, sp: &SimParams) -> SimReport {
-        let flops = 2.0 * sp.m as f64 * sp.k as f64 * sp.n as f64;
-        SimReport {
-            cpu: cpu.name.clone(),
-            algo: algo.into(),
-            p: sp.p,
-            m: sp.m,
-            k: sp.k,
-            n: sp.n,
-            seconds: self.seconds,
-            gflops: if self.seconds > 0.0 { flops / self.seconds / 1e9 } else { 0.0 },
-            dram_bytes: self.dram_bytes,
-            avg_dram_bw_gbs: if self.seconds > 0.0 {
-                self.dram_bytes as f64 / self.seconds / 1e9
-            } else {
-                0.0
-            },
-            dram_stall_seconds: self.dram_stall,
-            internal_stall_seconds: self.int_stall,
-            steps: self.steps,
-        }
-    }
-}
-
-/// Simulate a CAKE GEMM on `cpu`.
-pub fn simulate_cake(cpu: &CpuConfig, sp: &SimParams) -> SimReport {
-    let shape = resolve_cake_shape(cpu, sp);
-    simulate_cake_with_shape(cpu, sp, &shape)
-}
-
-/// Simulate a CAKE GEMM with an explicit CB shape (ablations).
-pub fn simulate_cake_with_shape(cpu: &CpuConfig, sp: &SimParams, shape: &CbBlockShape) -> SimReport {
+/// Lower a CAKE run to per-block [`StepLoad`]s along the K-first snake:
+/// adjacency-shared A/B surfaces, partial C held in the LLC and written to
+/// DRAM once per completed `(m, n)` panel (with the write-allocate
+/// factor), internal traffic per Eq. 3 / Eq. 6.
+pub fn lower_cake(cpu: &CpuConfig, sp: &SimParams, shape: &CbBlockShape) -> Vec<StepLoad> {
     let (m, k, n) = (sp.m, sp.k, sp.n);
-    let mut acc = StepAccumulator::new(cpu, sp);
     if m == 0 || k == 0 || n == 0 {
-        return acc.report(cpu, "CAKE", sp);
+        return Vec::new();
     }
     let (bm, bk, bn) = (shape.m_block(), shape.k_block(), shape.n_block());
     let grid = BlockGrid::for_problem(m, k, n, bm, bk, bn);
@@ -204,6 +182,7 @@ pub fn simulate_cake_with_shape(cpu: &CpuConfig, sp: &SimParams, shape: &CbBlock
     let wa = if cpu.write_allocate { 2 } else { 1 };
     let kb = grid.kb;
 
+    let mut loads = Vec::with_capacity(grid.mb * grid.kb * grid.nb);
     let mut prev: Option<cake_core::schedule::BlockCoord> = None;
     let mut k_run = 0usize; // visits to the current (m, n) panel
     for c in sched {
@@ -216,12 +195,12 @@ pub fn simulate_cake_with_shape(cpu: &CpuConfig, sp: &SimParams, shape: &CbBlock
         let prev_panel = prev.map(|p| (p.m, p.n));
         prev = Some(c);
 
-        let mut ext = 0u64;
+        let mut read = 0u64;
         if !share_a {
-            ext += (ml * kl) as u64 * eb;
+            read += (ml * kl) as u64 * eb;
         }
         if !share_b {
-            ext += (kl * nl) as u64 * eb;
+            read += (kl * nl) as u64 * eb;
         }
         // Partial C stays in the LLC; written to DRAM once, when the
         // K-reduction for this (m, n) panel completes. K runs are
@@ -232,41 +211,41 @@ pub fn simulate_cake_with_shape(cpu: &CpuConfig, sp: &SimParams, shape: &CbBlock
         } else {
             k_run = 1;
         }
-        if k_run == kb {
+        let write = if k_run == kb {
             // Completed panel written once; write-allocate parts read the
             // destination lines first.
-            ext += (ml * nl) as u64 * eb * wa;
-        }
+            (ml * nl) as u64 * eb * wa
+        } else {
+            0
+        };
 
-        // Internal traffic: read A + B once, read + write the partial C
-        // panel (Eq. 3 / Eq. 6).
-        let int_bytes = ((ml * kl) + (kl * nl) + 2 * (ml * nl)) as u64 * eb;
-
-        let macs = ml as f64 * kl as f64 * nl as f64;
-        let active = ml.div_ceil(shape.mc).min(shape.p);
-        acc.step(macs, active, ext, int_bytes);
+        loads.push(StepLoad {
+            macs: (ml * kl * nl) as u64,
+            active: ml.div_ceil(shape.mc).min(shape.p),
+            ext_read_bytes: read,
+            ext_write_bytes: write,
+            // Internal traffic: read A + B once, read + write the partial
+            // C panel (Eq. 3 / Eq. 6).
+            int_bytes: ((ml * kl) + (kl * nl) + 2 * (ml * nl)) as u64 * eb,
+        });
     }
-    acc.report(cpu, "CAKE", sp)
+    loads
 }
 
-/// Simulate a GOTO GEMM on `cpu`.
-pub fn simulate_goto(cpu: &CpuConfig, sp: &SimParams) -> SimReport {
-    let params = resolve_goto_params(cpu, sp);
-    simulate_goto_with_params(cpu, sp, &params)
-}
-
-/// Simulate a GOTO GEMM with explicit blocking (ablations).
-pub fn simulate_goto_with_params(cpu: &CpuConfig, sp: &SimParams, g: &GotoParams) -> SimReport {
+/// Lower a GOTO run to per-round [`StepLoad`]s: B packed once per
+/// `(jc, pc)` panel, partial C streamed to DRAM every round (read back
+/// after the first K panel).
+pub fn lower_goto(cpu: &CpuConfig, sp: &SimParams, g: &GotoParams) -> Vec<StepLoad> {
     let (m, k, n) = (sp.m, sp.k, sp.n);
-    let mut acc = StepAccumulator::new(cpu, sp);
     if m == 0 || k == 0 || n == 0 {
-        return acc.report(cpu, "GOTO", sp);
+        return Vec::new();
     }
     let eb = sp.elem_bytes as u64;
     let wa = if cpu.write_allocate { 2 } else { 1 };
     let (mc, kc, nc, p) = (g.mc, g.kc, g.nc, g.p);
     let kb = k.div_ceil(kc);
 
+    let mut loads = Vec::new();
     let mut jc = 0;
     while jc < n {
         let nl = nc.min(n - jc);
@@ -284,18 +263,302 @@ pub fn simulate_goto_with_params(cpu: &CpuConfig, sp: &SimParams, g: &GotoParams
                 // panel), write partials/finals every round.
                 let c_reads = if pc_idx > 0 { c_panel } else { 0 };
                 let c_writes = c_panel * wa;
-                let ext = a_bytes + b_pending + c_reads + c_writes;
+                loads.push(StepLoad {
+                    macs: (round_m * kl * nl) as u64,
+                    active,
+                    ext_read_bytes: a_bytes + b_pending + c_reads,
+                    ext_write_bytes: c_writes,
+                    int_bytes: a_bytes + (kl * nl) as u64 * eb + 2 * c_panel,
+                });
                 b_pending = 0;
-
-                let int_bytes = a_bytes + (kl * nl) as u64 * eb + 2 * c_panel;
-                let macs = round_m as f64 * kl as f64 * nl as f64;
-                acc.step(macs, active, ext, int_bytes);
                 ic += p * mc;
             }
         }
         jc += nc;
     }
-    acc.report(cpu, "GOTO", sp)
+    loads
+}
+
+/// Machine characteristics for one run: ports sized from the CPU's
+/// bandwidth figures, clock dividers from its Table-2 clock domains.
+fn machine_params(cpu: &CpuConfig, sp: &SimParams) -> MachineParams {
+    MachineParams {
+        freq_ghz: cpu.freq_ghz,
+        macs_per_cycle: cpu.macs_per_cycle_f32,
+        dram: PortSpec::from_bandwidth(
+            cpu.usable_dram_bw_gbs(),
+            cpu.freq_ghz,
+            Clock::from_ratio(cpu.freq_ghz, cpu.dram_clock_ghz),
+        ),
+        llc: PortSpec::from_bandwidth(
+            sp.internal_bw_gbs(cpu),
+            cpu.freq_ghz,
+            Clock::from_ratio(cpu.freq_ghz, cpu.llc_clock_ghz),
+        ),
+        pack_clock: Clock::new(1),
+    }
+}
+
+fn report_from_stats(
+    cpu: &CpuConfig,
+    sp: &SimParams,
+    algo: Algo,
+    stats: &StreamStats,
+    seconds_ticks: u64,
+    events: u64,
+) -> SimReport {
+    let freq_hz = cpu.freq_ghz * 1e9;
+    let seconds = seconds_ticks as f64 / freq_hz;
+    let flops = 2.0 * sp.m as f64 * sp.k as f64 * sp.n as f64;
+    let dram_bytes = stats.dram_bytes();
+    SimReport {
+        cpu: cpu.name.clone(),
+        algo: algo.name().into(),
+        p: sp.p,
+        m: sp.m,
+        k: sp.k,
+        n: sp.n,
+        seconds,
+        gflops: if seconds > 0.0 { flops / seconds / 1e9 } else { 0.0 },
+        dram_bytes,
+        avg_dram_bw_gbs: if seconds > 0.0 { dram_bytes as f64 / seconds / 1e9 } else { 0.0 },
+        dram_stall_seconds: stats.dram_wait_ticks as f64 / freq_hz,
+        internal_stall_seconds: stats.int_excess_ticks as f64 / freq_hz,
+        steps: stats.steps,
+        macs: stats.macs,
+        int_bytes: stats.int_bytes,
+        events,
+        engine: "event".into(),
+    }
+}
+
+/// Run one lowered schedule on the event machine.
+fn run_single(cpu: &CpuConfig, sp: &SimParams, algo: Algo, loads: Vec<StepLoad>, opts: SimOptions) -> SimReport {
+    let machine = Machine::new(
+        machine_params(cpu, sp),
+        vec![StreamSpec { loads, cores: sp.p.max(1) }],
+        opts.tie_break,
+        opts.trace,
+    );
+    let run = machine.run();
+    report_from_stats(cpu, sp, algo, &run.streams[0], run.ticks, run.events)
+}
+
+/// Simulate a CAKE GEMM on `cpu`.
+pub fn simulate_cake(cpu: &CpuConfig, sp: &SimParams) -> SimReport {
+    let shape = resolve_cake_shape(cpu, sp);
+    simulate_cake_with_shape(cpu, sp, &shape)
+}
+
+/// Simulate a CAKE GEMM with an explicit CB shape (ablations).
+pub fn simulate_cake_with_shape(cpu: &CpuConfig, sp: &SimParams, shape: &CbBlockShape) -> SimReport {
+    simulate_cake_with_shape_opts(cpu, sp, shape, SimOptions::default())
+}
+
+/// [`simulate_cake_with_shape`] with explicit engine options.
+pub fn simulate_cake_with_shape_opts(
+    cpu: &CpuConfig,
+    sp: &SimParams,
+    shape: &CbBlockShape,
+    opts: SimOptions,
+) -> SimReport {
+    run_single(cpu, sp, Algo::Cake, lower_cake(cpu, sp, shape), opts)
+}
+
+/// Simulate a GOTO GEMM on `cpu`.
+pub fn simulate_goto(cpu: &CpuConfig, sp: &SimParams) -> SimReport {
+    let params = resolve_goto_params(cpu, sp);
+    simulate_goto_with_params(cpu, sp, &params)
+}
+
+/// Simulate a GOTO GEMM with explicit blocking (ablations).
+pub fn simulate_goto_with_params(cpu: &CpuConfig, sp: &SimParams, g: &GotoParams) -> SimReport {
+    simulate_goto_with_params_opts(cpu, sp, g, SimOptions::default())
+}
+
+/// [`simulate_goto_with_params`] with explicit engine options.
+pub fn simulate_goto_with_params_opts(
+    cpu: &CpuConfig,
+    sp: &SimParams,
+    g: &GotoParams,
+    opts: SimOptions,
+) -> SimReport {
+    run_single(cpu, sp, Algo::Goto, lower_goto(cpu, sp, g), opts)
+}
+
+/// Simulate `algo` with the auto-resolved blocking and explicit options.
+pub fn simulate_opts(cpu: &CpuConfig, sp: &SimParams, algo: Algo, opts: SimOptions) -> SimReport {
+    match algo {
+        Algo::Cake => {
+            let shape = resolve_cake_shape(cpu, sp);
+            simulate_cake_with_shape_opts(cpu, sp, &shape, opts)
+        }
+        Algo::Goto => {
+            let g = resolve_goto_params(cpu, sp);
+            simulate_goto_with_params_opts(cpu, sp, &g, opts)
+        }
+    }
+}
+
+/// Like [`simulate_opts`] but with tracing forced on, returning the
+/// bounded event trace alongside the report (`cakectl sim --trace`).
+pub fn simulate_traced(
+    cpu: &CpuConfig,
+    sp: &SimParams,
+    algo: Algo,
+    opts: SimOptions,
+) -> (SimReport, Vec<TraceEvent>) {
+    let loads = match algo {
+        Algo::Cake => {
+            let shape = resolve_cake_shape(cpu, sp);
+            lower_cake(cpu, sp, &shape)
+        }
+        Algo::Goto => {
+            let g = resolve_goto_params(cpu, sp);
+            lower_goto(cpu, sp, &g)
+        }
+    };
+    let run = Machine::new(
+        machine_params(cpu, sp),
+        vec![StreamSpec { loads, cores: sp.p.max(1) }],
+        opts.tie_break,
+        true,
+    )
+    .run();
+    let rep = report_from_stats(cpu, sp, algo, &run.streams[0], run.ticks, run.events);
+    (rep, run.trace)
+}
+
+/// Outcome of a shared-LLC contention run: two (or more) concurrent GEMMs
+/// interleaving on one memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct SharedLlcReport {
+    /// Per-tenant reports; `seconds` is each tenant's own finish time.
+    pub tenants: Vec<SimReport>,
+    /// Time until the whole machine drained, seconds.
+    pub makespan_seconds: f64,
+    /// Events processed by the shared machine.
+    pub events: u64,
+}
+
+/// Simulate concurrent CAKE GEMMs sharing one LLC and DRAM channel.
+///
+/// Each tenant gets its own core set (`sp.p`) and an even share of the LLC
+/// for shape resolution (unless it already overrides `llc_bytes`), but the
+/// DRAM channel and LLC port are *one component each* — tenants' IO jobs
+/// queue against each other, which is exactly the contention the
+/// fixed-pipeline engine could not express.
+pub fn simulate_shared_llc(cpu: &CpuConfig, tenants: &[SimParams], opts: SimOptions) -> SharedLlcReport {
+    assert!(!tenants.is_empty(), "shared-LLC scenario needs at least one tenant");
+    let share = (cpu.llc_bytes / tenants.len()).max(1);
+    let resolved: Vec<SimParams> = tenants
+        .iter()
+        .map(|sp| {
+            let mut sp = sp.clone();
+            sp.llc_bytes_override = Some(sp.llc_bytes_override.unwrap_or(share));
+            sp
+        })
+        .collect();
+    // Port bandwidths come from the total active core count.
+    let total_p: usize = resolved.iter().map(|sp| sp.p).sum();
+    let mut bw_sp = resolved[0].clone();
+    bw_sp.p = total_p;
+    let params = machine_params(cpu, &bw_sp);
+
+    let specs: Vec<StreamSpec> = resolved
+        .iter()
+        .map(|sp| {
+            let shape = resolve_cake_shape(cpu, sp);
+            StreamSpec { loads: lower_cake(cpu, sp, &shape), cores: sp.p.max(1) }
+        })
+        .collect();
+    let run = Machine::new(params, specs, opts.tie_break, opts.trace).run();
+    let tenants_out = resolved
+        .iter()
+        .zip(&run.streams)
+        .map(|(sp, st)| report_from_stats(cpu, sp, Algo::Cake, st, st.finish_tick, run.events))
+        .collect();
+    SharedLlcReport {
+        tenants: tenants_out,
+        makespan_seconds: run.ticks as f64 / (cpu.freq_ghz * 1e9),
+        events: run.events,
+    }
+}
+
+/// A schedule race caught by the fuzzed-ordering sweep: a counter that
+/// should be ordering-invariant diverged under some same-tick permutation.
+#[derive(Debug, Clone)]
+pub struct OrderingDivergence {
+    /// Seed of the permutation that diverged.
+    pub seed: u64,
+    /// Which counter diverged.
+    pub field: &'static str,
+    /// Counter value under the FIFO reference ordering.
+    pub baseline: u64,
+    /// Counter value under the fuzzed ordering.
+    pub fuzzed: u64,
+    /// Event trace of the diverging run (the witness).
+    pub witness: Vec<TraceEvent>,
+}
+
+impl std::fmt::Display for OrderingDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ordering divergence under seed {}: {} = {} (fifo) vs {} (fuzzed); witness:",
+            self.seed, self.field, self.baseline, self.fuzzed
+        )?;
+        for ev in &self.witness {
+            writeln!(f, "  {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+fn counter_fields(rep: &SimReport) -> [(&'static str, u64); 4] {
+    [
+        ("dram_bytes", rep.dram_bytes),
+        ("int_bytes", rep.int_bytes),
+        ("macs", rep.macs),
+        ("steps", rep.steps as u64),
+    ]
+}
+
+/// Sweep `seeds` fuzzed same-tick orderings of one simulation and check
+/// every traffic/result counter against the FIFO reference. Returns the
+/// number of orderings checked, or the first divergence (with the event
+/// trace of a traced re-run as witness) — which would demonstrate a
+/// schedule race in the engine.
+pub fn check_ordering_invariance(
+    cpu: &CpuConfig,
+    sp: &SimParams,
+    algo: Algo,
+    seeds: u64,
+) -> Result<u64, Box<OrderingDivergence>> {
+    let base = simulate_opts(cpu, sp, algo, SimOptions::default());
+    for seed in 0..seeds {
+        let opts = SimOptions { tie_break: TieBreak::Fuzzed { seed }, trace: false };
+        let fz = simulate_opts(cpu, sp, algo, opts);
+        for ((field, b), (_, f)) in counter_fields(&base).iter().zip(counter_fields(&fz).iter()) {
+            if b != f {
+                // Re-run the diverging seed with tracing for the witness.
+                return Err(Box::new(OrderingDivergence {
+                    seed,
+                    field,
+                    baseline: *b,
+                    fuzzed: *f,
+                    witness: trace_of(cpu, sp, algo, seed),
+                }));
+            }
+        }
+    }
+    Ok(seeds)
+}
+
+/// Event trace of one fuzzed run (used for divergence witnesses).
+fn trace_of(cpu: &CpuConfig, sp: &SimParams, algo: Algo, seed: u64) -> Vec<TraceEvent> {
+    let opts = SimOptions { tie_break: TieBreak::Fuzzed { seed }, trace: true };
+    simulate_traced(cpu, sp, algo, opts).1
 }
 
 #[cfg(test)]
@@ -424,8 +687,8 @@ mod tests {
     #[test]
     fn traffic_exactly_matches_analytic_model_on_kfirst_schedules() {
         // Stronger than the ratio check above: for K-first schedules the
-        // engine's per-block accounting (adjacency-shared A/B, one final C
-        // write per completed panel, write-allocate factor) is the *same
+        // lowering's per-block accounting (adjacency-shared A/B, one final
+        // C write per completed panel, write-allocate factor) is the *same
         // function* as cake_core::traffic — so the byte totals must be
         // u64-equal, ragged edges and all, on both write-allocate settings.
         use cake_core::traffic::{dram_traffic, CResidency, TrafficParams};
@@ -465,6 +728,7 @@ mod tests {
         let r = simulate_cake(&cpu, &SimParams::new(0, 128, 128, 2));
         assert_eq!(r.dram_bytes, 0);
         assert_eq!(r.seconds, 0.0);
+        assert_eq!(r.events, 0);
     }
 
     #[test]
@@ -497,5 +761,44 @@ mod tests {
             rep.avg_dram_bw_gbs,
             cpu.usable_dram_bw_gbs()
         );
+    }
+
+    #[test]
+    fn fuzzed_orderings_leave_counters_invariant() {
+        // The engine-level race check on a ragged multi-core problem.
+        let cpu = intel();
+        let sp = SimParams::new(300, 200, 280, 4);
+        for algo in [Algo::Cake, Algo::Goto] {
+            let checked = check_ordering_invariance(&cpu, &sp, algo, 16)
+                .unwrap_or_else(|d| panic!("{algo:?}: {d}"));
+            assert_eq!(checked, 16);
+        }
+    }
+
+    #[test]
+    fn same_options_give_bit_identical_reports() {
+        let cpu = arm();
+        let sp = SimParams::square(500, 4);
+        let a = simulate_opts(&cpu, &sp, Algo::Cake, SimOptions::default());
+        let b = simulate_opts(&cpu, &sp, Algo::Cake, SimOptions::default());
+        assert_eq!(a, b);
+        let opts = SimOptions { tie_break: TieBreak::Fuzzed { seed: 7 }, trace: false };
+        let f1 = simulate_opts(&cpu, &sp, Algo::Cake, opts);
+        let f2 = simulate_opts(&cpu, &sp, Algo::Cake, opts);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn shared_llc_contention_slows_tenants_but_keeps_traffic() {
+        let cpu = intel();
+        let sp = SimParams::square(768, 4);
+        // Solo run with the same half-LLC shape a tenant would get.
+        let solo = simulate_shared_llc(&cpu, std::slice::from_ref(&sp), SimOptions::default());
+        let both = simulate_shared_llc(&cpu, &[sp.clone(), sp], SimOptions::default());
+        assert_eq!(solo.tenants[0].dram_bytes, both.tenants[0].dram_bytes);
+        assert_eq!(solo.tenants[0].dram_bytes, both.tenants[1].dram_bytes);
+        // Two tenants on one channel cannot finish faster than one.
+        assert!(both.makespan_seconds >= solo.makespan_seconds);
+        assert!(both.events > solo.events);
     }
 }

@@ -18,9 +18,17 @@
 //!   CB machine (standardized packets between external memory, local
 //!   memory, and the core grid) used to validate schedule correctness and
 //!   the constant-bandwidth property with real dataflow.
-//! * [`engine`] — the block-level discrete-event timing engine with
-//!   IO/compute overlap, producing throughput, DRAM bandwidth, and stall
-//!   breakdowns (Figures 9–12).
+//! * [`event`] — the discrete-event core: a min-heap of
+//!   `(tick, seq, component)` wake-ups, per-component clock dividers,
+//!   FIFO/fuzzed same-tick tie-break, and the bounded event trace.
+//! * [`machine`] — the simulated hardware: shared DRAM channel and LLC
+//!   port, per-stream pack units / compute units / rotation barrier,
+//!   multi-stream (shared-LLC contention) execution.
+//! * [`engine`] — schedule lowering plus the event-machine front end,
+//!   producing throughput, DRAM bandwidth, and stall breakdowns
+//!   (Figures 9–12), with fuzzed-ordering race checks.
+//! * [`closed_form`] — the previous fixed-pipeline engine (feature
+//!   `closed-form`, default on), kept as a differential timing oracle.
 //! * [`report`] — result records shared by the bench harness.
 //! * [`search`] — the exhaustive design-space search CAKE's closed-form
 //!   shaping replaces, used to validate the "no design search" claim.
@@ -28,13 +36,21 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cache;
+#[cfg(feature = "closed-form")]
+pub mod closed_form;
 pub mod config;
 pub mod engine;
+pub mod event;
+pub mod machine;
 pub mod packet;
 pub mod report;
 pub mod search;
 pub mod trace;
 
 pub use config::CpuConfig;
-pub use engine::{simulate_cake, simulate_goto, SimParams};
+pub use engine::{
+    check_ordering_invariance, simulate_cake, simulate_goto, simulate_shared_llc, Algo,
+    SimOptions, SimParams,
+};
+pub use event::TieBreak;
 pub use report::SimReport;

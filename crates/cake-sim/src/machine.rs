@@ -1,0 +1,660 @@
+//! The simulated machine: hardware components wired to the discrete-event
+//! core in [`crate::event`].
+//!
+//! A [`Machine`] executes one or more *streams* (concurrent GEMMs sharing
+//! the memory hierarchy). Each stream is a sequence of [`StepLoad`]s — a
+//! CB block for CAKE, a parallel `ic`-round for GOTO — lowered from the
+//! real schedule by the engine. The machine then plays the steps through
+//! five component kinds, each on its own clock divider:
+//!
+//! * **DRAM channel** (shared, serial): serves read jobs (next block's
+//!   A/B surfaces) and posted write jobs (completed C panels) FIFO at the
+//!   memory-bus clock. Two concurrent streams contend here — there is one
+//!   queue, not one per tenant.
+//! * **LLC port** (shared, serial): streams a step's internal traffic
+//!   (packed operands to the cores, partial-C read/write) at the uncore
+//!   clock, concurrently with that step's compute.
+//! * **Pack unit** (per stream): issues the DRAM read for a future step —
+//!   the double-buffer look-ahead. A read for step `s` may only be issued
+//!   while `s < completed + 2` (one block computing, one streaming in),
+//!   which is exactly the paper's Section 4.3 double-buffer rule as event
+//!   causality instead of a closed-form overlap subtraction.
+//! * **Compute units** (per stream, one per core): each active core gets
+//!   an even share of the step's MACs and wakes when its share is done.
+//! * **Barrier** (per stream): the rotation barrier. A step completes one
+//!   barrier edge after its last arrival (all active cores + the LLC
+//!   port); only then may the next step start computing and the next read
+//!   be issued.
+//!
+//! IO/compute overlap is therefore *emergent*: a step stalls on DRAM only
+//! if its read physically has not finished when the cores go idle, and
+//! the engine records that wait — it is never assumed away.
+
+use std::collections::VecDeque;
+
+use crate::event::{Clock, ComponentId, EventQueue, TieBreak, Tick, Trace, TraceEvent};
+
+/// One unit of schedule work: a CB block (CAKE) or a parallel round
+/// (GOTO), with its resource demands fully resolved by the lowering pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepLoad {
+    /// Multiply-accumulates in this step.
+    pub macs: u64,
+    /// Cores that share the MACs.
+    pub active: usize,
+    /// Bytes read from DRAM before this step can compute (A/B surfaces
+    /// not shared with the previous step).
+    pub ext_read_bytes: u64,
+    /// Bytes written back to DRAM when this step completes (finished C
+    /// panel, with the write-allocate factor already applied).
+    pub ext_write_bytes: u64,
+    /// Bytes over the LLC<->core port during this step's compute.
+    pub int_bytes: u64,
+}
+
+/// A serial port's service characteristics: its clock divider and how
+/// many bytes one component tick moves.
+#[derive(Debug, Clone, Copy)]
+pub struct PortSpec {
+    /// Clock divider relative to the core clock.
+    pub clock: Clock,
+    /// Bytes served per component tick.
+    pub bytes_per_edge: f64,
+}
+
+impl PortSpec {
+    /// Port moving `bw_gbs` GB/s on a machine whose base clock is
+    /// `freq_ghz`, ticking at `clock`.
+    pub fn from_bandwidth(bw_gbs: f64, freq_ghz: f64, clock: Clock) -> Self {
+        let bytes_per_cycle = bw_gbs / freq_ghz; // GB/s over Gcycle/s
+        Self { clock, bytes_per_edge: (bytes_per_cycle * clock.period() as f64).max(1e-30) }
+    }
+
+    /// Component ticks needed to move `bytes` (>= 1 for any real job).
+    pub fn edges(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            (bytes as f64 / self.bytes_per_edge).ceil().max(1.0) as u64
+        }
+    }
+}
+
+/// Full machine characteristics the engine derives from a `CpuConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineParams {
+    /// Base (core) clock, GHz — converts ticks to seconds.
+    pub freq_ghz: f64,
+    /// Sustained MACs per cycle per core.
+    pub macs_per_cycle: f64,
+    /// External-memory channel.
+    pub dram: PortSpec,
+    /// LLC<->cores port.
+    pub llc: PortSpec,
+    /// Pack/issue unit clock (look-ahead dispatch latency).
+    pub pack_clock: Clock,
+}
+
+/// One stream of work (one GEMM) to run on the machine.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Lowered schedule steps, in execution order.
+    pub loads: Vec<StepLoad>,
+    /// Compute units dedicated to this stream.
+    pub cores: usize,
+}
+
+/// Per-stream counters and timing produced by a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Bytes read from DRAM (A/B surfaces).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM (C panels, write-allocate included).
+    pub dram_write_bytes: u64,
+    /// Bytes moved over the LLC port.
+    pub int_bytes: u64,
+    /// MAC operations performed.
+    pub macs: u64,
+    /// Steps completed.
+    pub steps: usize,
+    /// Base cycles the stream's cores sat idle waiting on DRAM.
+    pub dram_wait_ticks: u64,
+    /// Base cycles the LLC port kept running past the cores in a step.
+    pub int_excess_ticks: u64,
+    /// Tick of the stream's last activity (barrier or writeback drain).
+    pub finish_tick: Tick,
+}
+
+impl StreamStats {
+    /// Total DRAM bytes both directions.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// Outcome of a machine run.
+#[derive(Debug, Clone)]
+pub struct MachineRun {
+    /// Final simulated time in base cycles (all streams + DRAM drained).
+    pub ticks: Tick,
+    /// Events processed by the scheduler loop.
+    pub events: u64,
+    /// Per-stream results, in [`StreamSpec`] order.
+    pub streams: Vec<StreamStats>,
+    /// Event trace (empty unless tracing was requested).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Reads may run at most this many steps ahead of the last completed
+/// step: the current block computing plus one streaming in (Section 4.3
+/// double buffering).
+const READ_AHEAD: usize = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct DramJob {
+    stream: usize,
+    step: usize,
+    bytes: u64,
+    write: bool,
+}
+
+#[derive(Debug, Default)]
+struct DramChannel {
+    queue: VecDeque<DramJob>,
+    busy: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LlcJob {
+    stream: usize,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct LlcPort {
+    queue: VecDeque<LlcJob>,
+    busy: bool,
+}
+
+#[derive(Debug, Default)]
+struct PackUnit {
+    queue: VecDeque<usize>, // step indices awaiting issue
+    busy: bool,
+}
+
+#[derive(Debug)]
+struct StreamRt {
+    spec: StreamSpec,
+    next_issue: usize,
+    completed: usize,
+    io_ready: Vec<bool>,
+    inflight: Option<usize>,
+    arrivals_left: usize,
+    has_int_job: bool,
+    cores_done_tick: Tick,
+    llc_done_tick: Tick,
+    ready_tick: Tick,
+    stats: StreamStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Comp {
+    Dram,
+    Llc,
+    Pack(usize),
+    Barrier(usize),
+    Core(usize),
+}
+
+const DRAM_ID: ComponentId = 0;
+const LLC_ID: ComponentId = 1;
+
+/// The machine: shared DRAM/LLC, per-stream pack/cores/barrier, all
+/// driven by one [`EventQueue`].
+pub struct Machine {
+    params: MachineParams,
+    queue: EventQueue,
+    trace: Option<Trace>,
+    comps: Vec<Comp>,
+    dram: DramChannel,
+    llc: LlcPort,
+    packs: Vec<PackUnit>,
+    pack_comp: Vec<ComponentId>,
+    barrier_comp: Vec<ComponentId>,
+    core_comp_base: Vec<ComponentId>,
+    streams: Vec<StreamRt>,
+    now: Tick,
+    last_tick: Tick,
+    events: u64,
+}
+
+impl Machine {
+    /// Build a machine for the given streams.
+    pub fn new(params: MachineParams, specs: Vec<StreamSpec>, policy: TieBreak, trace: bool) -> Self {
+        let mut comps = vec![Comp::Dram, Comp::Llc];
+        let mut pack_comp = Vec::new();
+        let mut barrier_comp = Vec::new();
+        let mut core_comp_base = Vec::new();
+        let mut packs = Vec::new();
+        let mut streams = Vec::new();
+        for (s, spec) in specs.into_iter().enumerate() {
+            pack_comp.push(comps.len());
+            comps.push(Comp::Pack(s));
+            barrier_comp.push(comps.len());
+            comps.push(Comp::Barrier(s));
+            core_comp_base.push(comps.len());
+            for _ in 0..spec.cores.max(1) {
+                comps.push(Comp::Core(s));
+            }
+            packs.push(PackUnit::default());
+            let steps = spec.loads.len();
+            streams.push(StreamRt {
+                spec,
+                next_issue: 0,
+                completed: 0,
+                io_ready: vec![false; steps],
+                inflight: None,
+                arrivals_left: 0,
+                has_int_job: false,
+                cores_done_tick: 0,
+                llc_done_tick: 0,
+                ready_tick: 0,
+                stats: StreamStats::default(),
+            });
+        }
+        Self {
+            params,
+            queue: EventQueue::new(policy),
+            trace: if trace { Some(Trace::new(256)) } else { None },
+            comps,
+            dram: DramChannel::default(),
+            llc: LlcPort::default(),
+            packs,
+            pack_comp,
+            barrier_comp,
+            core_comp_base,
+            streams,
+            now: 0,
+            last_tick: 0,
+            events: 0,
+        }
+    }
+
+    fn record(&mut self, seq: u64, component: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(self.now, seq, component, detail());
+        }
+    }
+
+    /// Run to completion. Panics with the event trace if the schedule
+    /// wedges (a causality bug — the dynamic analogue of a deadlock found
+    /// by cake-verify's interleaving DFS).
+    pub fn run(mut self) -> MachineRun {
+        for s in 0..self.streams.len() {
+            self.try_issue(s);
+        }
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.tick;
+            self.last_tick = self.last_tick.max(ev.tick);
+            self.events += 1;
+            match self.comps[ev.comp] {
+                Comp::Dram => self.on_dram(ev.seq),
+                Comp::Llc => self.on_llc(ev.seq),
+                Comp::Pack(s) => self.on_pack(s, ev.seq),
+                Comp::Barrier(s) => self.on_barrier(s, ev.seq),
+                Comp::Core(s) => self.on_core(s, ev.seq),
+            }
+        }
+        for (i, st) in self.streams.iter().enumerate() {
+            assert!(
+                st.completed == st.spec.loads.len() && st.inflight.is_none(),
+                "stream {i} wedged at step {}/{} — schedule race; trace:\n{}",
+                st.completed,
+                st.spec.loads.len(),
+                self.trace
+                    .as_ref()
+                    .map(|t| t
+                        .events()
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n"))
+                    .unwrap_or_else(|| "(re-run with tracing for a witness)".into()),
+            );
+        }
+        assert!(self.dram.queue.is_empty() && !self.dram.busy, "DRAM jobs left undrained");
+        MachineRun {
+            ticks: self.last_tick,
+            events: self.events,
+            streams: self.streams.into_iter().map(|s| s.stats).collect(),
+            trace: self.trace.map(|t| t.events()).unwrap_or_default(),
+        }
+    }
+
+    // --- pack unit: double-buffered read look-ahead --------------------
+
+    fn try_issue(&mut self, s: usize) {
+        let st = &mut self.streams[s];
+        let mut kicked = false;
+        while st.next_issue < st.spec.loads.len() && st.next_issue < st.completed + READ_AHEAD {
+            self.packs[s].queue.push_back(st.next_issue);
+            st.next_issue += 1;
+            kicked = true;
+        }
+        if kicked {
+            self.kick_pack(s);
+        }
+    }
+
+    fn kick_pack(&mut self, s: usize) {
+        if !self.packs[s].busy && !self.packs[s].queue.is_empty() {
+            self.packs[s].busy = true;
+            let done = self.params.pack_clock.align_up(self.now + 1);
+            self.queue.push(done, self.pack_comp[s]);
+        }
+    }
+
+    fn on_pack(&mut self, s: usize, seq: u64) {
+        self.packs[s].busy = false;
+        let step = self.packs[s].queue.pop_front().expect("pack event without a job");
+        let bytes = self.streams[s].spec.loads[step].ext_read_bytes;
+        self.record(seq, "pack", || format!("stream {s} issue read step {step} ({bytes} B)"));
+        if bytes > 0 {
+            self.dram.queue.push_back(DramJob { stream: s, step, bytes, write: false });
+            self.kick_dram();
+        } else {
+            self.io_done(s, step);
+        }
+        self.kick_pack(s);
+    }
+
+    // --- DRAM channel: shared serial FIFO ------------------------------
+
+    fn kick_dram(&mut self) {
+        if !self.dram.busy {
+            if let Some(job) = self.dram.queue.front() {
+                self.dram.busy = true;
+                let edges = self.params.dram.edges(job.bytes);
+                let start = self.params.dram.clock.align_up(self.now);
+                let done = start + self.params.dram.clock.span(edges);
+                self.queue.push(done, DRAM_ID);
+            }
+        }
+    }
+
+    fn on_dram(&mut self, seq: u64) {
+        self.dram.busy = false;
+        let job = self.dram.queue.pop_front().expect("dram event without a job");
+        let st = &mut self.streams[job.stream];
+        if job.write {
+            st.stats.dram_write_bytes += job.bytes;
+        } else {
+            st.stats.dram_read_bytes += job.bytes;
+        }
+        st.stats.finish_tick = st.stats.finish_tick.max(self.now);
+        self.record(seq, "dram", || {
+            format!(
+                "stream {} {} step {} done ({} B)",
+                job.stream,
+                if job.write { "write" } else { "read" },
+                job.step,
+                job.bytes
+            )
+        });
+        if !job.write {
+            self.io_done(job.stream, job.step);
+        }
+        self.kick_dram();
+    }
+
+    fn io_done(&mut self, s: usize, step: usize) {
+        self.streams[s].io_ready[step] = true;
+        self.try_start_compute(s);
+    }
+
+    // --- compute units + LLC port --------------------------------------
+
+    fn try_start_compute(&mut self, s: usize) {
+        let st = &self.streams[s];
+        let step = st.completed;
+        if st.inflight.is_none() && step < st.spec.loads.len() && st.io_ready[step] {
+            self.start_compute(s, step);
+        }
+    }
+
+    fn start_compute(&mut self, s: usize, step: usize) {
+        let ld = self.streams[s].spec.loads[step];
+        let cores = self.streams[s].spec.cores.max(1);
+        let active = ld.active.clamp(1, cores);
+        let st = &mut self.streams[s];
+        st.inflight = Some(step);
+        st.stats.dram_wait_ticks += self.now - st.ready_tick;
+        st.cores_done_tick = 0;
+        st.llc_done_tick = 0;
+        st.has_int_job = ld.int_bytes > 0;
+        st.arrivals_left = active + usize::from(st.has_int_job);
+        // Even MAC split with the remainder spread one-per-core, each core
+        // waking when its share is done.
+        let base = ld.macs / active as u64;
+        let rem = (ld.macs % active as u64) as usize;
+        for i in 0..active {
+            let share = base + u64::from(i < rem);
+            let cycles = ((share as f64 / self.params.macs_per_cycle).ceil() as u64).max(1);
+            self.queue.push(self.now + cycles, self.core_comp_base[s] + i);
+        }
+        if ld.int_bytes > 0 {
+            self.llc.queue.push_back(LlcJob { stream: s, bytes: ld.int_bytes });
+            self.kick_llc();
+        }
+    }
+
+    fn kick_llc(&mut self) {
+        if !self.llc.busy {
+            if let Some(job) = self.llc.queue.front() {
+                self.llc.busy = true;
+                let edges = self.params.llc.edges(job.bytes);
+                let start = self.params.llc.clock.align_up(self.now);
+                let done = start + self.params.llc.clock.span(edges);
+                self.queue.push(done, LLC_ID);
+            }
+        }
+    }
+
+    fn on_llc(&mut self, seq: u64) {
+        self.llc.busy = false;
+        let job = self.llc.queue.pop_front().expect("llc event without a job");
+        let st = &mut self.streams[job.stream];
+        st.llc_done_tick = self.now;
+        st.stats.int_bytes += job.bytes;
+        self.record(seq, "llc", || format!("stream {} int {} B done", job.stream, job.bytes));
+        self.arrive(job.stream);
+        self.kick_llc();
+    }
+
+    fn on_core(&mut self, s: usize, seq: u64) {
+        let st = &mut self.streams[s];
+        st.cores_done_tick = st.cores_done_tick.max(self.now);
+        self.record(seq, "core", || format!("stream {s} core share done"));
+        self.arrive(s);
+    }
+
+    fn arrive(&mut self, s: usize) {
+        let st = &mut self.streams[s];
+        debug_assert!(st.arrivals_left > 0, "arrival with no step in flight");
+        st.arrivals_left -= 1;
+        if st.arrivals_left == 0 {
+            // Rotation barrier releases one core-clock edge after the last
+            // arrival.
+            self.queue.push(self.now + 1, self.barrier_comp[s]);
+        }
+    }
+
+    fn on_barrier(&mut self, s: usize, seq: u64) {
+        let step = self.streams[s].inflight.take().expect("barrier without a step in flight");
+        let ld = self.streams[s].spec.loads[step];
+        let st = &mut self.streams[s];
+        if st.has_int_job {
+            st.stats.int_excess_ticks += st.llc_done_tick.saturating_sub(st.cores_done_tick);
+        }
+        st.completed += 1;
+        st.ready_tick = self.now;
+        st.stats.steps += 1;
+        st.stats.macs += ld.macs;
+        st.stats.finish_tick = st.stats.finish_tick.max(self.now);
+        self.record(seq, "barrier", || format!("stream {s} step {step} complete"));
+        if ld.ext_write_bytes > 0 {
+            self.dram.queue.push_back(DramJob {
+                stream: s,
+                step,
+                bytes: ld.ext_write_bytes,
+                write: true,
+            });
+            self.kick_dram();
+        }
+        self.try_issue(s);
+        self.try_start_compute(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MachineParams {
+        MachineParams {
+            freq_ghz: 1.0,
+            macs_per_cycle: 1.0,
+            dram: PortSpec { clock: Clock::new(2), bytes_per_edge: 8.0 },
+            llc: PortSpec { clock: Clock::new(1), bytes_per_edge: 64.0 },
+            pack_clock: Clock::new(1),
+        }
+    }
+
+    fn step(macs: u64, active: usize, rd: u64, wr: u64, int: u64) -> StepLoad {
+        StepLoad { macs, active, ext_read_bytes: rd, ext_write_bytes: wr, int_bytes: int }
+    }
+
+    fn run_one(loads: Vec<StepLoad>, cores: usize, policy: TieBreak) -> MachineRun {
+        Machine::new(params(), vec![StreamSpec { loads, cores }], policy, false).run()
+    }
+
+    #[test]
+    fn empty_stream_finishes_at_tick_zero() {
+        let run = run_one(vec![], 2, TieBreak::Fifo);
+        assert_eq!(run.ticks, 0);
+        assert_eq!(run.streams[0].steps, 0);
+        assert_eq!(run.streams[0].dram_bytes(), 0);
+    }
+
+    #[test]
+    fn counters_sum_all_jobs_exactly() {
+        let loads = vec![step(100, 2, 64, 0, 32), step(100, 2, 16, 128, 32), step(50, 1, 0, 8, 16)];
+        let run = run_one(loads.clone(), 2, TieBreak::Fifo);
+        let st = &run.streams[0];
+        assert_eq!(st.dram_read_bytes, 80);
+        assert_eq!(st.dram_write_bytes, 136);
+        assert_eq!(st.int_bytes, 80);
+        assert_eq!(st.macs, 250);
+        assert_eq!(st.steps, 3);
+        assert!(run.ticks > 0 && run.events > 0);
+    }
+
+    #[test]
+    fn io_overlaps_compute_between_steps() {
+        // Two identical steps: with double buffering the second step's read
+        // (8k cycles: 32 kB at 4 B/cycle) streams entirely during the first
+        // step's 10k-cycle compute, so only the first read is exposed.
+        let big = step(10_000, 1, 32_000, 0, 0);
+        let run = run_one(vec![big, big], 1, TieBreak::Fifo);
+        let serial = 2 * (10_000 + 8_000);
+        let pipelined = 8_000 + 2 * 10_000;
+        assert!(
+            run.ticks < pipelined as u64 + 100,
+            "no overlap: {} ticks (serial would be {serial})",
+            run.ticks
+        );
+    }
+
+    #[test]
+    fn dram_bound_stream_records_stalls() {
+        // Reads far outweigh compute: the cores must wait on the channel
+        // most of the time.
+        let loads = vec![step(10, 1, 4096, 0, 0); 8];
+        let run = run_one(loads, 1, TieBreak::Fifo);
+        let st = &run.streams[0];
+        assert!(
+            st.dram_wait_ticks > run.ticks / 2,
+            "expected DRAM-bound: waited {} of {}",
+            st.dram_wait_ticks,
+            run.ticks
+        );
+    }
+
+    #[test]
+    fn llc_bound_step_records_internal_excess() {
+        let mut p = params();
+        p.llc.bytes_per_edge = 1.0; // strangle the internal port
+        let loads = vec![step(10, 1, 8, 0, 1000)];
+        let run = Machine::new(p, vec![StreamSpec { loads, cores: 1 }], TieBreak::Fifo, false).run();
+        assert!(run.streams[0].int_excess_ticks > 500);
+    }
+
+    #[test]
+    fn fuzzed_orderings_keep_counters_invariant() {
+        let loads: Vec<StepLoad> =
+            (0..12).map(|i| step(64 + i, 3, 48, if i % 4 == 3 { 96 } else { 0 }, 40)).collect();
+        let base = run_one(loads.clone(), 3, TieBreak::Fifo);
+        for seed in 0..32 {
+            let fz = run_one(loads.clone(), 3, TieBreak::Fuzzed { seed });
+            assert_eq!(fz.streams[0].dram_read_bytes, base.streams[0].dram_read_bytes);
+            assert_eq!(fz.streams[0].dram_write_bytes, base.streams[0].dram_write_bytes);
+            assert_eq!(fz.streams[0].int_bytes, base.streams[0].int_bytes);
+            assert_eq!(fz.streams[0].macs, base.streams[0].macs);
+            assert_eq!(fz.streams[0].steps, base.streams[0].steps);
+        }
+    }
+
+    #[test]
+    fn two_streams_contend_on_shared_dram() {
+        // A DRAM-hungry stream slows down when a second identical stream
+        // shares the channel.
+        let loads = vec![step(50, 1, 2048, 0, 0); 6];
+        let solo = run_one(loads.clone(), 1, TieBreak::Fifo);
+        let both = Machine::new(
+            params(),
+            vec![
+                StreamSpec { loads: loads.clone(), cores: 1 },
+                StreamSpec { loads, cores: 1 },
+            ],
+            TieBreak::Fifo,
+            false,
+        )
+        .run();
+        assert!(
+            both.streams[0].finish_tick > solo.streams[0].finish_tick,
+            "contention had no effect: solo {} vs shared {}",
+            solo.streams[0].finish_tick,
+            both.streams[0].finish_tick
+        );
+        // Both tenants' traffic still lands exactly.
+        assert_eq!(both.streams[0].dram_read_bytes, solo.streams[0].dram_read_bytes);
+        assert_eq!(both.streams[1].dram_read_bytes, solo.streams[0].dram_read_bytes);
+    }
+
+    #[test]
+    fn trace_records_component_activity() {
+        let loads = vec![step(10, 1, 64, 32, 16)];
+        let run = Machine::new(
+            params(),
+            vec![StreamSpec { loads, cores: 1 }],
+            TieBreak::Fifo,
+            true,
+        )
+        .run();
+        assert!(!run.trace.is_empty());
+        let comps: Vec<&str> = run.trace.iter().map(|e| e.component).collect();
+        for want in ["pack", "dram", "core", "llc", "barrier"] {
+            assert!(comps.contains(&want), "trace missing {want}: {comps:?}");
+        }
+    }
+}

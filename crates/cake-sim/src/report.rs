@@ -2,7 +2,10 @@
 //! harness (CSV rows, figure series).
 
 /// Outcome of simulating one GEMM on one CPU configuration.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is derived so determinism tests can assert bit-identical
+/// reports (same engine, same seed ⇒ same floats, exactly).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// CPU name.
     pub cpu: String,
@@ -31,6 +34,14 @@ pub struct SimReport {
     pub internal_stall_seconds: f64,
     /// Number of blocks / rounds executed.
     pub steps: usize,
+    /// MAC operations executed (must equal `m * k * n` for a real run).
+    pub macs: u64,
+    /// Bytes moved over the internal (LLC<->core) port.
+    pub int_bytes: u64,
+    /// Discrete events processed (0 for the closed-form oracle).
+    pub events: u64,
+    /// Engine that produced the report: "event" or "closed-form".
+    pub engine: String,
 }
 
 impl SimReport {
@@ -50,13 +61,13 @@ impl SimReport {
 
     /// CSV header matching [`Self::csv_row`].
     pub fn csv_header() -> &'static str {
-        "cpu,algo,p,m,k,n,seconds,gflops,dram_bytes,avg_dram_bw_gbs,dram_stall_s,internal_stall_s,steps"
+        "cpu,algo,p,m,k,n,seconds,gflops,dram_bytes,avg_dram_bw_gbs,dram_stall_s,internal_stall_s,steps,macs,int_bytes,events,engine"
     }
 
     /// One CSV row.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{:.6e},{:.3},{},{:.4},{:.6e},{:.6e},{}",
+            "{},{},{},{},{},{},{:.6e},{:.3},{},{:.4},{:.6e},{:.6e},{},{},{},{},{}",
             self.cpu,
             self.algo,
             self.p,
@@ -69,7 +80,11 @@ impl SimReport {
             self.avg_dram_bw_gbs,
             self.dram_stall_seconds,
             self.internal_stall_seconds,
-            self.steps
+            self.steps,
+            self.macs,
+            self.int_bytes,
+            self.events,
+            self.engine
         )
     }
 }
@@ -111,6 +126,10 @@ mod tests {
             dram_stall_seconds: 0.1,
             internal_stall_seconds: 0.05,
             steps: 7,
+            macs: 1_000_000,
+            int_bytes: 2_000_000,
+            events: 42,
+            engine: "event".into(),
         }
     }
 

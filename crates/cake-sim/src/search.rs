@@ -128,6 +128,35 @@ pub fn analytic_point(cpu: &CpuConfig, n: usize, p: usize) -> DesignPoint {
     }
 }
 
+/// Rank of the closed-form shape against a search result: `(rank, field)`
+/// where `rank` is 1-based among *feasible* points ordered by simulated
+/// seconds (the analytic point inserted into the field), and `field` is the
+/// number of feasible candidates. Rank 1 means the closed form beat every
+/// searched design.
+pub fn analytic_rank(res: &SearchResult, analytic: &DesignPoint) -> (usize, usize) {
+    let feasible: Vec<f64> =
+        res.points.iter().filter(|p| p.fits_llc).map(|p| p.seconds).collect();
+    let faster = feasible.iter().filter(|s| **s < analytic.seconds).count();
+    (faster + 1, feasible.len())
+}
+
+/// Position of the closed-form shape in the searched performance spread:
+/// `(analytic - best) / (worst - best)` over feasible points, in `[0, 1]`
+/// (0 = matches the exhaustive optimum, 1 = as slow as the worst feasible
+/// design). This is the robust "top decile" metric: ordinal rank is
+/// meaningless in the flat basin around the optimum, where dozens of
+/// near-identical blockings differ by fractions of a percent.
+pub fn performance_position(res: &SearchResult, analytic: &DesignPoint) -> f64 {
+    let feasible: Vec<f64> =
+        res.points.iter().filter(|p| p.fits_llc).map(|p| p.seconds).collect();
+    let best = feasible.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = feasible.iter().copied().fold(0.0_f64, f64::max);
+    if worst <= best {
+        return 0.0;
+    }
+    ((analytic.seconds - best) / (worst - best)).max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +240,36 @@ mod tests {
         let res = grid_search(&cpu, 1000, 4, 5);
         assert!(res.points.iter().any(|p| !p.fits_llc), "grid should cover infeasible region");
         assert!(res.best_point().fits_llc);
+    }
+    #[test]
+    fn exhaustive_search_ranks_closed_form_shape_in_top_decile() {
+        // Regression gate for the "no design search" claim on the new
+        // event engine: over a dense exhaustive grid, the closed-form
+        // shape must rank within the top decile of feasible designs on
+        // both a compute-bound and a bandwidth-starved machine.
+        for (cpu, n, p) in [
+            (CpuConfig::intel_i9_10900k(), 4608, 8),
+            (CpuConfig::arm_cortex_a53(), 3000, 4),
+        ] {
+            let res = grid_search(&cpu, n, p, 12);
+            let analytic = analytic_point(&cpu, n, p);
+            let pos = performance_position(&res, &analytic);
+            let (rank, field) = analytic_rank(&res, &analytic);
+            assert!(
+                pos <= 0.10,
+                "{}: closed form at {:.1}% of the searched spread (rank {rank}/{field})",
+                cpu.name,
+                pos * 100.0
+            );
+            // And anything that does nose it out is within a couple percent
+            // — the basin around the optimum, not a genuinely better design.
+            let best = res.best_point().seconds;
+            assert!(
+                analytic.seconds <= best * 1.05,
+                "{}: analytic {:.4}s vs searched best {best:.4}s",
+                cpu.name,
+                analytic.seconds
+            );
+        }
     }
 }

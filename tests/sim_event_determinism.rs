@@ -1,0 +1,108 @@
+//! Determinism and ordering-invariance checks for the discrete-event
+//! simulator.
+//!
+//! Two properties gate the event core:
+//!
+//! 1. **Reproducibility**: the engine is a pure function of its inputs —
+//!    the same problem under the same tie-break policy (FIFO or any fuzzed
+//!    seed) yields a bit-identical `SimReport`, floats included.
+//! 2. **Ordering invariance**: same-tick events may execute in any order
+//!    (seeded permutations via `TieBreak::Fuzzed`) without changing any
+//!    traffic or result counter. A divergence would be a schedule race —
+//!    the dynamic analogue of what cake-verify's interleaving DFS proves
+//!    statically for the executor's panel-ring protocol — and is reported
+//!    with the event trace as a witness.
+
+use cake::sim::config::CpuConfig;
+use cake::sim::engine::{
+    check_ordering_invariance, simulate_opts, Algo, SimOptions, SimParams,
+};
+use cake::sim::event::TieBreak;
+use proptest::prelude::*;
+
+const FUZZ_SEEDS: u64 = 64;
+
+fn table2(which: usize) -> CpuConfig {
+    CpuConfig::table2().swap_remove(which % 3)
+}
+
+#[test]
+fn sixty_four_fuzzed_orderings_per_table2_cpu_leave_counters_invariant() {
+    // The acceptance gate: >= 64 seeds per Table-2 config, both
+    // schedules, a ragged problem so edge blocks and partial panels are
+    // in play.
+    let sp_of = |cores: usize| SimParams::new(200, 168, 184, cores.min(4));
+    for cpu in CpuConfig::table2() {
+        let sp = sp_of(cpu.cores);
+        for algo in [Algo::Cake, Algo::Goto] {
+            match check_ordering_invariance(&cpu, &sp, algo, FUZZ_SEEDS) {
+                Ok(n) => assert_eq!(n, FUZZ_SEEDS),
+                Err(d) => panic!("{} {algo:?}: {d}", cpu.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn fifo_reports_are_bit_identical_across_runs() {
+    for cpu in CpuConfig::table2() {
+        let sp = SimParams::square(256, cpu.cores.min(4));
+        for algo in [Algo::Cake, Algo::Goto] {
+            let a = simulate_opts(&cpu, &sp, algo, SimOptions::default());
+            let b = simulate_opts(&cpu, &sp, algo, SimOptions::default());
+            assert_eq!(a, b, "{} {algo:?} FIFO not reproducible", cpu.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_seed_gives_bit_identical_reports(
+        m in 16usize..220,
+        k in 16usize..200,
+        n in 16usize..220,
+        p in prop::sample::select(vec![1usize, 2, 4, 8]),
+        cpu_idx in 0usize..3,
+        seed in 0u64..1024,
+        cake in any::<bool>(),
+    ) {
+        let cpu = table2(cpu_idx);
+        let sp = SimParams::new(m, k, n, p);
+        let algo = if cake { Algo::Cake } else { Algo::Goto };
+        let opts = SimOptions { tie_break: TieBreak::Fuzzed { seed }, trace: false };
+        let a = simulate_opts(&cpu, &sp, algo, opts);
+        let b = simulate_opts(&cpu, &sp, algo, opts);
+        // Bit-identical across the whole report: counters AND floats.
+        prop_assert_eq!(&a, &b);
+        // And the work done is the problem, exactly.
+        prop_assert_eq!(a.macs, (m * k * n) as u64);
+    }
+
+    #[test]
+    fn fuzzed_counters_match_fifo_baseline(
+        m in 16usize..180,
+        k in 16usize..160,
+        n in 16usize..180,
+        p in prop::sample::select(vec![1usize, 2, 4]),
+        cpu_idx in 0usize..3,
+        seed in 0u64..1024,
+        cake in any::<bool>(),
+    ) {
+        let cpu = table2(cpu_idx);
+        let sp = SimParams::new(m, k, n, p);
+        let algo = if cake { Algo::Cake } else { Algo::Goto };
+        let fifo = simulate_opts(&cpu, &sp, algo, SimOptions::default());
+        let fz = simulate_opts(
+            &cpu,
+            &sp,
+            algo,
+            SimOptions { tie_break: TieBreak::Fuzzed { seed }, trace: false },
+        );
+        prop_assert_eq!(fifo.dram_bytes, fz.dram_bytes);
+        prop_assert_eq!(fifo.int_bytes, fz.int_bytes);
+        prop_assert_eq!(fifo.macs, fz.macs);
+        prop_assert_eq!(fifo.steps, fz.steps);
+    }
+}

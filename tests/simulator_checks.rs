@@ -125,3 +125,122 @@ fn llc_override_scales_block_and_cuts_traffic() {
     let t_large = simulate_cake(&cpu, &large).dram_bytes;
     assert!(t_large <= t_small);
 }
+
+// ---------------------------------------------------------------------------
+// Differential checks: discrete-event engine vs the feature-gated
+// closed-form oracle and the packet-level functional simulator.
+// ---------------------------------------------------------------------------
+
+/// Every `SimParams` case exercised above, as (cpu, params) pairs.
+fn all_cases() -> Vec<(CpuConfig, SimParams)> {
+    let intel = CpuConfig::intel_i9_10900k();
+    let amd = CpuConfig::amd_ryzen_9_5950x();
+    let arm = CpuConfig::arm_cortex_a53();
+    let mut cases = vec![
+        (intel.clone(), SimParams::square(4608, 2)),
+        (intel.clone(), SimParams::square(4608, 4)),
+        (intel.clone(), SimParams::square(4608, 8)),
+        (intel.clone(), SimParams::square(11520, 10)),
+        (arm.clone(), SimParams::square(3000, 1)),
+        (arm.clone(), SimParams::square(3000, 4)),
+        (arm.clone(), SimParams::square(2000, 1)),
+        (arm, SimParams::square(2000, 2)),
+        (amd, SimParams::square(3072, 8)),
+    ];
+    let mut small = SimParams::square(4608, 8);
+    small.llc_bytes_override = Some(intel.llc_bytes / 4);
+    let mut large = SimParams::square(4608, 8);
+    large.llc_bytes_override = Some(intel.llc_bytes * 4);
+    cases.push((intel.clone(), small));
+    cases.push((intel, large));
+    cases
+}
+
+#[test]
+fn event_engine_traffic_equals_closed_form_oracle_u64_exactly() {
+    // Both engines consume the same lowered `StepLoad` streams, so every
+    // traffic and work counter must agree bit-for-bit on every case this
+    // file exercises — for both schedules.
+    use cake::sim::closed_form;
+    for (cpu, sp) in all_cases() {
+        let ev = simulate_cake(&cpu, &sp);
+        let cf = closed_form::simulate_cake(&cpu, &sp);
+        assert_eq!(ev.dram_bytes, cf.dram_bytes, "{} {sp:?} cake dram", cpu.name);
+        assert_eq!(ev.int_bytes, cf.int_bytes, "{} {sp:?} cake int", cpu.name);
+        assert_eq!(ev.macs, cf.macs, "{} {sp:?} cake macs", cpu.name);
+        assert_eq!(ev.steps, cf.steps, "{} {sp:?} cake steps", cpu.name);
+
+        let ev = simulate_goto(&cpu, &sp);
+        let cf = closed_form::simulate_goto(&cpu, &sp);
+        assert_eq!(ev.dram_bytes, cf.dram_bytes, "{} {sp:?} goto dram", cpu.name);
+        assert_eq!(ev.int_bytes, cf.int_bytes, "{} {sp:?} goto int", cpu.name);
+        assert_eq!(ev.macs, cf.macs, "{} {sp:?} goto macs", cpu.name);
+        assert_eq!(ev.steps, cf.steps, "{} {sp:?} goto steps", cpu.name);
+    }
+}
+
+#[test]
+fn event_engine_cycle_counts_near_closed_form_oracle() {
+    // Timing is where the engines legitimately differ: the closed form
+    // takes a per-step max(compute, dram, internal) while the event core
+    // plays out causality (read-ahead, posted writes, barrier edges,
+    // clock-divider rounding). The documented differential tolerance is
+    // 30% (see DESIGN.md §11); a timing-model regression in either
+    // engine trips it.
+    use cake::sim::closed_form;
+    for (cpu, sp) in all_cases() {
+        let ev = simulate_cake(&cpu, &sp);
+        let cf = closed_form::simulate_cake(&cpu, &sp);
+        let ratio = ev.seconds / cf.seconds;
+        assert!(
+            (0.70..=1.30).contains(&ratio),
+            "{} {sp:?} cake: event {:.4}s vs closed-form {:.4}s (x{ratio:.3})",
+            cpu.name,
+            ev.seconds,
+            cf.seconds
+        );
+        let ev = simulate_goto(&cpu, &sp);
+        let cf = closed_form::simulate_goto(&cpu, &sp);
+        let ratio = ev.seconds / cf.seconds;
+        assert!(
+            (0.70..=1.30).contains(&ratio),
+            "{} {sp:?} goto: event {:.4}s vs closed-form {:.4}s (x{ratio:.3})",
+            cpu.name,
+            ev.seconds,
+            cf.seconds
+        );
+    }
+}
+
+#[test]
+fn event_engine_traffic_equals_packet_simulator_byte_counts() {
+    // The packet machine counts tile transfers functionally (real
+    // dataflow, HoldInLlc residency); the event engine counts bytes from
+    // the lowered schedule. On a CPU without write-allocate the two must
+    // agree u64-exactly: bytes == tiles * elem_bytes.
+    use cake::matrix::init;
+    use cake::sim::packet::{simulate_packets, PacketSimConfig};
+    let mut cpu = CpuConfig::intel_i9_10900k();
+    assert!(!cpu.write_allocate);
+    // Packet tiles carry one element each; the engine books 4-byte f32.
+    let elem_bytes = 4u64;
+    for (p, k_grid, alpha, m, k, n) in
+        [(2usize, 4usize, 1usize, 32usize, 24usize, 40usize), (2, 2, 2, 20, 16, 28), (4, 3, 2, 48, 27, 72)]
+    {
+        let cfg = PacketSimConfig::balanced(p, k_grid, alpha, 4.0);
+        let (bm, bk, bn) = cfg.block_dims();
+        let a = init::random::<f64>(m, k, 11);
+        let b = init::random::<f64>(k, n, 12);
+        let (_, res) = simulate_packets(&a, &b, &cfg).unwrap();
+
+        cpu.cores = p.max(cpu.cores);
+        let shape = cake::core::shape::CbBlockShape::fixed(p, bm / p, bk, bn);
+        let sp = SimParams::new(m, k, n, p);
+        let rep = simulate_cake_with_shape(&cpu, &sp, &shape);
+        assert_eq!(
+            rep.dram_bytes,
+            res.dram_tile_transfers * elem_bytes,
+            "p={p} k_grid={k_grid} alpha={alpha} {m}x{k}x{n}"
+        );
+    }
+}
