@@ -7,6 +7,9 @@
 #   ./ci.sh --scale-smoke  one p=4 GEMM sweep asserting pack counters match p=1
 #   ./ci.sh --kernel-smoke one GEMM per available kernel tier (portable/avx2/
 #                          avx512) asserting pack counters are tier-invariant
+#   ./ci.sh --dtype-smoke  one GEMM per supported dtype (f32/f64/bf16/int8)
+#                          asserting element counters are dtype-invariant and
+#                          every dtype's warm path runs allocation-free
 #   ./ci.sh --sim-smoke    one deterministic + one fuzzed-ordering event-
 #                          simulator run per Table-2 CPU; exits 1 if any
 #                          same-tick permutation moves a traffic counter
@@ -83,6 +86,16 @@ run_kernel_smoke() {
         gemm --m 192 --k 192 --n 192 --kernel-smoke
 }
 
+run_dtype_smoke() {
+    # The narrow-dtype gate: every dtype (f32/f64/bf16/int8) must move
+    # exactly the same packed *elements* on one fixed block grid — element
+    # movement is a schedule property, only bytes-per-element changes —
+    # and every dtype's post-warmup iterations must run allocation-free.
+    echo "==> dtype smoke: one GEMM per dtype, element counters must be dtype-invariant"
+    cargo run --release -p cake-bench --bin cakectl -- \
+        gemm --m 192 --k 192 --n 192 --dtype-smoke
+}
+
 run_sim_smoke() {
     # The discrete-event simulator gate: for each Table-2 CPU, one
     # deterministic run (FIFO tie-break) and one 64-seed fuzzed-ordering
@@ -138,6 +151,12 @@ if [[ "${1:-}" == "--kernel-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--dtype-smoke" ]]; then
+    run_dtype_smoke
+    echo "==> ci.sh: dtype smoke passed"
+    exit 0
+fi
+
 if [[ "${1:-}" == "--sim-smoke" ]]; then
     run_sim_smoke
     echo "==> ci.sh: sim smoke passed"
@@ -171,6 +190,7 @@ if [[ "${1:-}" != "--fast" ]]; then
     run_verify
     run_scale_smoke
     run_kernel_smoke
+    run_dtype_smoke
     run_sim_smoke
 
     echo "==> bench snapshot (writes BENCH_gemm.json)"

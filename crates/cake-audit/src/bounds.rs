@@ -417,12 +417,13 @@ pub fn sites() -> Vec<Site> {
             place: "cake-kernels/src/edge.rs: run_tile scratch[i*nr + j], scratch len MAX_TILE",
             need: v("mr").times(v("nr")),
             cap: c(cake_kernels::edge::MAX_TILE as i128),
-            // The entire declared kernel-shape domain (mr <= 14, nr <= 32
-            // across every kernel this crate can select — the AVX-512 f32
-            // 14x32 tile is the corner that saturates MAX_TILE exactly).
-            // Lemma L6 ties these bounds to the real REGISTERED_SHAPES.
-            ranges: vec![("mr", 1, 14), ("nr", 1, 32)],
-            constraint: None,
+            // The entire declared kernel-shape domain: every selectable
+            // kernel fits (mr <= 14, nr <= 32) — where the AVX-512 f32/bf16
+            // 14x32 tile saturates MAX_TILE exactly — except the VNNI int8
+            // 16x16 tile, admitted through the (mr <= 16, nr <= 16) lobe.
+            // Lemma L6 ties this carved box to the real REGISTERED_SHAPES.
+            ranges: vec![("mr", 1, 16), ("nr", 1, 32)],
+            constraint: Some(|e| e["mr"] <= 14 || e["nr"] <= 16),
             corner_subst: vec![],
             finite_domain: true,
         },
@@ -514,6 +515,118 @@ pub fn sites() -> Vec<Site> {
             constraint: None,
             corner_subst: vec![],
             finite_domain: true,
+        },
+        // ---- narrow-dtype microkernels (avx512.rs / avx2.rs) ----
+        // The VNNI int8 kernel consumes K in groups of four: each group
+        // load reads the 64 bytes at byte offset k0*16 (MR = NR = 16, one
+        // byte per i8), with the loop guaranteeing k0 + 4 <= kc. The same
+        // site covers the A and B loads — identical offset and extent.
+        Site {
+            name: "avx512_vnni_group_read",
+            place: "cake-kernels/src/avx512.rs: vnni i8 64B group load a/b.add(k0*16), k0+4 <= kc",
+            need: v("k0").times(c(16)).plus(c(64)),
+            cap: v("kc").times(c(16)),
+            ranges: vec![("k0", 0, 8), ("kc", 1, 12)],
+            constraint: Some(|e| e["k0"] + 4 <= e["kc"]),
+            corner_subst: vec![("k0", v("kc").minus(c(4)))],
+            finite_domain: false,
+        },
+        // The K tail is byte-masked to rem*16 live bytes at offset k0*16,
+        // with k0 = kc - rem by construction: the masked extent ends at
+        // exactly kc*16, the packed sliver length.
+        Site {
+            name: "avx512_vnni_tail_read",
+            place: "cake-kernels/src/avx512.rs: vnni i8 masked tail load, rem*16 bytes at k0*16",
+            need: v("k0").plus(v("rem")).times(c(16)),
+            cap: v("kc").times(c(16)),
+            ranges: vec![("k0", 0, 9), ("rem", 1, 3), ("kc", 1, 12)],
+            constraint: Some(|e| e["k0"] + e["rem"] == e["kc"]),
+            corner_subst: vec![("k0", v("kc").minus(v("rem")))],
+            finite_domain: false,
+        },
+        // Contiguous-C fast path: a full 16-lane i32 row load/store at
+        // c + i*rsc. One past its last lane is i*rsc + 16; the UkrFn
+        // contract (csc = 1, i < 16, j < 16) makes 15*rsc + 16 the cap.
+        Site {
+            name: "avx512_vnni_c_row_vec",
+            place: "cake-kernels/src/avx512.rs: vnni i8 C row vector, c.add(i*rsc) 16 lanes",
+            need: v("i").times(v("rsc")).plus(c(16)),
+            cap: c(15).times(v("rsc")).plus(c(16)),
+            ranges: vec![("i", 0, 15), ("rsc", 1, 3)],
+            constraint: None,
+            corner_subst: vec![("i", c(15))],
+            finite_domain: false,
+        },
+        // The bf16 kernel loads one full 32-element B row per K step
+        // (64 bytes at word offset k0*32) and a 14-word-masked A row
+        // (offset k0*14), both guarded by k0 < kc.
+        Site {
+            name: "avx512_bf16_b_row_read",
+            place: "cake-kernels/src/avx512.rs: bf16 B row load b.add(k0*32), k0 < kc",
+            need: v("k0").plus(c(1)).times(c(32)),
+            cap: v("kc").times(c(32)),
+            ranges: vec![("k0", 0, 7), ("kc", 1, 8)],
+            constraint: Some(|e| e["k0"] < e["kc"]),
+            corner_subst: vec![("k0", v("kc").minus(c(1)))],
+            finite_domain: false,
+        },
+        Site {
+            name: "avx512_bf16_a_row_read",
+            place: "cake-kernels/src/avx512.rs: bf16 A masked row load a.add(k0*14), 14 live words",
+            need: v("k0").times(c(14)).plus(c(14)),
+            cap: v("kc").times(c(14)),
+            ranges: vec![("k0", 0, 7), ("kc", 1, 8)],
+            constraint: Some(|e| e["k0"] < e["kc"]),
+            corner_subst: vec![("k0", v("kc").minus(c(1)))],
+            finite_domain: false,
+        },
+        // Contiguous-C fast path: two 16-lane f32 vectors per row, the
+        // second at row + 16, reaching i*rsc + 32; cap from the contract's
+        // (i < 14, j < 32, csc = 1) corner.
+        Site {
+            name: "avx512_bf16_c_row_pair",
+            place: "cake-kernels/src/avx512.rs: bf16 C row pair, loadu_ps(row) + loadu_ps(row+16)",
+            need: v("i").times(v("rsc")).plus(c(32)),
+            cap: c(13).times(v("rsc")).plus(c(32)),
+            ranges: vec![("i", 0, 13), ("rsc", 1, 3)],
+            constraint: None,
+            corner_subst: vec![("i", c(13))],
+            finite_domain: false,
+        },
+        // AVX2 narrow kernels (i8 4x8 and bf16 4x8) read one 8-element B
+        // row per K step (8 bytes / 16 bytes, element offsets identical)
+        // and 4 scalar A elements at k*4 + i, i < 4.
+        Site {
+            name: "avx2_narrow_b_row_read",
+            place: "cake-kernels/src/avx2.rs: i8/bf16 B row load b.add(k*8), 8 elements, k < kc",
+            need: v("k").times(c(8)).plus(c(8)),
+            cap: v("kc").times(c(8)),
+            ranges: vec![("k", 0, 7), ("kc", 1, 8)],
+            constraint: Some(|e| e["k"] < e["kc"]),
+            corner_subst: vec![("k", v("kc").minus(c(1)))],
+            finite_domain: false,
+        },
+        Site {
+            name: "avx2_narrow_a_read",
+            place: "cake-kernels/src/avx2.rs: i8/bf16 A scalar reads a.add(k*4 + i), i < 4, k < kc",
+            need: v("k").times(c(4)).plus(c(4)),
+            cap: v("kc").times(c(4)),
+            ranges: vec![("k", 0, 7), ("kc", 1, 8)],
+            constraint: Some(|e| e["k"] < e["kc"]),
+            corner_subst: vec![("k", v("kc").minus(c(1)))],
+            finite_domain: false,
+        },
+        // Contiguous-C fast path: one 8-lane vector per row at c + i*rsc,
+        // i < 4 from the 4x8 tile contract.
+        Site {
+            name: "avx2_narrow_c_row_vec",
+            place: "cake-kernels/src/avx2.rs: i8/bf16 C row vector, c.add(i*rsc) 8 lanes",
+            need: v("i").times(v("rsc")).plus(c(8)),
+            cap: c(3).times(v("rsc")).plus(c(8)),
+            ranges: vec![("i", 0, 3), ("rsc", 1, 3)],
+            constraint: None,
+            corner_subst: vec![("i", c(3))],
+            finite_domain: false,
         },
         // ---- goto baseline (cake-goto/src/loops5.rs) ----
         Site {
@@ -631,6 +744,32 @@ pub fn mutant_sites() -> Vec<Site> {
             cap: v("kc").times(c(32)),
             ranges: vec![("kc", 1, 8)],
             constraint: None,
+            corner_subst: vec![],
+            finite_domain: false,
+        },
+        Site {
+            name: "mutant_vnni_group_guard_slipped",
+            place: "seeded: vnni i8 group loop guarded k0+3 <= kc instead of k0+4 <= kc",
+            // The 64-byte group load still reads 4 K rows; admitting
+            // k0 = kc-3 makes the last group read 16 bytes past the
+            // sliver. Refuted at (k0, kc) = (0, 3).
+            need: v("k0").times(c(16)).plus(c(64)),
+            cap: v("kc").times(c(16)),
+            ranges: vec![("k0", 0, 8), ("kc", 1, 12)],
+            constraint: Some(|e| e["k0"] + 3 <= e["kc"]),
+            corner_subst: vec![],
+            finite_domain: false,
+        },
+        Site {
+            name: "mutant_bf16_tail_reads_pair_row",
+            place: "seeded: bf16 odd-K tail loads row k0+1 instead of a zero register",
+            // Pairing the final K row with a real load of the next row
+            // reads one full 32-word row past the sliver. Refuted at
+            // k0 = kc-1.
+            need: v("k0").plus(c(2)).times(c(32)),
+            cap: v("kc").times(c(32)),
+            ranges: vec![("k0", 0, 7), ("kc", 1, 8)],
+            constraint: Some(|e| e["k0"] < e["kc"]),
             corner_subst: vec![],
             finite_domain: false,
         },
@@ -862,9 +1001,10 @@ pub fn lemmas() -> (Vec<String>, Vec<String>) {
 
     // L6: every kernel tile shape the crate can ever dispatch — the real
     // REGISTERED_SHAPES registry, detection-independent — fits the edge
-    // scratch (MAX_TILE) and lies inside the box the edge_scratch_tile
-    // site enumerates (mr <= 14, nr <= 32). A new kernel that outgrows
-    // either bound fails here even on hosts that cannot execute it.
+    // scratch (MAX_TILE) and lies inside the carved domain the
+    // edge_scratch_tile site enumerates: (mr <= 14, nr <= 32) with a
+    // (mr <= 16, nr <= 16) lobe for the VNNI int8 tile. A new kernel that
+    // outgrows either bound fails here even on hosts that cannot run it.
     {
         let mut ok = true;
         let mut detail = String::new();
@@ -874,9 +1014,13 @@ pub fn lemmas() -> (Vec<String>, Vec<String>) {
                 detail = format!("{name}: {mr}x{nr} = {} > MAX_TILE {}", mr * nr, cake_kernels::edge::MAX_TILE);
                 break;
             }
-            if mr > 14 || nr > 32 || mr == 0 || nr == 0 {
+            let in_wide = mr <= 14 && nr <= 32;
+            let in_tall = mr <= 16 && nr <= 16;
+            if mr == 0 || nr == 0 || !(in_wide || in_tall) {
                 ok = false;
-                detail = format!("{name}: {mr}x{nr} outside the proven (1..=14, 1..=32) box");
+                detail = format!(
+                    "{name}: {mr}x{nr} outside the proven (1..=14, 1..=32) | (1..=16, 1..=16) domain"
+                );
                 break;
             }
         }

@@ -32,8 +32,8 @@ use std::time::Instant;
 
 use cake_bench::output::arg_value;
 use cake_bench::scaling::{
-    counters_invariant, kernel_counters_invariant, scaling_sane, sweep_kernels, sweep_shape,
-    KernelPoint, ScalePoint,
+    counters_invariant, dtype_counters_invariant, kernel_counters_invariant, scaling_sane,
+    sweep_dtypes, sweep_kernels, sweep_shape, DtypePoint, KernelPoint, ScalePoint,
 };
 use cake_core::api::{CakeConfig, CakeGemm};
 use cake_core::topology;
@@ -210,6 +210,28 @@ fn main() {
         })
         .collect();
 
+    // Dtype sweep per shape: one single-threaded GEMM per supported dtype
+    // (f32/f64/bf16/int8) on a fixed block grid, each through its own
+    // best-tier kernel. Element counters must match across dtypes, and
+    // every dtype's timed iterations must run allocation-free.
+    let dtypes: Vec<(usize, usize, usize, Vec<DtypePoint>)> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let points = sweep_dtypes(m, k, n, iters);
+            for pt in &points {
+                println!(
+                    "{m}x{k}x{n} dtype {} ({}): {:.2} GOP/s ({} allocs warm)",
+                    pt.dtype, pt.kernel, pt.gops, pt.allocs_after_warmup
+                );
+            }
+            if let Err(msg) = dtype_counters_invariant(&points) {
+                eprintln!("dtype sweep {m}x{k}x{n}: {msg}");
+                std::process::exit(1);
+            }
+            (m, k, n, points)
+        })
+        .collect();
+
     // Multicore p-sweep per shape: fixed block grid, so the element
     // counters are comparable (and must be equal) across p.
     const SWEEP_P: [usize; 4] = [1, 2, 4, 8];
@@ -329,6 +351,33 @@ fn main() {
     }
     kt.push_str("  ]");
     j.field(2, "kernel_tiers", &kt, false);
+    let mut dt = String::from("[\n");
+    for (si, (m, k, n, points)) in dtypes.iter().enumerate() {
+        dt.push_str(&format!("    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"dtypes\": [\n"));
+        for (i, pt) in points.iter().enumerate() {
+            dt.push_str(&format!(
+                "      {{\"dtype\": \"{}\", \"kernel\": \"{}\", \"elem_bytes\": {}, \
+                 \"acc_bytes\": {}, \"gops\": {}, \"allocs_after_warmup\": {}, \
+                 \"a_elems\": {}, \"b_elems\": {}, \"c_elems\": {}}}{}\n",
+                pt.dtype,
+                pt.kernel,
+                pt.elem_bytes,
+                pt.acc_bytes,
+                f3(pt.gops),
+                pt.allocs_after_warmup,
+                pt.a_elems,
+                pt.b_elems,
+                pt.c_elems,
+                if i + 1 == points.len() { "" } else { "," }
+            ));
+        }
+        dt.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 == dtypes.len() { "" } else { "," }
+        ));
+    }
+    dt.push_str("  ]");
+    j.field(2, "dtypes", &dt, false);
     let mut sc = String::from("[\n");
     for (si, (m, k, n, points)) in scaling.iter().enumerate() {
         sc.push_str(&format!("    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"points\": [\n"));

@@ -6,10 +6,12 @@
 //!                  [--fuzz-orderings N] [--trace] (`simulate` is an alias)
 //! cakectl search   --cpu intel|amd|arm --p P --n N [--steps S]
 //! cakectl traffic  --m M --k K --n N --bm BM --bk BK --bn BN [--policy hold|stream]
+//!                  [--dtype f32|f64|bf16|int8]
 //! cakectl gemm     --m M --k K --n N [--p P] [--iters I] [--stats] [--pin]
 //!                  [--explain] [--llc-mib MIB] [--kernel portable|avx2|avx512]
+//!                  [--dtype f32|f64|bf16|int8]
 //!                  [--threads P | --threads P1,P2,...] [--check-counters]
-//!                  [--kernel-smoke]
+//!                  [--kernel-smoke] [--dtype-smoke]
 //! cakectl verify   [--cases C] [--seed S]
 //! cakectl audit    [--bless] [--root DIR]
 //! ```
@@ -31,6 +33,13 @@
 //! for comparing tiers on one host. A tier the host lacks falls down the
 //! ladder (avx512 → avx2 → portable) rather than failing.
 //!
+//! `--dtype` selects the GEMM element type: `f32` (default), `f64`, or the
+//! narrow tier — `int8` (i8 operands, i32 accumulate) and `bf16` (bf16
+//! operands, f32 accumulate). The result line, `--stats`, and `--explain`
+//! all surface the dtype and the per-dtype kernel the ladder dispatched.
+//! For `traffic`, `--dtype` sizes the byte totals (operands at the element
+//! width, C surfaces at the accumulator width).
+//!
 //! `--threads` switches `gemm` into a strong-scaling sweep on a fixed
 //! block grid (one `p` per comma-separated entry — a single entry is a
 //! one-row sweep): per-`p` GFLOP/s, speedup over the first entry, scaling
@@ -47,6 +56,14 @@
 //! property of the block schedule, never of the register tile
 //! (`ci.sh --kernel-smoke`).
 //!
+//! `--dtype-smoke` is the dtype counterpart: one single-threaded GEMM per
+//! supported dtype (f32, f64, bf16, int8) on one fixed block grid, each
+//! through its own best-tier kernel. Exits 1 unless (a) the *element*
+//! counters are identical across dtypes — element movement is a schedule
+//! property; only bytes-per-element changes — and (b) every dtype's timed
+//! iterations ran allocation-free, the zero-alloc warm-path guarantee
+//! extended to the narrow tier (`ci.sh --dtype-smoke`).
+//!
 //! `verify` runs the full `cake-verify` harness: the differential fuzzer
 //! (default 256 cases; `--seed` or `CAKE_TEST_SEED` perturbs the stream),
 //! the model-conformance oracle, and the deterministic interleaving
@@ -61,7 +78,8 @@
 
 use cake_bench::output::{arg_value, has_flag, render_table};
 use cake_bench::scaling::{
-    counters_invariant, kernel_counters_invariant, scaling_sane, sweep_kernels, sweep_shape,
+    counters_invariant, dtype_counters_invariant, kernel_counters_invariant, scaling_sane,
+    sweep_dtypes, sweep_kernels, sweep_shape,
 };
 use cake_core::api::{CakeConfig, CakeGemm};
 use cake_core::executor::ExecStats;
@@ -236,13 +254,28 @@ fn cmd_traffic() {
     };
     let grid = BlockGrid::for_problem(tp.m, tp.k, tp.n, tp.bm, tp.bk, tp.bn);
     let t = dram_traffic(KFirstSchedule::new(grid, tp.m, tp.n), tp, policy);
+    let dtype = arg_value("--dtype").unwrap_or_else(|| "f32".into());
+    let bytes = match dtype.as_str() {
+        "f32" => t.total_bytes_for::<f32>(),
+        "f64" => t.total_bytes_for::<f64>(),
+        "int8" => t.total_bytes_for::<i8>(),
+        "bf16" => t.total_bytes_for::<cake_matrix::Bf16>(),
+        other => {
+            eprintln!("unknown --dtype '{other}' (expected f32|f64|bf16|int8)");
+            std::process::exit(2);
+        }
+    };
     println!("K-first snake schedule over {}x{}x{} blocks ({policy:?})", grid.mb, grid.kb, grid.nb);
     println!("  A loads          : {:>14} elements", t.a_loads);
     println!("  B loads          : {:>14} elements", t.b_loads);
     println!("  C final writes   : {:>14} elements", t.c_final_writes);
     println!("  C partial writes : {:>14} elements", t.c_partial_writes);
     println!("  C partial reads  : {:>14} elements", t.c_partial_reads);
-    println!("  total            : {:>14} elements ({:.1} MiB as f32)", t.total(), t.total_bytes(4) as f64 / 1048576.0);
+    println!(
+        "  total            : {:>14} elements ({:.1} MiB as {dtype})",
+        t.total(),
+        bytes as f64 / 1048576.0
+    );
 }
 
 fn print_exec_stats(s: &ExecStats) {
@@ -412,6 +445,48 @@ fn cmd_gemm() {
         return;
     }
 
+    if has_flag("--dtype-smoke") {
+        let points = sweep_dtypes(m, k, n, iters);
+        let f32_gops = points.iter().find(|pt| pt.dtype == "f32").map_or(0.0, |pt| pt.gops);
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|pt| {
+                vec![
+                    pt.dtype.into(),
+                    pt.kernel.into(),
+                    format!("{}B/{}B", pt.elem_bytes, pt.acc_bytes),
+                    format!("{:.2}", pt.gops),
+                    format!("{:.2}x", pt.gops / f32_gops.max(1e-12)),
+                    pt.allocs_after_warmup.to_string(),
+                    pt.a_elems.to_string(),
+                    pt.b_elems.to_string(),
+                    pt.c_elems.to_string(),
+                ]
+            })
+            .collect();
+        println!("GEMM {m}x{k}x{n} dtype smoke (fixed block grid, p = 1, best of {iters}):\n");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "dtype", "kernel", "op/acc B", "GOP/s", "vs f32", "warm allocs", "A elems",
+                    "B elems", "C elems"
+                ],
+                &rows
+            )
+        );
+        match dtype_counters_invariant(&points) {
+            Ok(()) => {
+                println!("element counters invariant + zero-alloc warm path across dtypes: OK")
+            }
+            Err(msg) => {
+                eprintln!("dtype smoke FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if let Some(list) = arg_value("--threads") {
         let threads: Vec<usize> = list
             .split(',')
@@ -487,15 +562,49 @@ fn cmd_gemm() {
         pin_cores: pin,
         ..CakeConfig::tuned_for(p, llc_bytes)
     };
+    let dtype = arg_value("--dtype").unwrap_or_else(|| "f32".into());
+    match dtype.as_str() {
+        "f32" => run_typed_gemm::<f32>(m, k, n, p, iters, cfg, |r, c, s| {
+            cake_matrix::init::random::<f32>(r, c, s)
+        }),
+        "f64" => run_typed_gemm::<f64>(m, k, n, p, iters, cfg, |r, c, s| {
+            cake_matrix::init::random::<f64>(r, c, s)
+        }),
+        "int8" => run_typed_gemm::<i8>(m, k, n, p, iters, cfg, cake_matrix::init::random_i8),
+        "bf16" => run_typed_gemm::<cake_matrix::Bf16>(m, k, n, p, iters, cfg, |r, c, s| {
+            let f = cake_matrix::init::random::<f32>(r, c, s);
+            cake_matrix::Matrix::from_fn(r, c, |i, j| cake_matrix::Bf16::from_f32(f.get(i, j)))
+        }),
+        other => {
+            eprintln!("unknown --dtype '{other}' (expected f32|f64|bf16|int8)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One timed GEMM at dtype `T`: warmup sizes the pools, then `iters` warm
+/// runs keep the best wall time. The result line carries the dtype and the
+/// dispatched kernel; `--explain` and `--stats` are dtype-aware too.
+fn run_typed_gemm<T>(
+    m: usize,
+    k: usize,
+    n: usize,
+    p: usize,
+    iters: usize,
+    cfg: CakeConfig,
+    gen: impl Fn(usize, usize, u64) -> cake_matrix::Matrix<T>,
+) where
+    T: cake_kernels::select::KernelSelect,
+{
     if has_flag("--explain") {
         // Kernel-aware: the decision derives from (and records) the kernel
-        // this run will actually dispatch to.
-        println!("{}", cfg.explain_shape_for::<f32>(m, k, n));
+        // this run will actually dispatch to for this dtype.
+        println!("{}", cfg.explain_shape_for::<T>(m, k, n));
     }
     let ctx = CakeGemm::new(cfg);
-    let a = cake_matrix::init::random::<f32>(m, k, 1);
-    let b = cake_matrix::init::random::<f32>(k, n, 2);
-    let mut c = cake_matrix::Matrix::<f32>::zeros(m, n);
+    let a = gen(m, k, 1);
+    let b = gen(k, n, 2);
+    let mut c = cake_matrix::Matrix::<T::Acc>::zeros(m, n);
 
     ctx.gemm(&a, &b, &mut c); // warmup: sizes pool + workspace
     let mut best = f64::INFINITY;
@@ -504,13 +613,22 @@ fn cmd_gemm() {
         ctx.gemm(&a, &b, &mut c);
         best = best.min(t0.elapsed().as_secs_f64());
     }
-    let gflops = 2.0 * (m as f64) * (k as f64) * (n as f64) / best / 1e9;
+    // GOP/s: multiply-accumulate ops regardless of dtype (FLOPs for the
+    // float dtypes, integer MACs for int8).
+    let gops = 2.0 * (m as f64) * (k as f64) * (n as f64) / best / 1e9;
     println!(
-        "GEMM {m}x{k}x{n}, p = {p}, kernel {}: {:.3} ms best of {iters} ({gflops:.2} GFLOP/s)",
+        "GEMM {m}x{k}x{n}, p = {p}, dtype {}, kernel {}: {:.3} ms best of {iters} ({gops:.2} GOP/s)",
+        T::NAME,
         ctx.last_stats().kernel,
         best * 1e3
     );
     if has_flag("--stats") {
+        println!(
+            "  dtype            : {:>12}  ({} B operands, {} B accumulator)",
+            T::NAME,
+            std::mem::size_of::<T>(),
+            std::mem::size_of::<T::Acc>()
+        );
         print_exec_stats(&ctx.last_stats());
     }
 }

@@ -33,6 +33,26 @@
 //!   otherwise): packing traffic depends on the block grid, never on the
 //!   microkernel tile. This section is how the snapshot documents the
 //!   prefetch/vector-width gain (or explicit parity) between tiers.
+//! - `dtypes` — per-shape narrow-dtype sweep: one single-threaded GEMM per
+//!   supported dtype (`"f32"`, `"f64"`, `"bf16"`, `"int8"`) on a fixed
+//!   block grid, each through its own best-tier kernel. Each point carries:
+//!   - `dtype`: operand dtype name as reported by `Dtype::NAME`,
+//!   - `kernel`: the per-dtype microkernel the ladder dispatched (e.g.
+//!     `"avx512_vnni_i8_16x16"`),
+//!   - `elem_bytes` / `acc_bytes`: operand and accumulator widths — the
+//!     narrow tier's whole point is `elem_bytes` shrinking while the
+//!     accumulator stays wide (i8→i32, bf16→f32),
+//!   - `gops`: best-of-iters throughput in GOP/s, counting `2mkn` ops for
+//!     every dtype so the column directly shows the narrow-dtype speedup
+//!     over the f32 row,
+//!   - `allocs_after_warmup`: workspace allocations summed over the timed
+//!     iterations — must be 0 for every dtype (the zero-alloc warm-path
+//!     guarantee is dtype-independent; the run aborts otherwise),
+//!   - `a_elems` / `b_elems` / `c_elems`: pack-element counters, identical
+//!     across dtypes by construction (element movement is a property of
+//!     the block schedule, never of the element width; the run aborts on
+//!     divergence — only the *byte* traffic, `elems * elem_bytes`,
+//!     shrinks with the dtype).
 //! - `scaling` — per-shape strong-scaling sweeps over a fixed block grid.
 //!   Each point carries:
 //!   - `p`: requested worker count (drives block shape and the model),

@@ -289,6 +289,135 @@ pub fn kernel_counters_invariant(points: &[KernelPoint]) -> Result<(), String> {
     Ok(())
 }
 
+/// One dtype of a narrow-dtype sweep (`cakectl gemm --dtype-smoke`, the
+/// `dtypes` section of `BENCH_gemm.json`).
+#[derive(Debug, Clone, Copy)]
+pub struct DtypePoint {
+    /// Operand dtype name (`"f32"`, `"f64"`, `"bf16"`, `"int8"`).
+    pub dtype: &'static str,
+    /// Dispatched microkernel name as reported by the executor.
+    pub kernel: &'static str,
+    /// Best-of-iters throughput in GOP/s (`2mkn` ops regardless of dtype,
+    /// so the column directly shows the narrow-dtype speedup).
+    pub gops: f64,
+    /// Workspace allocations summed over the timed (post-warmup) iters.
+    /// Must be 0: the zero-alloc warm path is dtype-independent.
+    pub allocs_after_warmup: u64,
+    /// A elements packed (0 unless `traffic-counters` is enabled).
+    pub a_elems: u64,
+    /// B elements packed.
+    pub b_elems: u64,
+    /// C elements updated.
+    pub c_elems: u64,
+    /// `size_of` one operand element.
+    pub elem_bytes: usize,
+    /// `size_of` one accumulator element.
+    pub acc_bytes: usize,
+}
+
+fn dtype_point<T: cake_kernels::select::KernelSelect>(
+    m: usize,
+    k: usize,
+    n: usize,
+    iters: usize,
+    shape: &CbBlockShape,
+    gen: impl Fn(usize, usize, u64) -> Matrix<T>,
+) -> DtypePoint {
+    let a = gen(m, k, 1);
+    let b = gen(k, n, 2);
+    let ukr = cake_kernels::best_kernel::<T>();
+    let pool = ThreadPool::with_affinity(1, false);
+    let mut ws = GemmWorkspace::<T>::new();
+    let mut c = Matrix::<T::Acc>::zeros(m, n);
+    let mut stats =
+        execute_with_stats_in(&a.view(), &b.view(), &mut c.view_mut(), shape, &ukr, &pool, &mut ws);
+    let mut best = f64::INFINITY;
+    let mut warm_allocs = 0u64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        stats = execute_with_stats_in(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            shape,
+            &ukr,
+            &pool,
+            &mut ws,
+        );
+        best = best.min(t0.elapsed().as_secs_f64());
+        warm_allocs += stats.allocations as u64;
+    }
+    DtypePoint {
+        dtype: T::NAME,
+        kernel: stats.kernel,
+        gops: 2.0 * m as f64 * k as f64 * n as f64 / best / 1e9,
+        allocs_after_warmup: warm_allocs,
+        a_elems: stats.a_elems_loaded,
+        b_elems: stats.b_elems_loaded,
+        c_elems: stats.c_elems_updated,
+        elem_bytes: std::mem::size_of::<T>(),
+        acc_bytes: std::mem::size_of::<T::Acc>(),
+    }
+}
+
+/// Run one single-threaded GEMM per supported dtype (f32, f64, bf16, int8)
+/// on one fixed block grid, each through its own best-tier kernel. Like
+/// the tier sweep, the *element* counters tally live source elements — a
+/// property of the block schedule, never of the element width — so they
+/// must be identical across dtypes ([`dtype_counters_invariant`]); only
+/// the byte traffic (`elem_bytes * elems`) shrinks with the dtype.
+pub fn sweep_dtypes(m: usize, k: usize, n: usize, iters: usize) -> Vec<DtypePoint> {
+    use cake_matrix::Bf16;
+    let (bm, bk, bn) = fixed_grid_dims(m, k, n, 1);
+    let shape = CbBlockShape::fixed(1, bm, bk, bn);
+    let iters = iters.max(1);
+    vec![
+        dtype_point::<f32>(m, k, n, iters, &shape, init::random::<f32>),
+        dtype_point::<f64>(m, k, n, iters, &shape, init::random::<f64>),
+        dtype_point::<Bf16>(m, k, n, iters, &shape, |r, c, s| {
+            let f = init::random::<f32>(r, c, s);
+            Matrix::from_fn(r, c, |i, j| Bf16::from_f32(f.get(i, j)))
+        }),
+        dtype_point::<i8>(m, k, n, iters, &shape, init::random_i8),
+    ]
+}
+
+/// The dtype-invariance gate: on a fixed block grid every dtype must have
+/// packed/updated exactly the same element counts (element movement is a
+/// schedule property; only bytes-per-element changes), and every dtype's
+/// warm path must be allocation-free. `Err` carries a human-readable diff.
+pub fn dtype_counters_invariant(points: &[DtypePoint]) -> Result<(), String> {
+    let Some(first) = points.first() else {
+        return Ok(());
+    };
+    for pt in points {
+        if pt.allocs_after_warmup != 0 {
+            return Err(format!(
+                "dtype {} allocated {} time(s) after warmup — the zero-alloc warm \
+                 path must hold for every dtype",
+                pt.dtype, pt.allocs_after_warmup
+            ));
+        }
+    }
+    for pt in &points[1..] {
+        if (pt.a_elems, pt.b_elems, pt.c_elems) != (first.a_elems, first.b_elems, first.c_elems) {
+            return Err(format!(
+                "dtype counters diverge: {} moved (A {}, B {}, C {}) but {} moved \
+                 (A {}, B {}, C {})",
+                first.dtype,
+                first.a_elems,
+                first.b_elems,
+                first.c_elems,
+                pt.dtype,
+                pt.a_elems,
+                pt.b_elems,
+                pt.c_elems
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn gcd(a: usize, b: usize) -> usize {
     if b == 0 { a } else { gcd(b, a % b) }
 }
@@ -393,6 +522,36 @@ mod tests {
         points[1].c_elems += 7;
         let err = kernel_counters_invariant(&points).unwrap_err();
         assert!(err.contains("diverge"), "{err}");
+    }
+
+    #[test]
+    fn dtype_sweep_covers_all_four_dtypes_with_invariant_counters() {
+        let points = sweep_dtypes(48, 40, 56, 1);
+        let names: Vec<&str> = points.iter().map(|p| p.dtype).collect();
+        assert_eq!(names, ["f32", "f64", "bf16", "int8"]);
+        for pt in &points {
+            assert!(pt.gops > 0.0, "{}: no throughput", pt.dtype);
+            assert!(!pt.kernel.is_empty(), "{}: kernel unrecorded", pt.dtype);
+            assert_eq!(pt.allocs_after_warmup, 0, "{}: warm path allocated", pt.dtype);
+        }
+        // Byte widths are the dtype's, not hardcoded f32's.
+        assert_eq!(points[3].elem_bytes, 1);
+        assert_eq!(points[3].acc_bytes, 4);
+        assert_eq!(points[2].elem_bytes, 2);
+        assert!(points[0].a_elems > 0, "counters should be compiled in");
+        dtype_counters_invariant(&points).expect("fixed grid must move identical elements");
+    }
+
+    #[test]
+    fn divergent_dtype_counters_and_warm_allocs_are_reported() {
+        let mut points = sweep_dtypes(24, 24, 24, 1);
+        points[1].a_elems += 3;
+        let err = dtype_counters_invariant(&points).unwrap_err();
+        assert!(err.contains("diverge"), "{err}");
+        points[1].a_elems -= 3;
+        points[2].allocs_after_warmup = 2;
+        let err = dtype_counters_invariant(&points).unwrap_err();
+        assert!(err.contains("allocated"), "{err}");
     }
 
     #[test]

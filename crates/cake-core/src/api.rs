@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use cake_kernels::select::KernelSelect;
-use cake_matrix::{Element, Matrix, MatrixView, MatrixViewMut};
+use cake_matrix::{Bf16, Element, Matrix, MatrixView, MatrixViewMut};
 
 use crate::executor::{execute, execute_with_stats_in, ExecStats};
 use crate::pool::ThreadPool;
@@ -188,7 +188,7 @@ impl CakeConfig {
     /// config actually dispatches to for `T`: the block geometry derives
     /// from the *selected* kernel's `(mr, nr)` and the decision records the
     /// kernel's name.
-    pub fn explain_shape_for<T: Element + KernelSelect>(
+    pub fn explain_shape_for<T: KernelSelect>(
         &self,
         m: usize,
         k: usize,
@@ -235,12 +235,17 @@ fn clamp_shape_to_problem(
 
 /// Generic `C += A * B` with automatic CB-block configuration.
 ///
+/// `C` is over the accumulator type `T::Acc` — identical to `T` for
+/// f32/f64, widened for the narrow-dtype tier (`i8 -> i32`,
+/// `Bf16 -> f32`), so int8 reductions are exact and bf16 reductions keep
+/// f32 precision regardless of `K`.
+///
 /// # Panics
 /// Panics on dimension mismatch (`A: MxK`, `B: KxN`, `C: MxN`).
-pub fn cake_gemm<T: Element + KernelSelect>(
+pub fn cake_gemm<T: KernelSelect>(
     a: &Matrix<T>,
     b: &Matrix<T>,
-    c: &mut Matrix<T>,
+    c: &mut Matrix<T::Acc>,
     cfg: &CakeConfig,
 ) {
     let (av, bv) = (a.view(), b.view());
@@ -249,10 +254,10 @@ pub fn cake_gemm<T: Element + KernelSelect>(
 }
 
 /// View-level entry point (strided / transposed operands welcome).
-pub fn cake_gemm_views<T: Element + KernelSelect>(
+pub fn cake_gemm_views<T: KernelSelect>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
-    c: &mut MatrixViewMut<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
     cfg: &CakeConfig,
 ) {
     let ukr = cfg.selected_kernel::<T>();
@@ -282,6 +287,18 @@ pub fn cake_sgemm(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>, cfg: &C
 
 /// Double-precision drop-in GEMM: `C += A * B`.
 pub fn cake_dgemm(a: &Matrix<f64>, b: &Matrix<f64>, c: &mut Matrix<f64>, cfg: &CakeConfig) {
+    cake_gemm(a, b, c, cfg);
+}
+
+/// int8 GEMM with exact i32 accumulation: `C += A * B`. Dispatches to the
+/// VNNI tier when the host has it, the AVX2 sign-extend kernel or the
+/// portable kernel otherwise — bit-identical results on every tier.
+pub fn cake_gemm_i8(a: &Matrix<i8>, b: &Matrix<i8>, c: &mut Matrix<i32>, cfg: &CakeConfig) {
+    cake_gemm(a, b, c, cfg);
+}
+
+/// bf16 GEMM with f32 accumulation: `C += A * B`.
+pub fn cake_gemm_bf16(a: &Matrix<Bf16>, b: &Matrix<Bf16>, c: &mut Matrix<f32>, cfg: &CakeConfig) {
     cake_gemm(a, b, c, cfg);
 }
 
@@ -331,17 +348,18 @@ impl CakeGemm {
         std::mem::take(&mut *self.last_stats.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
-    /// `C += A * B` reusing this context's pool and workspace.
-    pub fn gemm<T: Element + KernelSelect>(&self, a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>) {
+    /// `C += A * B` reusing this context's pool and workspace (`C` over
+    /// the accumulator type, as in [`cake_gemm`]).
+    pub fn gemm<T: KernelSelect>(&self, a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T::Acc>) {
         let _ = self.gemm_with_stats(a, b, c);
     }
 
     /// [`gemm`](Self::gemm), returning the call's measured [`ExecStats`].
-    pub fn gemm_with_stats<T: Element + KernelSelect>(
+    pub fn gemm_with_stats<T: KernelSelect>(
         &self,
         a: &Matrix<T>,
         b: &Matrix<T>,
-        c: &mut Matrix<T>,
+        c: &mut Matrix<T::Acc>,
     ) -> ExecStats {
         let ukr = self.cfg.selected_kernel::<T>();
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
@@ -382,12 +400,12 @@ pub enum Op {
 }
 
 /// `C += op_a(A) * op_b(B)` — BLAS-style transpose flags, zero-copy.
-pub fn cake_gemm_op<T: Element + KernelSelect>(
+pub fn cake_gemm_op<T: KernelSelect>(
     op_a: Op,
     a: &Matrix<T>,
     op_b: Op,
     b: &Matrix<T>,
-    c: &mut Matrix<T>,
+    c: &mut Matrix<T::Acc>,
     cfg: &CakeConfig,
 ) {
     let av = a.view();
@@ -402,8 +420,10 @@ pub fn cake_gemm_op<T: Element + KernelSelect>(
 ///
 /// `alpha`/`beta` here are the BLAS scalars, unrelated to the CB block's
 /// aspect factor (`CakeConfig::alpha`). Fast paths: `beta = 1` skips the
-/// C pre-scale, `alpha = 1` avoids the temporary product buffer.
-pub fn cake_gemm_scaled<T: Element + KernelSelect>(
+/// C pre-scale, `alpha = 1` avoids the temporary product buffer. Limited
+/// to dtypes that accumulate in their own type (`Acc = T`): the BLAS
+/// scalar convention has no widened-C analogue.
+pub fn cake_gemm_scaled<T: Element + KernelSelect<Acc = T>>(
     alpha: T,
     a: &Matrix<T>,
     b: &Matrix<T>,
@@ -549,6 +569,73 @@ mod tests {
         assert!(ctx.gemm_with_stats(&ad, &bd, &mut cd).allocations > 0);
         let mut c = Matrix::<f32>::zeros(48, 40);
         assert_eq!(ctx.gemm_with_stats(&a, &b, &mut c).allocations, 0);
+    }
+
+    #[test]
+    fn i8_gemm_is_exact_and_warm_calls_do_not_allocate() {
+        let (m, k, n) = (48, 40, 56);
+        let a = init::random_i8(m, k, 61);
+        let b = init::random_i8(k, n, 62);
+        let mut expected = Matrix::<i32>::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0i32;
+                for kk in 0..k {
+                    s += a.get(i, kk) as i32 * b.get(kk, j) as i32;
+                }
+                expected.set(i, j, s);
+            }
+        }
+        // One-shot wrapper.
+        let mut c = Matrix::<i32>::zeros(m, n);
+        cake_gemm_i8(&a, &b, &mut c, &CakeConfig::with_threads(2));
+        assert_eq!(c.as_slice(), expected.as_slice());
+        // Context path: the int8 workspace pools like any other dtype —
+        // zero heap allocations once warm.
+        let ctx = CakeGemm::new(CakeConfig::with_threads(2));
+        for call in 0..4 {
+            let mut c = Matrix::<i32>::zeros(m, n);
+            let stats = ctx.gemm_with_stats(&a, &b, &mut c);
+            if call == 0 {
+                assert!(stats.allocations > 0, "cold call sizes the workspace");
+            } else {
+                assert_eq!(stats.allocations, 0, "warm int8 call {call} allocated");
+            }
+            assert_eq!(c.as_slice(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn bf16_gemm_matches_oracle_and_warm_calls_do_not_allocate() {
+        let (m, k, n) = (32, 24, 40);
+        let af = init::random::<f32>(m, k, 63);
+        let bf = init::random::<f32>(k, n, 64);
+        let a = Matrix::from_fn(m, k, |i, j| Bf16::from_f32(af.get(i, j)));
+        let b = Matrix::from_fn(k, n, |i, j| Bf16::from_f32(bf.get(i, j)));
+        let mut expected = Matrix::<f32>::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for kk in 0..k {
+                    s += a.get(i, kk).to_f32() as f64 * b.get(kk, j).to_f32() as f64;
+                }
+                expected.set(i, j, s as f32);
+            }
+        }
+        let mut c = Matrix::<f32>::zeros(m, n);
+        cake_gemm_bf16(&a, &b, &mut c, &CakeConfig::with_threads(2));
+        assert_gemm_eq(&c, &expected, k);
+        let ctx = CakeGemm::new(CakeConfig::with_threads(2));
+        for call in 0..4 {
+            let mut c = Matrix::<f32>::zeros(m, n);
+            let stats = ctx.gemm_with_stats(&a, &b, &mut c);
+            if call == 0 {
+                assert!(stats.allocations > 0, "cold call sizes the workspace");
+            } else {
+                assert_eq!(stats.allocations, 0, "warm bf16 call {call} allocated");
+            }
+            assert_gemm_eq(&c, &expected, k);
+        }
     }
 
     #[test]

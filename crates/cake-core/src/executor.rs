@@ -85,7 +85,7 @@ use std::time::Instant;
 use cake_kernels::edge::run_tile;
 use cake_kernels::pack::{pack_a, pack_b, split_range};
 use cake_kernels::Ukr;
-use cake_matrix::{Element, MatrixView, MatrixViewMut};
+use cake_matrix::{Dtype, MatrixView, MatrixViewMut};
 
 use crate::counters::Tally;
 use crate::panel::{ring_depth, PanelAction, PanelCache};
@@ -246,7 +246,9 @@ struct Blk {
 
 /// Execute `C += A * B` with the CAKE CB-block schedule.
 ///
-/// * `a` — `M x K` view, `b` — `K x N` view, `c` — `M x N` mutable view.
+/// * `a` — `M x K` view, `b` — `K x N` view, `c` — `M x N` mutable view
+///   over the **accumulator** type (`T::Acc` — the same `T` for f32/f64,
+///   `i32` for int8, `f32` for bf16).
 /// * `shape` — the CB block (`p`, `mc`, `kc`, `nc`); `shape.p` must equal
 ///   `pool.size()`.
 /// * `ukr` — microkernel; `shape.mc` need not be a multiple of `mr` but
@@ -255,10 +257,10 @@ struct Blk {
 /// # Panics
 /// Panics on dimension mismatch between the operand views, or when
 /// `pool.size() != shape.p`.
-pub fn execute<T: Element>(
+pub fn execute<T: Dtype>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
-    c: &mut MatrixViewMut<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
     shape: &CbBlockShape,
     ukr: &Ukr<T>,
     pool: &ThreadPool,
@@ -268,10 +270,10 @@ pub fn execute<T: Element>(
 
 /// [`execute`], additionally returning per-call [`ExecStats`]. Allocates a
 /// throwaway workspace; use [`execute_with_stats_in`] to reuse one.
-pub fn execute_with_stats<T: Element>(
+pub fn execute_with_stats<T: Dtype>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
-    c: &mut MatrixViewMut<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
     shape: &CbBlockShape,
     ukr: &Ukr<T>,
     pool: &ThreadPool,
@@ -282,10 +284,10 @@ pub fn execute_with_stats<T: Element>(
 
 /// [`execute`] against a caller-owned reusable workspace.
 #[allow(clippy::too_many_arguments)]
-pub fn execute_in<T: Element>(
+pub fn execute_in<T: Dtype>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
-    c: &mut MatrixViewMut<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
     shape: &CbBlockShape,
     ukr: &Ukr<T>,
     pool: &ThreadPool,
@@ -297,10 +299,10 @@ pub fn execute_in<T: Element>(
 /// The pipelined CB-block executor: packs into and computes from `ws`,
 /// returning measured [`ExecStats`].
 #[allow(clippy::too_many_arguments)]
-pub fn execute_with_stats_in<T: Element>(
+pub fn execute_with_stats_in<T: Dtype>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
-    c: &mut MatrixViewMut<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
     shape: &CbBlockShape,
     ukr: &Ukr<T>,
     pool: &ThreadPool,
@@ -848,6 +850,70 @@ mod tests {
                     s += a.get(i, kk) * b.get(kk, j);
                 }
                 expected.set(i, j, s);
+            }
+        }
+        assert_gemm_eq(&c, &expected, k);
+    }
+
+    #[test]
+    fn i8_path_is_bit_exact_end_to_end() {
+        // Full-range int8 operands through the whole pipelined executor
+        // (packing, panel ring, 2D grid, edge tiles): the i32 result must
+        // equal the scalar widening product exactly on every tier.
+        let (m, k, n) = (61, 37, 53);
+        let a = init::random_i8(m, k, 14);
+        let b = init::random_i8(k, n, 15);
+        let mut c = Matrix::<i32>::zeros(m, n);
+        let shape = CbBlockShape::fixed(2, 16, 16, 32);
+        let pool = ThreadPool::new(2);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<i8>(),
+            &pool,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0i32;
+                for kk in 0..k {
+                    s += a.get(i, kk) as i32 * b.get(kk, j) as i32;
+                }
+                assert_eq!(c.get(i, j), s, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_path_matches_f32_oracle() {
+        use cake_matrix::Bf16;
+        let (m, k, n) = (40, 30, 50);
+        let af = init::random::<f32>(m, k, 16);
+        let bf = init::random::<f32>(k, n, 17);
+        // Round the operands to bf16 first so the oracle sees the same
+        // values the kernel does.
+        let a = Matrix::from_fn(m, k, |i, j| Bf16::from_f32(af.get(i, j)));
+        let b = Matrix::from_fn(k, n, |i, j| Bf16::from_f32(bf.get(i, j)));
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let shape = CbBlockShape::fixed(2, 16, 16, 32);
+        let pool = ThreadPool::new(2);
+        execute(
+            &a.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &shape,
+            &best_kernel::<Bf16>(),
+            &pool,
+        );
+        let mut expected = Matrix::<f32>::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for kk in 0..k {
+                    s += a.get(i, kk).to_f32() as f64 * b.get(kk, j).to_f32() as f64;
+                }
+                expected.set(i, j, s as f32);
             }
         }
         assert_gemm_eq(&c, &expected, k);

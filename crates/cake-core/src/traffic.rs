@@ -89,9 +89,28 @@ impl Traffic {
         self.a_loads + self.b_loads + self.c_final_writes + self.c_partial_writes + self.c_partial_reads
     }
 
-    /// Total bytes for an element size.
+    /// Total bytes for a uniform element size (`T::Acc = T` dtypes).
     pub fn total_bytes(&self, elem_bytes: usize) -> u64 {
         self.total() * elem_bytes as u64
+    }
+
+    /// Operand (A + B) bytes at the given element size.
+    pub fn input_bytes(&self, elem_bytes: usize) -> u64 {
+        (self.a_loads + self.b_loads) * elem_bytes as u64
+    }
+
+    /// Total bytes with distinct operand and accumulator element sizes:
+    /// A/B surfaces move at `elem_bytes`, every C surface at `acc_bytes` —
+    /// the narrow-dtype tier streams i8/bf16 inputs but i32/f32 outputs.
+    pub fn total_bytes_split(&self, elem_bytes: usize, acc_bytes: usize) -> u64 {
+        self.input_bytes(elem_bytes) + self.c_total() * acc_bytes as u64
+    }
+
+    /// Typed-byte total for dtype `T`: operands at `size_of::<T>()`, C at
+    /// `size_of::<T::Acc>()`. Equals [`Traffic::total_bytes`] whenever
+    /// `T::Acc = T`.
+    pub fn total_bytes_for<T: cake_matrix::Dtype>(&self) -> u64 {
+        self.total_bytes_split(std::mem::size_of::<T>(), std::mem::size_of::<T::Acc>())
     }
 
     /// All C-related traffic.
@@ -370,6 +389,27 @@ mod tests {
             t.a_loads + t.b_loads + t.c_total()
         );
         assert_eq!(t.total_bytes(4), t.total() * 4);
+    }
+
+    #[test]
+    fn int8_operand_bytes_are_exactly_one_quarter_of_f32() {
+        use std::mem::size_of;
+        let p = params(64, 48, 56, 16);
+        let t = dram_traffic(kfirst(p), p, CResidency::HoldInLlc);
+        // Same schedule, same element counts: the predicted operand bytes
+        // scale exactly with the element size, so int8 is one quarter of
+        // f32 — u64-exact, no rounding anywhere.
+        assert_eq!(t.input_bytes(size_of::<i8>()) * 4, t.input_bytes(size_of::<f32>()));
+        // The C surfaces stay accumulator-width: i8 widens to i32 (4 B),
+        // bf16 to f32 (4 B), so only the input side narrows.
+        assert_eq!(t.total_bytes_for::<i8>(), t.input_bytes(1) + t.c_total() * 4);
+        assert_eq!(
+            t.total_bytes_for::<cake_matrix::Bf16>(),
+            t.input_bytes(2) + t.c_total() * 4
+        );
+        // Uniform dtypes collapse to the legacy uniform-size total.
+        assert_eq!(t.total_bytes_for::<f32>(), t.total_bytes(4));
+        assert_eq!(t.total_bytes_for::<f64>(), t.total_bytes(8));
     }
 
     // ----- edge-block regressions (m/k/n not divisible by bm/bk/bn) -----

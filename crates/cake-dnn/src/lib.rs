@@ -18,14 +18,20 @@
 //!   paper describes).
 //! * [`network`] — a `Sequential` container with per-layer FLOP and
 //!   timing accounting.
+//! * [`quant`] — int8-quantized `Conv2d`/`Linear` variants (per-channel
+//!   weight scales, per-tensor activation zero-point, i32 accumulate, f32
+//!   requantize) running on the narrow-dtype kernel tier through the same
+//!   shared workspace pools.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod im2col;
 pub mod layers;
 pub mod network;
+pub mod quant;
 pub mod tensor;
 
 pub use layers::{Conv2d, GlobalAvgPool, Layer, Linear, MaxPool2d, ReLU};
 pub use network::Sequential;
+pub use quant::{QuantConv2d, QuantLinear};
 pub use tensor::Tensor;

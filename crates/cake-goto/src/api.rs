@@ -2,7 +2,7 @@
 
 use cake_core::pool::ThreadPool;
 use cake_kernels::select::KernelSelect;
-use cake_matrix::{Element, Matrix, MatrixView, MatrixViewMut};
+use cake_matrix::{Matrix, MatrixView, MatrixViewMut};
 
 use crate::loops5::execute;
 use crate::params::GotoParams;
@@ -60,11 +60,11 @@ impl GotoConfig {
     }
 }
 
-/// `C += A * B` with the GOTO algorithm (generic).
-pub fn goto_gemm<T: Element + KernelSelect>(
+/// `C += A * B` with the GOTO algorithm (generic; `C` over `T::Acc`).
+pub fn goto_gemm<T: KernelSelect>(
     a: &Matrix<T>,
     b: &Matrix<T>,
-    c: &mut Matrix<T>,
+    c: &mut Matrix<T::Acc>,
     cfg: &GotoConfig,
 ) {
     let (av, bv) = (a.view(), b.view());
@@ -73,10 +73,10 @@ pub fn goto_gemm<T: Element + KernelSelect>(
 }
 
 /// View-level GOTO GEMM.
-pub fn goto_gemm_views<T: Element + KernelSelect>(
+pub fn goto_gemm_views<T: KernelSelect>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
-    c: &mut MatrixViewMut<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
     cfg: &GotoConfig,
 ) {
     if a.rows() == 0 || a.cols() == 0 || b.cols() == 0 {

@@ -27,18 +27,20 @@ use cake_core::shared::{OutPtr, SharedBuf};
 use cake_kernels::edge::run_tile;
 use cake_kernels::pack::{packed_a_size, packed_b_size};
 use cake_kernels::Ukr;
-use cake_matrix::{Element, MatrixView, MatrixViewMut};
+use cake_matrix::{Dtype, MatrixView, MatrixViewMut};
 
 use crate::params::GotoParams;
 
-/// Execute `C += A * B` with the GOTO algorithm.
+/// Execute `C += A * B` with the GOTO algorithm. `C` is over the
+/// accumulator type `T::Acc` (the same `T` for f32/f64, widened for the
+/// narrow dtypes), matching the CAKE executor's convention.
 ///
 /// # Panics
 /// Panics on dimension mismatch or `pool.size() != params.p`.
-pub fn execute<T: Element>(
+pub fn execute<T: Dtype>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
-    c: &mut MatrixViewMut<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
     params: &GotoParams,
     ukr: &Ukr<T>,
     pool: &ThreadPool,

@@ -5,7 +5,7 @@
 //! verified against, and the "no blocking at all" end point for the
 //! ablation benches.
 
-use cake_matrix::{Element, Matrix, MatrixView, MatrixViewMut};
+use cake_matrix::{Dtype, Element, Matrix, MatrixView, MatrixViewMut};
 
 /// `C += A * B`, accumulating in `f64` for maximum reference accuracy.
 ///
@@ -36,6 +36,34 @@ pub fn naive_gemm_views<T: Element>(
             }
             let v = c.get(i, j);
             c.set(i, j, v + T::from_f64(acc));
+        }
+    }
+}
+
+/// Naive GEMM with a widened accumulator-typed `C` (`C += A * B`, `C` over
+/// `T::Acc`) — the ground truth for the narrow-dtype tier. Products are
+/// summed in `f64` over the widened operands: exact for int8 (every
+/// partial sum fits in 53 bits for any practical `K`), and the maximal-
+/// accuracy oracle for bf16. For f32/f64 (`Acc = T`) this is identical to
+/// [`naive_gemm_views`].
+pub fn naive_gemm_views_acc<T: Dtype>(
+    a: &MatrixView<'_, T>,
+    b: &MatrixView<'_, T>,
+    c: &mut MatrixViewMut<'_, T::Acc>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimensions differ");
+    assert_eq!(c.rows(), m, "C row count mismatch");
+    assert_eq!(c.cols(), n, "C col count mismatch");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a.get(i, kk).widen().to_f64() * b.get(kk, j).widen().to_f64();
+            }
+            let v = c.get(i, j);
+            c.set(i, j, v + <T::Acc>::from_f64(acc));
         }
     }
 }

@@ -1,0 +1,110 @@
+//! Issue-width probe for the VNNI acceptance target: times register-only
+//! loops of 8 independent `vpdpbusd` / `vfmadd231ps` zmm ops (no memory
+//! traffic) and reports each in billions of instructions per second. The
+//! ratio tells you how many VNNI MAC slots the host really has per FMA
+//! slot — Ice-Lake-class servers issue `vpdpbusd zmm` on one port while
+//! 512-bit FMA uses two, capping int8 at exactly 2x f32 kernel peak.
+//! Run with `cargo run --release -p cake-kernels --example port_probe`.
+
+#[cfg(target_arch = "x86_64")]
+mod probe {
+    use std::arch::x86_64::*;
+    use std::time::Instant;
+
+    /// # Safety
+    /// Caller must have verified avx512f/bw/vnni via feature detection.
+    #[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+    pub unsafe fn dpbusd_rate(iters: u64) -> (f64, i32) {
+        let va = _mm512_set1_epi8(3);
+        let vb = _mm512_set1_epi8(5);
+        let (mut a0, mut a1, mut a2, mut a3) = (
+            _mm512_set1_epi32(1),
+            _mm512_set1_epi32(2),
+            _mm512_set1_epi32(3),
+            _mm512_set1_epi32(4),
+        );
+        let (mut a4, mut a5, mut a6, mut a7) = (
+            _mm512_set1_epi32(5),
+            _mm512_set1_epi32(6),
+            _mm512_set1_epi32(7),
+            _mm512_set1_epi32(8),
+        );
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            a0 = _mm512_dpbusd_epi32(a0, va, vb);
+            a1 = _mm512_dpbusd_epi32(a1, va, vb);
+            a2 = _mm512_dpbusd_epi32(a2, va, vb);
+            a3 = _mm512_dpbusd_epi32(a3, va, vb);
+            a4 = _mm512_dpbusd_epi32(a4, va, vb);
+            a5 = _mm512_dpbusd_epi32(a5, va, vb);
+            a6 = _mm512_dpbusd_epi32(a6, va, vb);
+            a7 = _mm512_dpbusd_epi32(a7, va, vb);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let sum = _mm512_add_epi32(
+            _mm512_add_epi32(_mm512_add_epi32(a0, a1), _mm512_add_epi32(a2, a3)),
+            _mm512_add_epi32(_mm512_add_epi32(a4, a5), _mm512_add_epi32(a6, a7)),
+        );
+        (dt, _mm512_reduce_add_epi32(sum))
+    }
+
+    /// # Safety
+    /// Caller must have verified avx512f via feature detection.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn fmadd_rate(iters: u64) -> (f64, f32) {
+        let fa = _mm512_set1_ps(1.000001);
+        let (mut a0, mut a1, mut a2, mut a3) = (
+            _mm512_set1_ps(1.0),
+            _mm512_set1_ps(2.0),
+            _mm512_set1_ps(3.0),
+            _mm512_set1_ps(4.0),
+        );
+        let (mut a4, mut a5, mut a6, mut a7) = (
+            _mm512_set1_ps(5.0),
+            _mm512_set1_ps(6.0),
+            _mm512_set1_ps(7.0),
+            _mm512_set1_ps(8.0),
+        );
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            a0 = _mm512_fmadd_ps(fa, a0, fa);
+            a1 = _mm512_fmadd_ps(fa, a1, fa);
+            a2 = _mm512_fmadd_ps(fa, a2, fa);
+            a3 = _mm512_fmadd_ps(fa, a3, fa);
+            a4 = _mm512_fmadd_ps(fa, a4, fa);
+            a5 = _mm512_fmadd_ps(fa, a5, fa);
+            a6 = _mm512_fmadd_ps(fa, a6, fa);
+            a7 = _mm512_fmadd_ps(fa, a7, fa);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let sum = _mm512_add_ps(
+            _mm512_add_ps(_mm512_add_ps(a0, a1), _mm512_add_ps(a2, a3)),
+            _mm512_add_ps(_mm512_add_ps(a4, a5), _mm512_add_ps(a6, a7)),
+        );
+        (dt, _mm512_reduce_add_ps(sum))
+    }
+}
+
+fn main() {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !is_x86_feature_detected!("avx512vnni") || !is_x86_feature_detected!("avx512bw") {
+            println!("no avx512vnni+bw on this host");
+            return;
+        }
+        let iters = 200_000_000u64;
+        // SAFETY: the is_x86_feature_detected! guard above covers every
+        // feature both probe loops enable; register-only, no pointers.
+        let (dp, sink) = unsafe { probe::dpbusd_rate(iters) };
+        // SAFETY: avx512f is implied by the avx512vnni check above.
+        let (fm, fsink) = unsafe { probe::fmadd_rate(iters) };
+        let gdp = 8.0 * iters as f64 / dp / 1e9;
+        let gfm = 8.0 * iters as f64 / fm / 1e9;
+        println!(
+            "vpdpbusd zmm: {gdp:6.2} Ginstr/s   vfmadd zmm: {gfm:6.2} Ginstr/s   vnni/fma issue ratio: {:.2}  (sinks {sink} {fsink})",
+            gdp / gfm
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    println!("x86_64 only");
+}

@@ -1,0 +1,69 @@
+//! Microkernel-only throughput probe: times each best-tier kernel on hot
+//! packed panels (no executor, no packing) to isolate register-tile
+//! performance. Kernels are measured in interleaved rounds with the
+//! per-kernel best kept, so slow clock drift on a noisy host biases every
+//! kernel equally instead of whichever ran last. Run with
+//! `cargo run --release -p cake-kernels --example ukr_bench [kc] [rounds]`.
+
+use std::time::Instant;
+
+struct Probe {
+    name: &'static str,
+    dims: (usize, usize),
+    best: f64, // seconds per burst
+    run: Box<dyn FnMut()>,
+}
+
+fn probe<T: cake_kernels::select::KernelSelect>(kc: usize, burst: usize) -> Probe {
+    let ukr = cake_kernels::best_kernel::<T>();
+    let (mr, nr) = (ukr.mr(), ukr.nr());
+    let a = vec![T::default(); kc * mr];
+    let b = vec![T::default(); kc * nr];
+    let mut c = vec![<T as cake_matrix::Dtype>::Acc::default(); mr * nr];
+    Probe {
+        name: ukr.name(),
+        dims: (mr, nr),
+        best: f64::INFINITY,
+        run: Box::new(move || {
+            for _ in 0..burst {
+                // SAFETY: a/b/c are sized to the kernel's own mr/nr/kc
+                // contract (kc*mr, kc*nr, mr*nr) and outlive the closure;
+                // rsc = nr with csc = 1 is the packed row-major C layout.
+                unsafe { ukr.call(kc, a.as_ptr(), b.as_ptr(), c.as_mut_ptr(), nr, 1) };
+            }
+        }),
+    }
+}
+
+fn main() {
+    let kc: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(256);
+    let rounds: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(30);
+    let burst = 2000usize;
+    let mut probes = vec![
+        probe::<f32>(kc, burst),
+        probe::<f64>(kc, burst),
+        probe::<cake_matrix::Bf16>(kc, burst),
+        probe::<i8>(kc, burst),
+    ];
+    for p in probes.iter_mut() {
+        (p.run)(); // warmup
+    }
+    for _ in 0..rounds {
+        for p in probes.iter_mut() {
+            let t0 = Instant::now();
+            (p.run)();
+            p.best = p.best.min(t0.elapsed().as_secs_f64());
+        }
+    }
+    let f32_gops = {
+        let p = &probes[0];
+        2.0 * (p.dims.0 * p.dims.1 * kc * burst) as f64 / p.best / 1e9
+    };
+    for p in &probes {
+        let gops = 2.0 * (p.dims.0 * p.dims.1 * kc * burst) as f64 / p.best / 1e9;
+        println!(
+            "{:<24} {}x{} kc={kc}: {:8.2} GOP/s  ({:.2}x f32)",
+            p.name, p.dims.0, p.dims.1, gops, gops / f32_gops
+        );
+    }
+}

@@ -17,6 +17,8 @@
 
 use core::arch::x86_64::*;
 
+use cake_matrix::Bf16;
+
 use crate::avx512::PF_DIST_K;
 use crate::ukernel::Ukr;
 
@@ -33,6 +35,32 @@ pub fn avx2_f32_6x16() -> Option<Ukr<f32>> {
 pub fn avx2_f64_4x8() -> Option<Ukr<f64>> {
     if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
         Some(Ukr::new(4, 8, "avx2_f64_4x8", ukr_f64_4x8))
+    } else {
+        None
+    }
+}
+
+/// The int8 `4x8` AVX2 kernel (i32 accumulate), if the CPU supports it.
+///
+/// Correctness-first fallback tier: operands are sign-extended to i32
+/// lanes (`vpmovsxbd` for the B row, scalar sign-extend + broadcast for
+/// A) and multiplied with `vpmulld` — exact, because an i8 x i8 product
+/// always fits 32 bits. No `vpmaddubsw` anywhere: its intermediate i16
+/// saturation would silently clamp `(-128) * (-128) + (-128) * (-128)`.
+pub fn avx2_i8_4x8() -> Option<Ukr<i8>> {
+    if is_x86_feature_detected!("avx2") {
+        Some(Ukr::new(4, 8, "avx2_i8_4x8", ukr_i8_4x8))
+    } else {
+        None
+    }
+}
+
+/// The bf16 `4x8` AVX2+FMA kernel (f32 accumulate), if the CPU supports
+/// it. bf16 operands widen to f32 exactly (append 16 zero mantissa bits),
+/// so this is the f32 kernel's FMA loop behind a cheap integer shift.
+pub fn avx2_bf16_4x8() -> Option<Ukr<Bf16>> {
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        Some(Ukr::new(4, 8, "avx2_bf16_4x8", ukr_bf16_4x8))
     } else {
         None
     }
@@ -57,6 +85,149 @@ unsafe fn ukr_f64_4x8(kc: usize, a: *const f64, b: *const f64, c: *mut f64, rsc:
     // SAFETY: installed by `avx2_f64_4x8` after AVX2+FMA detection; the
     // caller upholds UkrFn's contract.
     unsafe { ukr_f64_4x8_impl(kc, a, b, c, rsc, csc) }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX2 must be available.
+unsafe fn ukr_i8_4x8(kc: usize, a: *const i8, b: *const i8, c: *mut i32, rsc: usize, csc: usize) {
+    // SAFETY: installed by `avx2_i8_4x8` after AVX2 detection; the caller
+    // upholds UkrFn's contract.
+    unsafe { ukr_i8_4x8_impl(kc, a, b, c, rsc, csc) }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX2+FMA must be available.
+unsafe fn ukr_bf16_4x8(kc: usize, a: *const Bf16, b: *const Bf16, c: *mut f32, rsc: usize, csc: usize) {
+    // SAFETY: installed by `avx2_bf16_4x8` after AVX2+FMA detection; the
+    // caller upholds UkrFn's contract.
+    unsafe { ukr_bf16_4x8_impl(kc, a, b, c, rsc, csc) }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; AVX2 enforced by `target_feature`.
+#[target_feature(enable = "avx2")]
+unsafe fn ukr_i8_4x8_impl(
+    kc: usize,
+    a: *const i8,
+    b: *const i8,
+    c: *mut i32,
+    rsc: usize,
+    csc: usize,
+) {
+    const MR: usize = 4;
+
+    // SAFETY: UkrFn's contract gives `a` kc*4 i8 elements, `b` kc*8 i8
+    // elements, and valid non-aliasing C addresses c[i*rsc + j*csc] for
+    // i < 4, j < 8. The B load reads the 8 bytes b[k*8 .. k*8+8] (in
+    // bounds for k < kc), the A reads are single bytes a[k*4 + i], the
+    // prefetch offsets are clamped to the packed ranges, and the
+    // unaligned load/store intrinsics have no alignment requirement.
+    unsafe {
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
+        let mut acc = [_mm256_setzero_si256(); MR];
+
+        for k in 0..kc {
+            let kpf = (k + PF_DIST_K).min(kc - 1);
+            _mm_prefetch(a.add(kpf * MR), _MM_HINT_T0);
+            _mm_prefetch(b.add(kpf * 8), _MM_HINT_T0);
+
+            // 8 B bytes -> 8 sign-extended i32 lanes.
+            let braw = _mm_loadl_epi64(b.add(k * 8).cast::<__m128i>());
+            let bk = _mm256_cvtepi8_epi32(braw);
+            let ak = a.add(k * MR);
+            for (i, accr) in acc.iter_mut().enumerate() {
+                let ai = _mm256_set1_epi32(*ak.add(i) as i32);
+                *accr = _mm256_add_epi32(*accr, _mm256_mullo_epi32(ai, bk));
+            }
+        }
+
+        if csc == 1 {
+            for (i, accv) in acc.iter().enumerate() {
+                let row = c.add(i * rsc).cast::<__m256i>();
+                let cur = _mm256_loadu_si256(row);
+                _mm256_storeu_si256(row, _mm256_add_epi32(cur, *accv));
+            }
+        } else {
+            let mut lanes = [0i32; 8];
+            for (i, accv) in acc.iter().enumerate() {
+                _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), *accv);
+                for (j, &v) in lanes.iter().enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += v;
+                }
+            }
+        }
+    }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; AVX2+FMA enforced by `target_feature`.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn ukr_bf16_4x8_impl(
+    kc: usize,
+    a: *const Bf16,
+    b: *const Bf16,
+    c: *mut f32,
+    rsc: usize,
+    csc: usize,
+) {
+    const MR: usize = 4;
+
+    // SAFETY: UkrFn's contract gives `a` kc*4 bf16 elements, `b` kc*8 bf16
+    // elements, and valid non-aliasing C addresses c[i*rsc + j*csc] for
+    // i < 4, j < 8. The B load reads the 16 bytes of b[k*8 .. k*8+8]
+    // (in bounds for k < kc), A reads are single u16s, the prefetch
+    // offsets are clamped to the packed ranges, and the unaligned
+    // load/store intrinsics have no alignment requirement.
+    unsafe {
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
+        let mut acc = [_mm256_setzero_ps(); MR];
+
+        for k in 0..kc {
+            let kpf = (k + PF_DIST_K).min(kc - 1);
+            _mm_prefetch(a.add(kpf * MR).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(b.add(kpf * 8).cast::<i8>(), _MM_HINT_T0);
+
+            // 8 bf16 -> 8 f32 lanes: zero-extend each u16 into the high
+            // half of an i32 lane (exact bf16 -> f32 widening).
+            let braw = _mm_loadu_si128(b.add(k * 8).cast::<__m128i>());
+            let bwide = _mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(braw));
+            let bk = _mm256_castsi256_ps(bwide);
+            let ak = a.add(k * MR).cast::<u16>();
+            for (i, accr) in acc.iter_mut().enumerate() {
+                let bits = (*ak.add(i) as u32) << 16;
+                let ai = _mm256_castsi256_ps(_mm256_set1_epi32(bits as i32));
+                *accr = _mm256_fmadd_ps(ai, bk, *accr);
+            }
+        }
+
+        if csc == 1 {
+            for (i, accv) in acc.iter().enumerate() {
+                let row = c.add(i * rsc);
+                let cur = _mm256_loadu_ps(row);
+                _mm256_storeu_ps(row, _mm256_add_ps(cur, *accv));
+            }
+        } else {
+            let mut lanes = [0.0f32; 8];
+            for (i, accv) in acc.iter().enumerate() {
+                _mm256_storeu_ps(lanes.as_mut_ptr(), *accv);
+                for (j, &v) in lanes.iter().enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += v;
+                }
+            }
+        }
+    }
 }
 
 /// # Safety
@@ -261,6 +432,68 @@ mod tests {
                 assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()), "{x} vs {y}");
             }
         }
+    }
+
+    #[test]
+    fn i8_matches_reference_exactly_various_strides() {
+        let Some(ukr) = avx2_i8_4x8() else {
+            eprintln!("AVX2 not available; skipping");
+            return;
+        };
+        for (kc, rsc, csc, len) in [(1, 8, 1, 32), (23, 11, 1, 44), (23, 1, 4, 32), (257, 8, 1, 32)] {
+            let a = init::random_i8(kc, 4, 17);
+            let b = init::random_i8(kc, 8, 18);
+            let mut c1 = vec![3i32; len];
+            let mut c2 = c1.clone();
+            // SAFETY: a/b are kc*4- and kc*8-element slivers; each (rsc,
+            // csc, len) triple satisfies 3*rsc + 7*csc < len.
+            unsafe {
+                ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
+            };
+            reference_ukr(kc, 4, 8, a.as_slice(), b.as_slice(), &mut c2, rsc, csc);
+            assert_eq!(c1, c2, "kc={kc} rsc={rsc} csc={csc}");
+        }
+    }
+
+    #[test]
+    fn bf16_matches_reference_exactly_various_strides() {
+        let Some(ukr) = avx2_bf16_4x8() else {
+            eprintln!("AVX2/FMA not available; skipping");
+            return;
+        };
+        for (kc, rsc, csc, len) in [(1, 8, 1, 32), (23, 11, 1, 44), (23, 1, 4, 32)] {
+            let a = init::random::<cake_matrix::Bf16>(kc, 4, 19);
+            let b = init::random::<cake_matrix::Bf16>(kc, 8, 20);
+            let mut c1 = vec![0.25f32; len];
+            let mut c2 = c1.clone();
+            // SAFETY: a/b are kc*4- and kc*8-element slivers; each (rsc,
+            // csc, len) triple satisfies 3*rsc + 7*csc < len.
+            unsafe {
+                ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
+            };
+            reference_ukr(kc, 4, 8, a.as_slice(), b.as_slice(), &mut c2, rsc, csc);
+            // FMA contraction in the kernel vs separate mul+add in the
+            // reference: allow 2 ULP-ish relative slack per element.
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_extreme_values_do_not_saturate() {
+        // (-128)*(-128) summed over k: would clamp under vpmaddubsw-style
+        // i16 saturation — must be exact here.
+        let Some(ukr) = avx2_i8_4x8() else {
+            return;
+        };
+        let kc = 16;
+        let a = vec![-128i8; kc * 4];
+        let b = vec![-128i8; kc * 8];
+        let mut c = vec![0i32; 32];
+        // SAFETY: a/b are kc*4 and kc*8 slivers; c is a dense 4x8 tile.
+        unsafe { ukr.call(kc, a.as_ptr(), b.as_ptr(), c.as_mut_ptr(), 8, 1) };
+        assert!(c.iter().all(|&x| x == 16384 * kc as i32));
     }
 
     #[test]

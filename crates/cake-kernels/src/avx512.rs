@@ -20,6 +20,8 @@
 
 use core::arch::x86_64::*;
 
+use cake_matrix::Bf16;
+
 use crate::ukernel::Ukr;
 
 /// K-loop software-prefetch distance, in k iterations. One iteration of
@@ -41,6 +43,45 @@ pub fn avx512_f32_14x32() -> Option<Ukr<f32>> {
 pub fn avx512_f64_8x16() -> Option<Ukr<f64>> {
     if is_x86_feature_detected!("avx512f") {
         Some(Ukr::new(8, 16, "avx512_f64_8x16", ukr_f64_8x16))
+    } else {
+        None
+    }
+}
+
+/// The int8 `16x16` AVX-512 VNNI kernel (i32 accumulate), if the CPU
+/// supports it. Needs F+BW (byte masks), VNNI (`vpdpbusd`), and VBMI
+/// (`vpermb` for the in-register 4-k interleave — the packed sliver
+/// layout stays plain k-major, shared with every other dtype).
+///
+/// `vpdpbusd` multiplies *unsigned* bytes by signed bytes, so A is biased
+/// by +128 (one XOR) and the bias is cancelled at store time with a
+/// per-column compensation row: `C += acc - 128 * sum_k B[k][j]`, where
+/// the column sums ride along in a 17th accumulator fed by an all-ones
+/// unsigned operand. The compensation is exact in i32, so the kernel is
+/// bit-exact against the widening scalar reference for all inputs,
+/// including `-128` and zero-padded sliver tails.
+pub fn avx512_vnni_i8_16x16() -> Option<Ukr<i8>> {
+    if is_x86_feature_detected!("avx512f")
+        && is_x86_feature_detected!("avx512bw")
+        && is_x86_feature_detected!("avx512vnni")
+        && is_x86_feature_detected!("avx512vbmi")
+    {
+        Some(Ukr::new(16, 16, "avx512_vnni_i8_16x16", ukr_i8_16x16))
+    } else {
+        None
+    }
+}
+
+/// The bf16 `14x32` AVX-512 BF16 kernel (f32 accumulate), if the CPU
+/// supports it. Needs F+BW (`vpermt2w` for the in-register 2-k pair
+/// interleave) and BF16 (`vdpbf16ps`). Same 14x32 tile as the f32 kernel:
+/// 28 f32 accumulators, each `vdpbf16ps` retiring two k steps.
+pub fn avx512_bf16_14x32() -> Option<Ukr<Bf16>> {
+    if is_x86_feature_detected!("avx512f")
+        && is_x86_feature_detected!("avx512bw")
+        && is_x86_feature_detected!("avx512bf16")
+    {
+        Some(Ukr::new(14, 32, "avx512_bf16_14x32", ukr_bf16_14x32))
     } else {
         None
     }
@@ -207,6 +248,342 @@ unsafe fn ukr_f64_8x16_impl(
     }
 }
 
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX-512 F/BW/VNNI/VBMI must
+/// be available.
+unsafe fn ukr_i8_16x16(kc: usize, a: *const i8, b: *const i8, c: *mut i32, rsc: usize, csc: usize) {
+    // SAFETY: installed by `avx512_vnni_i8_16x16` after runtime detection
+    // of all four features; the caller upholds UkrFn's contract.
+    unsafe { ukr_i8_16x16_impl(kc, a, b, c, rsc, csc) }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract, plus AVX-512 F/BW/BF16 must be
+/// available.
+unsafe fn ukr_bf16_14x32(kc: usize, a: *const Bf16, b: *const Bf16, c: *mut f32, rsc: usize, csc: usize) {
+    // SAFETY: installed by `avx512_bf16_14x32` after runtime detection of
+    // all three features; the caller upholds UkrFn's contract.
+    unsafe { ukr_bf16_14x32_impl(kc, a, b, c, rsc, csc) }
+}
+
+/// Groups of four k values staged per chunk of the VNNI kernel's A
+/// pre-pass (4 KiB of stack — comfortably L1-resident alongside the B
+/// panel slice the hot loop streams).
+const VNNI_CHUNK: usize = 64;
+
+/// 64-byte-aligned staging buffer: the VNNI kernel's pre-pass writes one
+/// permuted+biased A group (16 dwords) per slot, and the hot loop reads
+/// each row operand back as a plain `vpbroadcastd` load (one port-2/3
+/// uop) instead of a cross-lane shuffle — shuffles share ports with
+/// `vpdpbusd`, so every one issued in the hot loop would steal a MAC slot.
+#[repr(align(64))]
+struct Staged {
+    // Accessed exclusively through `MaybeUninit` pointer casts; the field
+    // exists to give the buffer its size and 64-byte alignment.
+    _slots: [i32; 16 * VNNI_CHUNK],
+}
+
+/// 4-k interleave permutation for the VNNI kernel: output byte
+/// `4*lane + t` takes input byte `t*16 + lane`, so one 64-byte load of
+/// four k-major 16-wide rows becomes one dword per row/column holding
+/// its four consecutive k values — exactly `vpdpbusd`'s operand shape.
+/// The same index serves A and B because both use 16-element rows.
+static VNNI_IDX: [u8; 64] = vnni_idx();
+
+const fn vnni_idx() -> [u8; 64] {
+    let mut idx = [0u8; 64];
+    let mut lane = 0;
+    while lane < 16 {
+        let mut t = 0;
+        while t < 4 {
+            idx[4 * lane + t] = (t * 16 + lane) as u8;
+            t += 1;
+        }
+        lane += 1;
+    }
+    idx
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; features enforced by
+/// `target_feature`.
+#[target_feature(enable = "avx512f,avx512bw,avx512vnni,avx512vbmi")]
+unsafe fn ukr_i8_16x16_impl(
+    kc: usize,
+    a: *const i8,
+    b: *const i8,
+    c: *mut i32,
+    rsc: usize,
+    csc: usize,
+) {
+    const MR: usize = 16;
+    const NR: usize = 16;
+
+    // UkrFn's contract gives `a` kc*16 i8 elements, `b` kc*16 i8 elements,
+    // and valid non-aliasing C addresses c[i*rsc + j*csc] for i < 16,
+    // j < 16. Full-group loads read the 64 bytes at offset k0*16 with
+    // k0 + 4 <= kc, so they stay inside kc*16; the tail load is byte-masked
+    // to the remaining rem*16 bytes (masked-off bytes are never touched).
+    // SAFETY: the contract above bounds every pointer add; prefetch offsets
+    // are clamped to [0, kc); the unaligned intrinsics have no alignment
+    // requirement; the relay store is 64 bytes into an align(64) buffer.
+    unsafe {
+        // Load the permutation through an opaque pointer: with a
+        // known-constant selector LLVM rewrites the staging `vpermb` into
+        // a ~13-op xmm unpack chain that floods the shuffle ports the
+        // MACs need. One black_box per call pins it as a single vpermb.
+        let vidx = _mm512_loadu_si512(std::hint::black_box(VNNI_IDX.as_ptr()).cast());
+        // a ^ 0x80 == a + 128 reinterpreted as unsigned: vpdpbusd wants a
+        // u8 left operand. The +128 bias adds 128 * sum_k b[k][j] to every
+        // accumulator row, which `comp` tracks exactly for store-time
+        // cancellation.
+        let bias = _mm512_set1_epi8(-128i8);
+        let ones = _mm512_set1_epi8(1);
+
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
+        let mut acc = [_mm512_setzero_si512(); MR];
+        let mut comp = _mm512_setzero_si512();
+        // Deliberately uninitialized: zero-filling 8 KiB of staging per
+        // call compiles to a memset that dwarfs the MAC loop at small kc.
+        // Every slot the kernel reads is stored first — the prologue
+        // stages chunk 0's `min(VNNI_CHUNK, groups)` slots, iteration ci
+        // reads exactly the `len` slots that the prologue (ci = 0) or
+        // iteration ci-1's staging pass (`nlen == len` of ci) wrote, and
+        // the k-tail writes slot 0 of `staged[0]` before reading it.
+        let mut staged = [
+            std::mem::MaybeUninit::<Staged>::uninit(),
+            std::mem::MaybeUninit::<Staged>::uninit(),
+        ];
+
+        let groups = kc / 4;
+        let rem = kc % 4;
+
+        // Chunk-pipelined schedule: while the hot loop consumes chunk c's
+        // staged A groups as dword broadcasts, it also permutes+biases
+        // chunk c+1 into the other staging buffer. The staging shuffles
+        // ride the hot loop's idle shuffle/store slots (`vpdpbusd` leaves
+        // them free), and every staged read sits a whole chunk after its
+        // store — so staging costs neither MAC slots nor forwarding stalls.
+        let chunks = groups.div_ceil(VNNI_CHUNK);
+        for cg in 0..VNNI_CHUNK.min(groups) {
+            // Prologue: stage chunk 0.
+            let araw = _mm512_loadu_si512(a.add(cg * 4 * MR).cast());
+            let au = _mm512_xor_si512(_mm512_permutexvar_epi8(vidx, araw), bias);
+            _mm512_storeu_si512(staged[0].as_mut_ptr().cast::<i32>().add(cg * 16).cast(), au);
+        }
+        for ci in 0..chunks {
+            let base = ci * VNNI_CHUNK;
+            let len = VNNI_CHUNK.min(groups - base);
+            let nbase = base + len;
+            let nlen = VNNI_CHUNK.min(groups.saturating_sub(nbase));
+            let cur = staged[ci & 1].as_ptr().cast::<i32>();
+            let nxt = staged[(ci + 1) & 1].as_mut_ptr().cast::<i32>();
+            for cg in 0..len {
+                if cg < nlen {
+                    let araw = _mm512_loadu_si512(a.add((nbase + cg) * 4 * MR).cast());
+                    let au = _mm512_xor_si512(_mm512_permutexvar_epi8(vidx, araw), bias);
+                    _mm512_storeu_si512(nxt.add(cg * 16).cast(), au);
+                }
+                let k0 = (base + cg) * 4;
+                let kpf = (k0 + 4 * PF_DIST_K).min(kc - 1);
+                _mm_prefetch(b.add(kpf * NR), _MM_HINT_T0);
+                let braw = _mm512_loadu_si512(b.add(k0 * NR).cast());
+                let bperm = _mm512_permutexvar_epi8(vidx, braw);
+                comp = _mm512_dpbusd_epi32(comp, ones, bperm);
+                for (i, accr) in acc.iter_mut().enumerate() {
+                    let va = _mm512_set1_epi32(*cur.add(cg * 16 + i));
+                    *accr = _mm512_dpbusd_epi32(*accr, va, bperm);
+                }
+            }
+        }
+
+        if rem > 0 {
+            // Tail: load only the rem*16 live bytes. After the bias XOR
+            // the dead A bytes read 0x80, but their B partners are zero,
+            // so both acc and comp gain exactly 0 from dead lanes.
+            let k0 = groups * 4;
+            let mask: __mmask64 = (1u64 << (rem * 16)) - 1;
+            let araw = _mm512_maskz_loadu_epi8(mask, a.add(k0 * MR));
+            let braw = _mm512_maskz_loadu_epi8(mask, b.add(k0 * NR));
+            let bperm = _mm512_permutexvar_epi8(vidx, braw);
+            let au = _mm512_xor_si512(_mm512_permutexvar_epi8(vidx, araw), bias);
+            let tail = staged[0].as_mut_ptr().cast::<i32>();
+            _mm512_storeu_si512(tail.cast(), au);
+            comp = _mm512_dpbusd_epi32(comp, ones, bperm);
+            for (i, accr) in acc.iter_mut().enumerate() {
+                let va = _mm512_set1_epi32(*tail.add(i));
+                *accr = _mm512_dpbusd_epi32(*accr, va, bperm);
+            }
+        }
+
+        // C[i][j] += acc[i][j] - 128 * comp[j].
+        let comp128 = _mm512_slli_epi32::<7>(comp);
+        if csc == 1 {
+            for (i, accv) in acc.iter().enumerate() {
+                let row = c.add(i * rsc);
+                let cur = _mm512_loadu_si512(row.cast());
+                let val = _mm512_add_epi32(cur, _mm512_sub_epi32(*accv, comp128));
+                _mm512_storeu_si512(row.cast(), val);
+            }
+        } else {
+            let mut lanes = [0i32; NR];
+            let mut comp_lanes = [0i32; NR];
+            _mm512_storeu_si512(comp_lanes.as_mut_ptr().cast(), comp128);
+            for (i, accv) in acc.iter().enumerate() {
+                _mm512_storeu_si512(lanes.as_mut_ptr().cast(), *accv);
+                for (j, (&lv, &cv)) in lanes.iter().zip(comp_lanes.iter()).enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += lv - cv;
+                }
+            }
+        }
+    }
+}
+
+/// # Safety
+/// [`crate::ukernel::UkrFn`]'s contract; features enforced by
+/// `target_feature`.
+#[target_feature(enable = "avx512f,avx512bw,avx512bf16")]
+unsafe fn ukr_bf16_14x32_impl(
+    kc: usize,
+    a: *const Bf16,
+    b: *const Bf16,
+    c: *mut f32,
+    rsc: usize,
+    csc: usize,
+) {
+    const MR: usize = 14;
+    const NR: usize = 32;
+
+    // 2-k pair interleave for vpermt2w: output word 2j takes word j of
+    // the even-k row (selector j), word 2j+1 takes word j of the odd-k
+    // row (selector 32 + j). `lo` covers columns 0..16, `hi` 16..32 —
+    // each produces 16 column-pairs, vdpbf16ps's operand shape.
+    let mut idx_lo = [0u16; 32];
+    let mut idx_hi = [0u16; 32];
+    for j in 0..16 {
+        idx_lo[2 * j] = j as u16;
+        idx_lo[2 * j + 1] = (32 + j) as u16;
+        idx_hi[2 * j] = (16 + j) as u16;
+        idx_hi[2 * j + 1] = (48 + j) as u16;
+    }
+    // Opaque for the same reason as the VNNI kernel's index: a constant
+    // selector invites LLVM to lower vpermt2w into unpack chains.
+    let idx_lo = std::hint::black_box(idx_lo);
+    let idx_hi = std::hint::black_box(idx_hi);
+
+    // UkrFn's contract gives `a` kc*14 bf16 elements, `b` kc*32 bf16
+    // elements, and valid non-aliasing C addresses c[i*rsc + j*csc] for
+    // i < 14, j < 32. B-row loads read the 64 bytes of row k (k < kc,
+    // offset k*32 words); A-row loads are word-masked to the row's 14 live
+    // words (masked-off words never touched); the odd-kc tail pairs the
+    // last row with an all-zero register, reading nothing extra.
+    // SAFETY: the contract above bounds every pointer add; prefetch offsets
+    // are clamped to [0, kc); the unaligned intrinsics have no alignment
+    // requirement; staging stores land at slot cp < VNNI_CHUNK, 64 bytes
+    // each, inside the align(64) `Staged` buffer of 16 * VNNI_CHUNK dwords.
+    unsafe {
+        let vlo = _mm512_loadu_si512(idx_lo.as_ptr().cast());
+        let vhi = _mm512_loadu_si512(idx_hi.as_ptr().cast());
+        let amask: __mmask32 = 0x3FFF; // 14 live words per A row
+
+        if csc == 1 {
+            for i in 0..MR {
+                _mm_prefetch(c.add(i * rsc).cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+
+        let mut acc0 = [_mm512_setzero_ps(); MR];
+        let mut acc1 = [_mm512_setzero_ps(); MR];
+        // Uninitialized for the same reason as the VNNI kernel: the 4 KiB
+        // zero-fill is a per-call memset, and every slot read below is
+        // stored by the pre-pass (slots 0..chunk) or the odd tail (slot 0)
+        // before the hot loop touches it.
+        let mut staged = std::mem::MaybeUninit::<Staged>::uninit();
+        let stage = staged.as_mut_ptr().cast::<i32>();
+
+        // Chunked two-pass schedule, same as the VNNI kernel: the pre-pass
+        // pair-interleaves up to VNNI_CHUNK A row pairs into `staged` (one
+        // 64-byte slot per pair), then the hot loop re-reads each row's
+        // k-pair as a dword broadcast — keeping every vpermt2w out of the
+        // hot loop and every staging read a full pass away from its store.
+        let pairs = kc / 2;
+        let mut p0 = 0usize;
+        while p0 < pairs {
+            let chunk = VNNI_CHUNK.min(pairs - p0);
+            for cp in 0..chunk {
+                let k0 = 2 * (p0 + cp);
+                let a0 = _mm512_maskz_loadu_epi16(amask, a.add(k0 * MR).cast::<i16>());
+                let a1 = _mm512_maskz_loadu_epi16(amask, a.add((k0 + 1) * MR).cast::<i16>());
+                let apair = _mm512_permutex2var_epi16(a0, vlo, a1);
+                _mm512_storeu_si512(stage.add(cp * 16).cast(), apair);
+            }
+            for cp in 0..chunk {
+                let k0 = 2 * (p0 + cp);
+                let kpf = (k0 + 2 * PF_DIST_K).min(kc - 1);
+                _mm_prefetch(b.add(kpf * NR).cast::<i8>(), _MM_HINT_T0);
+
+                let b0 = _mm512_loadu_si512(b.add(k0 * NR).cast());
+                let b1 = _mm512_loadu_si512(b.add((k0 + 1) * NR).cast());
+                let blo = _mm512_permutex2var_epi16(b0, vlo, b1);
+                let bhi = _mm512_permutex2var_epi16(b0, vhi, b1);
+
+                for i in 0..MR {
+                    let va: __m512bh = core::mem::transmute(_mm512_set1_epi32(*stage.add(cp * 16 + i)));
+                    acc0[i] =
+                        _mm512_dpbf16_ps(acc0[i], va, core::mem::transmute::<__m512i, __m512bh>(blo));
+                    acc1[i] =
+                        _mm512_dpbf16_ps(acc1[i], va, core::mem::transmute::<__m512i, __m512bh>(bhi));
+                }
+            }
+            p0 += chunk;
+        }
+
+        if kc % 2 == 1 {
+            // Odd tail: pair the final k with a zero row; 0.0bf16 products
+            // contribute exactly 0.0f32 to the dot accumulation.
+            let k0 = kc - 1;
+            let b0 = _mm512_loadu_si512(b.add(k0 * NR).cast());
+            let zero = _mm512_setzero_si512();
+            let blo = _mm512_permutex2var_epi16(b0, vlo, zero);
+            let bhi = _mm512_permutex2var_epi16(b0, vhi, zero);
+            let a0 = _mm512_maskz_loadu_epi16(amask, a.add(k0 * MR).cast::<i16>());
+            let apair = _mm512_permutex2var_epi16(a0, vlo, zero);
+            _mm512_storeu_si512(stage.cast(), apair);
+            for i in 0..MR {
+                let va: __m512bh = core::mem::transmute(_mm512_set1_epi32(*stage.add(i)));
+                acc0[i] = _mm512_dpbf16_ps(acc0[i], va, core::mem::transmute::<__m512i, __m512bh>(blo));
+                acc1[i] = _mm512_dpbf16_ps(acc1[i], va, core::mem::transmute::<__m512i, __m512bh>(bhi));
+            }
+        }
+
+        if csc == 1 {
+            for i in 0..MR {
+                let row = c.add(i * rsc);
+                let c0 = _mm512_loadu_ps(row);
+                let c1 = _mm512_loadu_ps(row.add(16));
+                _mm512_storeu_ps(row, _mm512_add_ps(c0, acc0[i]));
+                _mm512_storeu_ps(row.add(16), _mm512_add_ps(c1, acc1[i]));
+            }
+        } else {
+            let mut lanes = [0.0f32; NR];
+            for i in 0..MR {
+                _mm512_storeu_ps(lanes.as_mut_ptr(), acc0[i]);
+                _mm512_storeu_ps(lanes.as_mut_ptr().add(16), acc1[i]);
+                for (j, &v) in lanes.iter().enumerate() {
+                    let p = c.add(i * rsc + j * csc);
+                    *p += v;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +679,119 @@ mod tests {
         if let Some(kd) = avx512_f64_8x16() {
             assert_eq!((kd.mr(), kd.nr()), (8, 16));
             assert!(kd.mr() * kd.nr() <= crate::edge::MAX_TILE);
+        }
+        if let Some(ki) = avx512_vnni_i8_16x16() {
+            assert_eq!((ki.mr(), ki.nr()), (16, 16));
+            assert!(ki.mr() * ki.nr() <= crate::edge::MAX_TILE);
+        }
+        if let Some(kb) = avx512_bf16_14x32() {
+            assert_eq!((kb.mr(), kb.nr()), (14, 32));
+            assert!(kb.mr() * kb.nr() <= crate::edge::MAX_TILE);
+        }
+    }
+
+    #[test]
+    fn i8_matches_reference_exactly_various_kc_and_strides() {
+        let Some(ukr) = avx512_vnni_i8_16x16() else {
+            eprintln!("AVX-512 VNNI/VBMI not available; skipping");
+            return;
+        };
+        // kc sweeps every tail residue (rem 0..3) plus long runs.
+        for (kc, rsc, csc, len) in [
+            (1, 16, 1, 256),
+            (2, 16, 1, 256),
+            (3, 16, 1, 256),
+            (4, 16, 1, 256),
+            (5, 16, 1, 256),
+            (63, 19, 1, 16 * 19),
+            (64, 16, 1, 256),
+            (257, 1, 16, 256),
+        ] {
+            let a = init::random_i8(kc, 16, kc as u64);
+            let b = init::random_i8(kc, 16, kc as u64 + 1);
+            let mut c1 = vec![-3i32; len];
+            let mut c2 = c1.clone();
+            // SAFETY: a/b are kc*16-element slivers; each (rsc, csc, len)
+            // triple satisfies 15*rsc + 15*csc < len.
+            unsafe {
+                ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
+            };
+            reference_ukr(kc, 16, 16, a.as_slice(), b.as_slice(), &mut c2, rsc, csc);
+            assert_eq!(c1, c2, "kc={kc} rsc={rsc} csc={csc}");
+        }
+    }
+
+    #[test]
+    fn i8_bias_compensation_is_exact_at_extremes() {
+        // -128 x -128 everywhere: the biased unsigned operand is 0, so the
+        // whole result rides on the compensation row being exact.
+        let Some(ukr) = avx512_vnni_i8_16x16() else {
+            return;
+        };
+        for kc in [1, 3, 4, 7, 32] {
+            let a = vec![-128i8; kc * 16];
+            let b = vec![-128i8; kc * 16];
+            let mut c = vec![0i32; 256];
+            // SAFETY: a/b are kc*16 slivers; c is a dense 16x16 tile.
+            unsafe { ukr.call(kc, a.as_ptr(), b.as_ptr(), c.as_mut_ptr(), 16, 1) };
+            assert!(c.iter().all(|&x| x == 16384 * kc as i32), "kc={kc}");
+        }
+    }
+
+    #[test]
+    fn i8_zero_padded_rows_contribute_nothing() {
+        // Simulates pack_a's zero-padded sliver tail: rows 8.. are zero;
+        // the bias trick must cancel exactly so those C rows stay put.
+        let Some(ukr) = avx512_vnni_i8_16x16() else {
+            return;
+        };
+        let kc = 9;
+        let mut a = vec![0i8; kc * 16];
+        for k in 0..kc {
+            for i in 0..8 {
+                a[k * 16 + i] = (k as i8).wrapping_mul(7).wrapping_add(i as i8);
+            }
+        }
+        let b = init::random_i8(kc, 16, 77);
+        let mut c = vec![5i32; 256];
+        // SAFETY: a/b are kc*16 slivers; c is a dense 16x16 tile.
+        unsafe { ukr.call(kc, a.as_ptr(), b.as_slice().as_ptr(), c.as_mut_ptr(), 16, 1) };
+        for i in 8..16 {
+            for j in 0..16 {
+                assert_eq!(c[i * 16 + j], 5, "padded row changed at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_matches_reference_various_kc_and_strides() {
+        let Some(ukr) = avx512_bf16_14x32() else {
+            eprintln!("AVX-512 BF16 not available; skipping");
+            return;
+        };
+        // Odd and even kc to cover the zero-padded tail pair.
+        for (kc, rsc, csc, len) in [
+            (1, 32, 1, 14 * 32),
+            (2, 32, 1, 14 * 32),
+            (9, 40, 1, 14 * 40),
+            (64, 32, 1, 14 * 32),
+            (17, 1, 14, 32 * 14),
+        ] {
+            let a = init::random::<Bf16>(kc, 14, kc as u64 + 30);
+            let b = init::random::<Bf16>(kc, 32, kc as u64 + 31);
+            let mut c1 = vec![0.75f32; len];
+            let mut c2 = c1.clone();
+            // SAFETY: a/b are kc*14- and kc*32-element slivers; each (rsc,
+            // csc, len) triple satisfies 13*rsc + 31*csc < len.
+            unsafe {
+                ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c1.as_mut_ptr(), rsc, csc)
+            };
+            reference_ukr(kc, 14, 32, a.as_slice(), b.as_slice(), &mut c2, rsc, csc);
+            // Pairwise vdpbf16ps accumulation vs sequential reference: the
+            // products themselves are exact, only summation order differs.
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()) * kc as f32, "{x} vs {y} kc={kc}");
+            }
         }
     }
 }

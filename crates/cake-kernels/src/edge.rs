@@ -6,14 +6,16 @@
 //! computes the full padded tile into a stack scratch buffer and then
 //! accumulates only the live `mrows x ncols` region into `C`.
 
-use cake_matrix::Element;
+use cake_matrix::{Dtype, Element};
 
 use crate::ukernel::Ukr;
 
 /// Upper bound on `mr * nr` across all kernels in this crate
-/// (largest is the AVX-512 f32 `14x32` = 448; AVX2 f32 `6x16` = 96;
-/// portable `8x8` = 64). Sized exactly to the largest registered tile so
-/// the stack scratch stays small (f64: 448 * 8 B = 3.5 KiB).
+/// (largest are the AVX-512 f32/bf16 `14x32` = 448; the int8 VNNI tile is
+/// `16x16` = 256; AVX2 f32 `6x16` = 96; portable `8x8` = 64). Sized
+/// exactly to the largest registered tile so the stack scratch stays small
+/// (f64: 448 * 8 B = 3.5 KiB; the scratch is accumulator-typed, so int8
+/// tiles cost 256 * 4 B).
 pub const MAX_TILE: usize = 448;
 
 /// Run one microkernel invocation with edge masking.
@@ -29,12 +31,12 @@ pub const MAX_TILE: usize = 448;
 /// * `mrows <= mr`, `ncols <= nr`.
 #[inline]
 #[allow(clippy::too_many_arguments)] // mirrors the BLAS ukernel signature
-pub unsafe fn run_tile<T: Element>(
+pub unsafe fn run_tile<T: Dtype>(
     ukr: &Ukr<T>,
     kc: usize,
     a: *const T,
     b: *const T,
-    c: *mut T,
+    c: *mut T::Acc,
     rsc: usize,
     csc: usize,
     mrows: usize,
@@ -52,7 +54,7 @@ pub unsafe fn run_tile<T: Element>(
         return;
     }
     assert!(mr * nr <= MAX_TILE, "kernel tile exceeds scratch capacity");
-    let mut scratch = [T::ZERO; MAX_TILE];
+    let mut scratch = [<T::Acc>::ZERO; MAX_TILE];
     // SAFETY: scratch is mr*nr contiguous (row stride nr), kernel writes
     // exactly that region; a/b contracts forwarded from caller.
     unsafe { ukr.call(kc, a, b, scratch.as_mut_ptr(), nr, 1) };
@@ -143,7 +145,7 @@ mod tests {
     /// `1..=mr x 1..=nr` (the full tile included as the final pair) against
     /// the naive f64-accumulating reference, at a couple of depths so both
     /// short and long K runs cross the scratch-tile path.
-    fn sweep_tails<T: cake_matrix::Element>(ukr: &crate::Ukr<T>) {
+    fn sweep_tails<T: Dtype>(ukr: &crate::Ukr<T>) {
         let (mr, nr) = (ukr.mr(), ukr.nr());
         for k in [1usize, 9] {
             for m in 1..=mr {
@@ -155,7 +157,7 @@ mod tests {
                     pack_a(&a.view(), &mut pa, mr);
                     pack_b(&b.view(), &mut pb, nr);
 
-                    let mut c = Matrix::<T>::zeros(m, n);
+                    let mut c = Matrix::<T::Acc>::zeros(m, n);
                     let ld = c.cols();
                     // SAFETY: pa/pb are ceil-padded packed slivers and c is
                     // a dense m x n tile with rsc=ld=n, csc=1.
@@ -173,17 +175,68 @@ mod tests {
                         );
                     }
 
-                    let mut expected = Matrix::<T>::zeros(m, n);
+                    let mut expected = Matrix::<T::Acc>::zeros(m, n);
                     for i in 0..m {
                         for j in 0..n {
                             let mut s = 0.0f64;
                             for kk in 0..k {
                                 s += a.get(i, kk).to_f64() * b.get(kk, j).to_f64();
                             }
-                            expected.set(i, j, T::from_f64(s));
+                            expected.set(i, j, <T::Acc>::from_f64(s));
                         }
                     }
                     cake_matrix::compare::assert_gemm_eq(&c, &expected, k);
+                }
+            }
+        }
+    }
+
+    /// Exhaustive tail sweep for an int8 kernel: full-range operands,
+    /// bit-exact i32 comparison against a widening scalar reference.
+    fn sweep_tails_i8(ukr: &crate::Ukr<i8>) {
+        let (mr, nr) = (ukr.mr(), ukr.nr());
+        for k in [1usize, 3, 9] {
+            for m in 1..=mr {
+                for n in 1..=nr {
+                    let a = init::random_i8(m, k, (m * 41 + n) as u64);
+                    let b = init::random_i8(k, n, (m * 43 + n + 1) as u64);
+                    let mut pa = vec![0i8; packed_a_size(m, k, mr)];
+                    let mut pb = vec![0i8; packed_b_size(k, n, nr)];
+                    pack_a(&a.view(), &mut pa, mr);
+                    pack_b(&b.view(), &mut pb, nr);
+
+                    let mut c = Matrix::<i32>::zeros(m, n);
+                    let ld = c.cols();
+                    // SAFETY: pa/pb are ceil-padded packed slivers and c is
+                    // a dense m x n i32 tile with rsc=ld=n, csc=1.
+                    unsafe {
+                        run_tile(
+                            ukr,
+                            k,
+                            pa.as_ptr(),
+                            pb.as_ptr(),
+                            c.as_mut_slice().as_mut_ptr(),
+                            ld,
+                            1,
+                            m,
+                            n,
+                        );
+                    }
+
+                    for i in 0..m {
+                        for j in 0..n {
+                            let mut s = 0i32;
+                            for kk in 0..k {
+                                s += a.get(i, kk) as i32 * b.get(kk, j) as i32;
+                            }
+                            assert_eq!(
+                                c.get(i, j),
+                                s,
+                                "{} ({m}x{k}x{n}) at ({i},{j})",
+                                ukr.name()
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -207,6 +260,26 @@ mod tests {
     #[test]
     fn exhaustive_tail_sweep_f64_best() {
         sweep_tails(&crate::select::best_kernel::<f64>());
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_i8_portable() {
+        sweep_tails_i8(&crate::select::portable_kernel::<i8>());
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_i8_best() {
+        sweep_tails_i8(&crate::select::best_kernel::<i8>());
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_bf16_portable() {
+        sweep_tails(&crate::select::portable_kernel::<cake_matrix::Bf16>());
+    }
+
+    #[test]
+    fn exhaustive_tail_sweep_bf16_best() {
+        sweep_tails(&crate::select::best_kernel::<cake_matrix::Bf16>());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! failing, so the same command line works on any machine. Selection
 //! happens once per GEMM call, far off the hot path.
 
-use cake_matrix::Element;
+use cake_matrix::{Bf16, Dtype};
 
 use crate::ukernel::{self, Ukr};
 
@@ -130,27 +130,49 @@ pub fn available_tiers() -> Vec<KernelTier> {
 /// over [`crate::edge::MAX_TILE`] quantifies over this registry, so a new
 /// kernel that outgrows the edge scratch is caught even on hosts that
 /// cannot run it.
-pub const REGISTERED_SHAPES: [(&str, usize, usize); 8] = [
+pub const REGISTERED_SHAPES: [(&str, usize, usize); 14] = [
     ("portable_f32_8x8", 8, 8),
     ("portable_f32_4x4", 4, 4),
     ("portable_f64_4x8", 4, 8),
     ("portable_f64_4x4", 4, 4),
+    ("portable_i8_8x8", 8, 8),
+    ("portable_bf16_8x8", 8, 8),
     ("avx2_f32_6x16", 6, 16),
     ("avx2_f64_4x8", 4, 8),
+    ("avx2_i8_4x8", 4, 8),
+    ("avx2_bf16_4x8", 4, 8),
     ("avx512_f32_14x32", 14, 32),
     ("avx512_f64_8x16", 8, 16),
+    ("avx512_vnni_i8_16x16", 16, 16),
+    ("avx512_bf16_14x32", 14, 32),
 ];
 
-/// Element types with a kernel registry. Implemented for `f32` and `f64`.
-pub trait KernelSelect: Element {
+/// Element types with a kernel registry. Implemented for `f32`, `f64`,
+/// `i8` (i32 accumulate) and [`Bf16`] (f32 accumulate).
+pub trait KernelSelect: Dtype {
     /// The kernel for `tier`, if this host can run it. `Portable` always
     /// succeeds; SIMD tiers return `None` when the feature (or the
-    /// x86_64 architecture itself) is absent.
+    /// x86_64 architecture itself) is absent. Narrow-dtype tiers need
+    /// *more* than the base feature (int8 avx512 additionally wants
+    /// BW+VNNI+VBMI, bf16 wants BW+BF16), so a tier can be in
+    /// [`available_tiers`] yet return `None` for one dtype.
     fn for_tier(tier: KernelTier) -> Option<Ukr<Self>>;
 
-    /// Fastest kernel available on this CPU, honoring the `CAKE_KERNEL` cap.
+    /// Fastest kernel available on this CPU, honoring the `CAKE_KERNEL`
+    /// cap. Walks the ladder *per dtype*: if the capped tier exists but
+    /// has no kernel for this element type (e.g. avx512f without VNNI for
+    /// int8), the next rung down is tried rather than jumping straight to
+    /// portable.
     fn best() -> Ukr<Self> {
-        Self::for_tier(selected_tier()).unwrap_or_else(Self::portable)
+        let cap = selected_tier();
+        for tier in KernelTier::ALL.iter().rev() {
+            if *tier <= cap {
+                if let Some(k) = Self::for_tier(*tier) {
+                    return k;
+                }
+            }
+        }
+        Self::portable()
     }
 
     /// The portable (ISA-independent) kernel.
@@ -193,6 +215,42 @@ impl KernelSelect for f64 {
     }
 }
 
+impl KernelSelect for i8 {
+    fn for_tier(tier: KernelTier) -> Option<Ukr<i8>> {
+        match tier {
+            KernelTier::Portable => Some(ukernel::portable_i8_8x8()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => crate::avx2::avx2_i8_4x8(),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => crate::avx512::avx512_vnni_i8_16x16(),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => None,
+        }
+    }
+
+    fn portable() -> Ukr<i8> {
+        ukernel::portable_i8_8x8()
+    }
+}
+
+impl KernelSelect for Bf16 {
+    fn for_tier(tier: KernelTier) -> Option<Ukr<Bf16>> {
+        match tier {
+            KernelTier::Portable => Some(ukernel::portable_bf16_8x8()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => crate::avx2::avx2_bf16_4x8(),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => crate::avx512::avx512_bf16_14x32(),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => None,
+        }
+    }
+
+    fn portable() -> Ukr<Bf16> {
+        ukernel::portable_bf16_8x8()
+    }
+}
+
 /// Fastest kernel available on this CPU for element type `T`, honoring the
 /// `CAKE_KERNEL` tier cap.
 pub fn best_kernel<T: KernelSelect>() -> Ukr<T> {
@@ -227,6 +285,8 @@ mod tests {
     fn portable_kernels_are_portable_named() {
         assert!(portable_kernel::<f32>().name().starts_with("portable"));
         assert!(portable_kernel::<f64>().name().starts_with("portable"));
+        assert!(portable_kernel::<i8>().name().starts_with("portable"));
+        assert!(portable_kernel::<Bf16>().name().starts_with("portable"));
     }
 
     #[cfg(target_arch = "x86_64")]
@@ -308,12 +368,44 @@ mod tests {
         for tier in available_tiers() {
             let kf = tier_kernel::<f32>(tier).expect("available tier must yield a kernel");
             let kd = tier_kernel::<f64>(tier).expect("available tier must yield a kernel");
-            for k in [(kf.name(), kf.mr(), kf.nr()), (kd.name(), kd.mr(), kd.nr())] {
+            let mut shapes = vec![(kf.name(), kf.mr(), kf.nr()), (kd.name(), kd.mr(), kd.nr())];
+            // Narrow dtypes need extra CPU features on top of the base tier
+            // (VNNI/VBMI for int8, BF16 for bf16), so None is legitimate
+            // here — but any kernel that *does* exist must be registered.
+            if let Some(k) = tier_kernel::<i8>(tier) {
+                shapes.push((k.name(), k.mr(), k.nr()));
+            }
+            if let Some(k) = tier_kernel::<Bf16>(tier) {
+                shapes.push((k.name(), k.mr(), k.nr()));
+            }
+            for k in shapes {
                 assert!(
                     REGISTERED_SHAPES.contains(&k),
                     "{k:?} missing from REGISTERED_SHAPES"
                 );
             }
+        }
+    }
+
+    /// The per-dtype ladder walk: capping at a tier whose narrow-dtype
+    /// kernel is missing must fall to the next rung down, never skip
+    /// straight past a usable one. (Observable end-to-end only through
+    /// `best()`, so we check the invariant that best() always returns
+    /// *some* registered kernel for every dtype.)
+    #[test]
+    fn best_exists_for_every_dtype() {
+        let shapes: Vec<(&str, usize, usize)> = vec![
+            {
+                let k = best_kernel::<i8>();
+                (k.name(), k.mr(), k.nr())
+            },
+            {
+                let k = best_kernel::<Bf16>();
+                (k.name(), k.mr(), k.nr())
+            },
+        ];
+        for k in shapes {
+            assert!(REGISTERED_SHAPES.contains(&k), "{k:?} unregistered");
         }
     }
 
@@ -398,7 +490,7 @@ mod proptests {
     use super::*;
     use crate::edge::run_tile;
     use crate::pack::{pack_a, pack_b, packed_a_size, packed_b_size};
-    use cake_matrix::init;
+    use cake_matrix::{init, Element};
     use proptest::prelude::*;
 
     /// Drive the full kernel stack (pack -> edge-masked microkernel) on a
@@ -423,7 +515,7 @@ mod proptests {
         pack_a(&a.view(), &mut pa, mr);
         pack_b(&b.view(), &mut pb, nr);
 
-        let fill = T::from_f64(0.25);
+        let fill = <T::Acc>::from_f64(0.25);
         let ld = ncols + ld_extra;
         let mut c = vec![fill; mrows * ld];
         // SAFETY: pa/pb are ceil-padded packed slivers, and the mrows x

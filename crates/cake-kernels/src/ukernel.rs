@@ -12,28 +12,39 @@
 //! tiles. One kernel invocation is the paper's "tile multiplication per
 //! unit time" primitive (Section 3).
 
-use cake_matrix::Element;
+use cake_matrix::{Bf16, Dtype, Element};
 
 /// Signature of a raw microkernel.
+///
+/// Operands are `T`; the C tile is `T::Acc` — identical types for the
+/// classic f32/f64 paths, widened for the narrow-dtype tier (`i8 -> i32`,
+/// `Bf16 -> f32`) so K-long reductions neither overflow nor lose
+/// precision.
 ///
 /// # Safety contract
 /// * `a` points to at least `kc * mr` elements (one packed A sliver).
 /// * `b` points to at least `kc * nr` elements (one packed B sliver).
 /// * `c` points to a tile where `c[i*rsc + j*csc]` is valid for all
 ///   `i < mr`, `j < nr`, and does not alias `a` or `b`.
-pub type UkrFn<T> =
-    unsafe fn(kc: usize, a: *const T, b: *const T, c: *mut T, rsc: usize, csc: usize);
+pub type UkrFn<T> = unsafe fn(
+    kc: usize,
+    a: *const T,
+    b: *const T,
+    c: *mut <T as Dtype>::Acc,
+    rsc: usize,
+    csc: usize,
+);
 
 /// A microkernel: its register-tile shape plus the raw function.
 #[derive(Clone, Copy)]
-pub struct Ukr<T: Element> {
+pub struct Ukr<T: Dtype> {
     mr: usize,
     nr: usize,
     name: &'static str,
     func: UkrFn<T>,
 }
 
-impl<T: Element> Ukr<T> {
+impl<T: Dtype> Ukr<T> {
     /// Construct a kernel descriptor (crate-internal; users obtain kernels
     /// from [`crate::select`]).
     pub(crate) fn new(mr: usize, nr: usize, name: &'static str, func: UkrFn<T>) -> Self {
@@ -74,7 +85,7 @@ impl<T: Element> Ukr<T> {
         kc: usize,
         a: *const T,
         b: *const T,
-        c: *mut T,
+        c: *mut T::Acc,
         rsc: usize,
         csc: usize,
     ) {
@@ -84,7 +95,7 @@ impl<T: Element> Ukr<T> {
     }
 }
 
-impl<T: Element> std::fmt::Debug for Ukr<T> {
+impl<T: Dtype> std::fmt::Debug for Ukr<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Ukr({} {}x{})", self.name, self.mr, self.nr)
     }
@@ -92,24 +103,27 @@ impl<T: Element> std::fmt::Debug for Ukr<T> {
 
 /// Portable register-blocked kernel, monomorphized per tile shape.
 ///
-/// The accumulator lives in a `[[T; NR]; MR]` array; with `opt-level >= 2`
-/// LLVM keeps it in vector registers and auto-vectorizes the inner loop.
-/// Plain `mul + add` is used rather than `mul_add`: on targets without a
-/// native FMA the latter lowers to a libm call, which is catastrophically
-/// slow, and the accuracy difference is absorbed by the GEMM tolerance.
+/// The accumulator lives in a `[[T::Acc; NR]; MR]` array; with
+/// `opt-level >= 2` LLVM keeps it in vector registers and auto-vectorizes
+/// the inner loop. Operands are widened ([`Dtype::widen`]) before the
+/// multiply — a no-op for f32/f64, a sign-extend for i8, a mantissa
+/// zero-fill for bf16 — so narrow products accumulate exactly. Plain
+/// `mul + add` is used rather than `mul_add`: on targets without a native
+/// FMA the latter lowers to a libm call, which is catastrophically slow,
+/// and the accuracy difference is absorbed by the GEMM tolerance.
 ///
 /// # Safety
 /// [`UkrFn`]'s contract with `mr = MR`, `nr = NR`.
 #[allow(clippy::needless_range_loop)] // index form keeps the accumulator tile explicit for LLVM
-pub(crate) unsafe fn generic_ukr<T: Element, const MR: usize, const NR: usize>(
+pub(crate) unsafe fn generic_ukr<T: Dtype, const MR: usize, const NR: usize>(
     kc: usize,
     a: *const T,
     b: *const T,
-    c: *mut T,
+    c: *mut T::Acc,
     rsc: usize,
     csc: usize,
 ) {
-    let mut acc = [[T::ZERO; NR]; MR];
+    let mut acc = [[<T::Acc>::ZERO; NR]; MR];
     // SAFETY: per UkrFn's contract `a` holds kc*MR elements and `b` holds
     // kc*NR, so k*MR + i < kc*MR and k*NR + j < kc*NR for k < kc, i < MR,
     // j < NR; the C writes touch c[i*rsc + j*csc] for i < MR, j < NR, which
@@ -119,9 +133,9 @@ pub(crate) unsafe fn generic_ukr<T: Element, const MR: usize, const NR: usize>(
             let ak = a.add(k * MR);
             let bk = b.add(k * NR);
             for i in 0..MR {
-                let ai = *ak.add(i);
+                let ai = (*ak.add(i)).widen();
                 for j in 0..NR {
-                    acc[i][j] += ai * *bk.add(j);
+                    acc[i][j] += ai * (*bk.add(j)).widen();
                 }
             }
         }
@@ -135,14 +149,15 @@ pub(crate) unsafe fn generic_ukr<T: Element, const MR: usize, const NR: usize>(
 }
 
 /// Scalar reference kernel used to validate all other kernels in tests.
+/// Widens each operand before multiplying, exactly like [`generic_ukr`].
 #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
-pub fn reference_ukr<T: Element>(
+pub fn reference_ukr<T: Dtype>(
     kc: usize,
     mr: usize,
     nr: usize,
     a: &[T],
     b: &[T],
-    c: &mut [T],
+    c: &mut [T::Acc],
     rsc: usize,
     csc: usize,
 ) {
@@ -151,7 +166,7 @@ pub fn reference_ukr<T: Element>(
     for k in 0..kc {
         for i in 0..mr {
             for j in 0..nr {
-                c[i * rsc + j * csc] += a[k * mr + i] * b[k * nr + j];
+                c[i * rsc + j * csc] += a[k * mr + i].widen() * b[k * nr + j].widen();
             }
         }
     }
@@ -170,24 +185,26 @@ portable!(portable_f32_8x8, f32, 8, 8, "portable_f32_8x8");
 portable!(portable_f32_4x4, f32, 4, 4, "portable_f32_4x4");
 portable!(portable_f64_4x8, f64, 4, 8, "portable_f64_4x8");
 portable!(portable_f64_4x4, f64, 4, 4, "portable_f64_4x4");
+portable!(portable_i8_8x8, i8, 8, 8, "portable_i8_8x8");
+portable!(portable_bf16_8x8, Bf16, 8, 8, "portable_bf16_8x8");
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cake_matrix::init;
 
-    fn check_against_reference<T: Element>(ukr: &Ukr<T>, kc: usize) {
+    fn check_against_reference<T: Dtype>(ukr: &Ukr<T>, kc: usize) {
         let mr = ukr.mr();
         let nr = ukr.nr();
         let a = init::random::<T>(kc, mr, 11);
         let b = init::random::<T>(kc, nr, 22);
         // C with a row-major stride wider than nr to catch stride bugs.
         let ld = nr + 3;
-        let mut c_test = vec![T::ZERO; mr * ld];
-        let mut c_ref = vec![T::ZERO; mr * ld];
+        let mut c_test = vec![<T::Acc>::ZERO; mr * ld];
+        let mut c_ref = vec![<T::Acc>::ZERO; mr * ld];
         // Pre-fill with a pattern: kernels must accumulate, not overwrite.
         for (i, x) in c_test.iter_mut().enumerate() {
-            *x = T::from_f64((i % 5) as f64);
+            *x = <T::Acc>::from_f64((i % 5) as f64);
         }
         c_ref.copy_from_slice(&c_test);
 
@@ -222,6 +239,54 @@ mod tests {
         for kc in [1, 3, 17, 128] {
             check_against_reference(&portable_f64_4x8(), kc);
             check_against_reference(&portable_f64_4x4(), kc);
+        }
+    }
+
+    #[test]
+    fn portable_i8_matches_reference_exactly() {
+        // Full-range operands, i32 accumulate: results must be bit-exact.
+        for kc in [1, 2, 7, 64, 333] {
+            let ukr = portable_i8_8x8();
+            let (mr, nr) = (ukr.mr(), ukr.nr());
+            let a = init::random_i8(kc, mr, 5);
+            let b = init::random_i8(kc, nr, 6);
+            let ld = nr + 2;
+            let mut c_test = vec![7i32; mr * ld];
+            let mut c_ref = c_test.clone();
+            // SAFETY: a/b are kc*mr- and kc*nr-element slices; c_test holds
+            // mr*ld i32 with rsc=ld, csc=1 so every write is in-bounds.
+            unsafe {
+                ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c_test.as_mut_ptr(), ld, 1);
+            }
+            reference_ukr(kc, mr, nr, a.as_slice(), b.as_slice(), &mut c_ref, ld, 1);
+            assert_eq!(c_test, c_ref, "kc={kc}");
+        }
+    }
+
+    #[test]
+    fn portable_bf16_matches_reference_exactly() {
+        // Identical widen-then-multiply order on both sides. The kernel sums
+        // the k-products into a local accumulator and adds the prior C value
+        // last, so the reference sums into a zeroed buffer and adds the init
+        // afterwards — same association, hence bit-exact.
+        for kc in [1, 3, 17, 128] {
+            let ukr = portable_bf16_8x8();
+            let (mr, nr) = (ukr.mr(), ukr.nr());
+            let a = init::random::<Bf16>(kc, mr, 8);
+            let b = init::random::<Bf16>(kc, nr, 9);
+            let ld = nr + 1;
+            let mut c_test = vec![0.5f32; mr * ld];
+            let mut c_ref = vec![0.0f32; mr * ld];
+            // SAFETY: a/b are kc*mr- and kc*nr-element slices; c_test holds
+            // mr*ld f32 with rsc=ld, csc=1 so every write is in-bounds.
+            unsafe {
+                ukr.call(kc, a.as_slice().as_ptr(), b.as_slice().as_ptr(), c_test.as_mut_ptr(), ld, 1);
+            }
+            reference_ukr(kc, mr, nr, a.as_slice(), b.as_slice(), &mut c_ref, ld, 1);
+            for x in c_ref.iter_mut() {
+                *x += 0.5;
+            }
+            assert_eq!(c_test, c_ref, "kc={kc}");
         }
     }
 

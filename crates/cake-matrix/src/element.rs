@@ -8,9 +8,12 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 ///
 /// The trait deliberately stays small: the microkernels only need
 /// multiply-accumulate, and the test harness needs conversions and an
-/// absolute value for tolerance checks. It is sealed to `f32`/`f64` — the
-/// paper evaluates single precision (BLIS sgemm kernels) and we add double
-/// precision as the natural extension.
+/// absolute value for tolerance checks. It is sealed to the workspace's
+/// supported scalars: `f32`/`f64` (the paper evaluates single precision;
+/// double is the natural extension), plus the narrow-dtype tier — `i8`
+/// operands, `i32` accumulators, and [`Bf16`] operands. Integer types
+/// report `epsilon() == 0`, which makes every tolerance formula collapse
+/// to exact equality.
 pub trait Element:
     Copy
     + Send
@@ -50,10 +53,68 @@ pub trait Element:
     fn is_finite(self) -> bool;
 }
 
+/// Element/accumulator pairing for mixed-precision GEMM.
+///
+/// A microkernel reads `Self` operands (A and B panels) and accumulates
+/// into [`Dtype::Acc`] (the C tile). For the classic paths the pair is
+/// trivial (`f32 -> f32`, `f64 -> f64`); the narrow-dtype tier widens
+/// (`i8 -> i32` so K-long dot products cannot overflow, `Bf16 -> f32`
+/// following the AVX-512 BF16 dot-product semantics). The executor, the
+/// packing layer, and the references are generic over this pair: A/B
+/// buffers hold `Self`, everything C-side holds `Acc`.
+pub trait Dtype: Element {
+    /// Accumulator scalar for this operand type.
+    type Acc: Element;
+    /// Dtype name surfaced by cakectl, benches, and stats lines.
+    const NAME: &'static str;
+    /// Widen one operand into the accumulator domain (exact for every
+    /// supported pair: i8 fits i32, bf16 fits f32).
+    fn widen(self) -> Self::Acc;
+}
+
+impl Dtype for f32 {
+    type Acc = f32;
+    const NAME: &'static str = "f32";
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self
+    }
+}
+
+impl Dtype for f64 {
+    type Acc = f64;
+    const NAME: &'static str = "f64";
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        self
+    }
+}
+
+impl Dtype for i8 {
+    type Acc = i32;
+    const NAME: &'static str = "int8";
+    #[inline(always)]
+    fn widen(self) -> i32 {
+        self as i32
+    }
+}
+
+impl Dtype for Bf16 {
+    type Acc = f32;
+    const NAME: &'static str = "bf16";
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self.to_f32()
+    }
+}
+
 mod private {
     pub trait Sealed {}
     impl Sealed for f32 {}
     impl Sealed for f64 {}
+    impl Sealed for i8 {}
+    impl Sealed for i32 {}
+    impl Sealed for super::Bf16 {}
 }
 
 macro_rules! impl_element {
@@ -100,6 +161,198 @@ macro_rules! impl_element {
 impl_element!(f32);
 impl_element!(f64);
 
+/// Integer elements: wrapping arithmetic in `mul_add` (two's-complement
+/// GEMM would wrap anyway; the i8 operand range is kept small enough by
+/// the initializers/quantizers that i32 accumulators never overflow in
+/// practice), `epsilon() == 0` so tolerance checks demand exactness, and
+/// every value is "finite".
+macro_rules! impl_element_int {
+    ($t:ty) => {
+        impl Element for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self.wrapping_mul(a).wrapping_add(b)
+            }
+
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.wrapping_abs()
+            }
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline(always)]
+            fn epsilon() -> Self {
+                0
+            }
+
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                true
+            }
+        }
+    };
+}
+
+impl_element_int!(i8);
+impl_element_int!(i32);
+
+/// Brain floating point: 1 sign, 8 exponent, 7 mantissa bits — the high
+/// half of an `f32`. Stored as raw bits; all arithmetic round-trips
+/// through `f32` (exact: every bf16 value is exactly representable in
+/// f32), with round-to-nearest-even on the way back. This matches the
+/// AVX-512 BF16 `VCVTNEPS2BF16` conversion, so the portable path and the
+/// vectorized kernels agree bit-for-bit on conversions.
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Raw bit pattern.
+    #[inline(always)]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Value from a raw bit pattern.
+    #[inline(always)]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Round-to-nearest-even conversion from `f32` (NaN stays NaN,
+    /// quieted; matches `VCVTNEPS2BF16`).
+    #[inline(always)]
+    pub fn from_f32(v: f32) -> Self {
+        let bits = v.to_bits();
+        if v.is_nan() {
+            // Truncate but force a mantissa bit so the result stays NaN.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Add 0x7FFF + (lsb of the kept mantissa) before truncating: ties
+        // round to the even (lsb = 0) candidate.
+        let lsb = (bits >> 16) & 1;
+        Bf16((bits.wrapping_add(0x7FFF + lsb) >> 16) as u16)
+    }
+
+    /// Exact widening to `f32` (append 16 zero mantissa bits).
+    #[inline(always)]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+}
+
+impl Debug for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}bf16", self.to_f32())
+    }
+}
+
+impl Display for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialEq for Bf16 {
+    #[inline(always)]
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    #[inline(always)]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! impl_bf16_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Bf16 {
+            type Output = Bf16;
+            #[inline(always)]
+            fn $method(self, rhs: Bf16) -> Bf16 {
+                Bf16::from_f32(self.to_f32().$method(rhs.to_f32()))
+            }
+        }
+    };
+}
+
+impl_bf16_binop!(Add, add);
+impl_bf16_binop!(Sub, sub);
+impl_bf16_binop!(Mul, mul);
+impl_bf16_binop!(Div, div);
+
+impl AddAssign for Bf16 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Bf16) {
+        *self = *self + rhs;
+    }
+}
+
+impl Neg for Bf16 {
+    type Output = Bf16;
+    #[inline(always)]
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+impl Sum for Bf16 {
+    fn sum<I: Iterator<Item = Bf16>>(iter: I) -> Bf16 {
+        iter.fold(Bf16::ZERO, |a, b| a + b)
+    }
+}
+
+impl Element for Bf16 {
+    const ZERO: Self = Bf16(0x0000);
+    const ONE: Self = Bf16(0x3F80);
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Bf16::from_f32(self.to_f32().mul_add(a.to_f32(), b.to_f32()))
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        Bf16(self.0 & 0x7FFF)
+    }
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        Bf16::from_f32(v as f32)
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    #[inline(always)]
+    fn epsilon() -> Self {
+        // 2^-7: one ulp of the 7-bit mantissa at 1.0.
+        Bf16(0x3C00)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        self.to_f32().is_finite()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +389,90 @@ mod tests {
         assert!(1.0f32.is_finite());
         assert!(!Element::is_finite(f32::NAN));
         assert!(!Element::is_finite(f64::INFINITY));
+    }
+
+    #[test]
+    fn integer_elements_are_exact() {
+        assert_eq!(<i8 as Element>::BYTES, 1);
+        assert_eq!(<i32 as Element>::BYTES, 4);
+        assert_eq!(i8::ZERO, 0);
+        assert_eq!(i32::ONE, 1);
+        assert_eq!(Element::mul_add(3i32, 4, 5), 17);
+        assert_eq!(Element::mul_add(-2i8, 3, 1), -5);
+        assert_eq!(<i8 as Element>::epsilon(), 0);
+        assert_eq!(Element::abs(-7i32), 7);
+        assert!(Element::is_finite(i32::MAX));
+        // from_f64 saturates rather than wrapping (Rust `as` semantics).
+        assert_eq!(<i8 as Element>::from_f64(1000.0), 127);
+        assert_eq!(<i8 as Element>::from_f64(-1000.0), -128);
+    }
+
+    #[test]
+    fn bf16_round_trips_exactly_representable_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, -0.5, 2.0, 96.0, -0.0078125] {
+            let b = Bf16::from_f32(v);
+            assert_eq!(b.to_f32(), v, "{v}");
+        }
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(<Bf16 as Element>::epsilon().to_f32(), 0.0078125);
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and 1.0 + 2^-7:
+        // ties-to-even keeps 1.0 (even mantissa lsb).
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(halfway).to_bits(), 0x3F80);
+        // The next halfway point (odd lsb) rounds up.
+        let halfway_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(Bf16::from_f32(halfway_odd).to_bits(), 0x3F82);
+        // Anything past halfway rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(above).to_bits(), 0x3F81);
+    }
+
+    #[test]
+    fn bf16_special_values() {
+        assert!(!Element::is_finite(Bf16::from_f32(f32::NAN)));
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+        assert!(!Element::is_finite(Bf16::from_f32(f32::INFINITY)));
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        // Large finite f32 rounds up to bf16 infinity.
+        assert_eq!(Bf16::from_f32(f32::MAX).to_f32(), f32::INFINITY);
+        assert_eq!((-Bf16::ONE).to_f32(), -1.0);
+        assert_eq!(Element::abs(-Bf16::ONE), Bf16::ONE);
+    }
+
+    #[test]
+    fn bf16_arithmetic_via_f32() {
+        let a = Bf16::from_f32(1.5);
+        let b = Bf16::from_f32(2.0);
+        assert_eq!((a + b).to_f32(), 3.5);
+        assert_eq!((a * b).to_f32(), 3.0);
+        assert_eq!((a - b).to_f32(), -0.5);
+        assert_eq!((a / b).to_f32(), 0.75);
+        assert_eq!(Element::mul_add(a, b, Bf16::ONE).to_f32(), 4.0);
+        let s: Bf16 = [a, b, Bf16::ONE].into_iter().sum();
+        assert_eq!(s.to_f32(), 4.5);
+    }
+
+    #[test]
+    fn dtype_pairs_widen_exactly() {
+        assert_eq!(<f32 as Dtype>::NAME, "f32");
+        assert_eq!(<f64 as Dtype>::NAME, "f64");
+        assert_eq!(<i8 as Dtype>::NAME, "int8");
+        assert_eq!(<Bf16 as Dtype>::NAME, "bf16");
+        assert_eq!(Dtype::widen(-128i8), -128i32);
+        assert_eq!(Dtype::widen(127i8), 127i32);
+        assert_eq!(Dtype::widen(1.25f32), 1.25f32);
+        assert_eq!(Dtype::widen(Bf16::from_f32(-0.5)), -0.5f32);
+        // Every bf16 widens exactly: round-tripping through Acc is lossless.
+        for bits in (0..=u16::MAX).step_by(7) {
+            let b = Bf16::from_bits(bits);
+            if Element::is_finite(b) {
+                assert_eq!(Bf16::from_f32(Dtype::widen(b)).to_bits(), bits);
+            }
+        }
     }
 }

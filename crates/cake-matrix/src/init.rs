@@ -48,6 +48,16 @@ pub fn random_ints<T: Element>(rows: usize, cols: usize, seed: u64) -> Matrix<T>
     })
 }
 
+/// Random full-range `i8` matrix: every value in `[-128, 127]` occurs,
+/// including the asymmetric extremes. `random::<i8>` would collapse to
+/// zero (its `[-1, 1)` draw truncates), and `random_ints` only spans
+/// `{-2..2}` — the narrow-dtype kernels need the corners to exercise
+/// sign handling and the unsigned-offset compensation exactly.
+pub fn random_i8(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_u64() as u8 as i8)
+}
+
 /// `m[i][j] = i * cols + j` — handy for eyeballing packing/layout bugs.
 pub fn sequential<T: Element>(rows: usize, cols: usize) -> Matrix<T> {
     Matrix::from_fn(rows, cols, |i, j| T::from_f64((i * cols + j) as f64))
@@ -84,6 +94,16 @@ mod tests {
             .as_slice()
             .iter()
             .all(|&x| x.fract() == 0.0 && (-2.0..=2.0).contains(&x)));
+    }
+
+    #[test]
+    fn random_i8_covers_full_range() {
+        let a = random_i8(64, 64, 9);
+        let b = random_i8(64, 64, 9);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.as_slice().iter().any(|&x| x < -100));
+        assert!(a.as_slice().iter().any(|&x| x > 100));
+        assert!(a.as_slice().iter().any(|&x| x == -128 || x == 127));
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! This crate provides the storage and view types every other crate in the
 //! workspace builds on:
 //!
-//! * [`Element`] — the scalar trait (implemented for `f32` and `f64`) that the
-//!   microkernels, schedulers and simulator are generic over.
+//! * [`Element`] — the scalar trait (implemented for `f32`, `f64`, `i8`,
+//!   `i32` and [`Bf16`]) that the microkernels, schedulers and simulator
+//!   are generic over, plus [`Dtype`] pairing each operand type with its
+//!   accumulator (`i8 -> i32`, `Bf16 -> f32`).
 //! * [`AlignedBuf`] — a 64-byte-aligned heap buffer so packed panels start on
 //!   cache-line (and AVX) boundaries.
 //! * [`Matrix`] — an owned dense matrix with explicit [`Layout`] and stride.
@@ -31,7 +33,7 @@ pub mod view;
 
 pub use alloc::AlignedBuf;
 pub use compare::{approx_eq, max_abs_diff, max_rel_diff};
-pub use element::Element;
+pub use element::{Bf16, Dtype, Element};
 pub use layout::Layout;
 pub use matrix::Matrix;
 pub use partition::{block_count, block_ranges, BlockRange};

@@ -29,10 +29,10 @@ use cake_core::pool::ThreadPool;
 use cake_core::shape::CbBlockShape;
 use cake_core::workspace::GemmWorkspace;
 use cake_goto::api::{goto_gemm_views, GotoConfig};
-use cake_goto::naive::naive_gemm_views;
+use cake_goto::naive::naive_gemm_views_acc;
 use cake_kernels::select::KernelSelect;
 use cake_kernels::{available_tiers, best_kernel, portable_kernel, tier_kernel};
-use cake_matrix::{init, Element, Layout, Matrix};
+use cake_matrix::{init, Bf16, Element, Layout, Matrix};
 use proptest::test_runner::TestRng;
 
 /// Elements with a meaningful ULP metric (ordered-integer bit distance).
@@ -84,6 +84,14 @@ impl UlpElement for f64 {
     }
 }
 
+impl UlpElement for i32 {
+    /// Integers are their own ordered representation: the "ULP" distance is
+    /// the plain absolute difference, and the int8 tier is held to 0.
+    fn ulp_distance(a: Self, b: Self) -> u64 {
+        (a as i64).abs_diff(b as i64)
+    }
+}
+
 /// Element type of a fuzz case.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scalar {
@@ -91,6 +99,62 @@ pub enum Scalar {
     F32,
     /// Double precision.
     F64,
+    /// int8 operands, i32 accumulation — compared bit-exactly.
+    Int8,
+    /// bf16 operands, f32 accumulation — K-scaled f32 ULP bounds.
+    Bf16,
+}
+
+/// How a fuzz case generates operands of one element type, and whether the
+/// dtype's accumulation is exact (integer) regardless of the data class.
+trait FuzzOperand: Element + Sized {
+    /// Integer accumulate: every comparison is at 0 ULP even for
+    /// "real-valued" data classes.
+    const EXACT: bool = false;
+    fn gen(rows: usize, cols: usize, seed: u64, int_data: bool) -> Matrix<Self>;
+}
+
+impl FuzzOperand for f32 {
+    fn gen(rows: usize, cols: usize, seed: u64, int_data: bool) -> Matrix<Self> {
+        if int_data {
+            init::random_ints(rows, cols, seed)
+        } else {
+            init::random(rows, cols, seed)
+        }
+    }
+}
+
+impl FuzzOperand for f64 {
+    fn gen(rows: usize, cols: usize, seed: u64, int_data: bool) -> Matrix<Self> {
+        if int_data {
+            init::random_ints(rows, cols, seed)
+        } else {
+            init::random(rows, cols, seed)
+        }
+    }
+}
+
+impl FuzzOperand for i8 {
+    const EXACT: bool = true;
+    /// Always full-range (`init::random::<i8>` collapses to zero): the
+    /// int8 tier must be exact on the whole operand domain, including the
+    /// `-128` extremes the VNNI bias trick has to compensate for.
+    fn gen(rows: usize, cols: usize, seed: u64, _int_data: bool) -> Matrix<Self> {
+        init::random_i8(rows, cols, seed)
+    }
+}
+
+impl FuzzOperand for Bf16 {
+    /// Both classes produce exactly-representable bf16 values (rounding
+    /// happens at generation, before the engines see the data), so the
+    /// naive oracle and the kernels consume identical operands.
+    fn gen(rows: usize, cols: usize, seed: u64, int_data: bool) -> Matrix<Self> {
+        if int_data {
+            init::random_ints(rows, cols, seed)
+        } else {
+            init::random(rows, cols, seed)
+        }
+    }
 }
 
 /// One generated differential-test case; `Debug` output is the reproducer.
@@ -171,7 +235,11 @@ pub struct FuzzReport {
     pub degenerate: u32,
     /// f64 cases.
     pub f64_cases: u32,
-    /// Exact-integer cases (compared at 0 ULP).
+    /// int8 cases (always compared at 0 ULP in i32).
+    pub int8_cases: u32,
+    /// bf16 cases (K-scaled f32 ULP bounds against the f64-accum oracle).
+    pub bf16_cases: u32,
+    /// Exact-comparison cases (integer data or integer accumulate).
     pub int_cases: u32,
     /// Worst accepted ULP distance observed across all comparisons.
     pub max_ulps_seen: u64,
@@ -182,8 +250,9 @@ impl FuzzReport {
     pub fn summary_lines(&self) -> Vec<String> {
         vec![
             format!(
-                "{} cases, zero mismatches ({} degenerate-extent, {} f64, {} exact-integer)",
-                self.cases, self.degenerate, self.f64_cases, self.int_cases
+                "{} cases, zero mismatches ({} degenerate-extent, {} f64, {} int8, {} bf16, {} exact)",
+                self.cases, self.degenerate, self.f64_cases, self.int8_cases, self.bf16_cases,
+                self.int_cases
             ),
             format!("worst accepted error: {} ULP", self.max_ulps_seen),
         ]
@@ -252,22 +321,16 @@ fn gen_case(rng: &mut TestRng) -> GemmCase {
         c_colmajor: rng.next_u64() & 1 == 1,
         portable: rng.next_u64() & 1 == 1,
         int_data: rng.next_u64().is_multiple_of(4),
-        scalar: if rng.next_u64() & 1 == 1 {
-            Scalar::F64
-        } else {
-            Scalar::F32
+        scalar: match rng.next_u64() % 4 {
+            0 => Scalar::F32,
+            1 => Scalar::F64,
+            2 => Scalar::Int8,
+            _ => Scalar::Bf16,
         },
         data_seed: rng.next_u64() | 1,
     }
 }
 
-fn gen_matrix<T: Element>(rows: usize, cols: usize, seed: u64, int_data: bool) -> Matrix<T> {
-    if int_data {
-        init::random_ints::<T>(rows, cols, seed)
-    } else {
-        init::random::<T>(rows, cols, seed)
-    }
-}
 
 /// Per-element acceptance: exact for integer data; otherwise a ULP bound
 /// scaled by the reduction depth, with a relative-error fallback (the
@@ -317,14 +380,21 @@ fn compare<T: UlpElement>(
     None
 }
 
-fn check_typed<T: UlpElement + KernelSelect>(case: &GemmCase, max_ulps: &mut u64) -> Option<Mismatch> {
+fn check_typed<T>(case: &GemmCase, max_ulps: &mut u64) -> Option<Mismatch>
+where
+    T: FuzzOperand + KernelSelect,
+    T::Acc: UlpElement,
+{
     let (m, k, n) = (case.m, case.k, case.n);
+    // Integer accumulation (int8 -> i32) is exact by construction, so those
+    // dtypes are held to 0 ULP on every data class, not just `int_data`.
+    let exact = case.int_data || T::EXACT;
 
     // A: either stored dense (m x k) or stored transposed and viewed.
     let a_store = if case.a_transposed {
-        gen_matrix::<T>(k, m, case.data_seed, case.int_data)
+        T::gen(k, m, case.data_seed, case.int_data)
     } else {
-        gen_matrix::<T>(m, k, case.data_seed, case.int_data)
+        T::gen(m, k, case.data_seed, case.int_data)
     };
     let av = if case.a_transposed {
         a_store.view().t()
@@ -334,9 +404,9 @@ fn check_typed<T: UlpElement + KernelSelect>(case: &GemmCase, max_ulps: &mut u64
 
     // B: dense, or a strided window of a larger parent.
     let b_store = if case.b_strided {
-        gen_matrix::<T>(k + 3, n + 5, case.data_seed ^ 0xb, case.int_data)
+        T::gen(k + 3, n + 5, case.data_seed ^ 0xb, case.int_data)
     } else {
-        gen_matrix::<T>(k, n, case.data_seed ^ 0xb, case.int_data)
+        T::gen(k, n, case.data_seed ^ 0xb, case.int_data)
     };
     let bv = if case.b_strided {
         b_store.view().sub(2, 4, k, n)
@@ -344,9 +414,9 @@ fn check_typed<T: UlpElement + KernelSelect>(case: &GemmCase, max_ulps: &mut u64
         b_store.view()
     };
 
-    // Ground truth from the same views.
-    let mut c_ref = Matrix::<T>::zeros(m, n);
-    naive_gemm_views(&av, &bv, &mut c_ref.view_mut());
+    // Ground truth from the same views, into the accumulator type.
+    let mut c_ref = Matrix::<T::Acc>::zeros(m, n);
+    naive_gemm_views_acc(&av, &bv, &mut c_ref.view_mut());
 
     let layout = if case.c_colmajor {
         Layout::ColMajor
@@ -363,38 +433,41 @@ fn check_typed<T: UlpElement + KernelSelect>(case: &GemmCase, max_ulps: &mut u64
     let shape = CbBlockShape::fixed(case.p, case.mc, case.kc, case.nc);
     let pool = ThreadPool::new(case.p);
     let mut ws = GemmWorkspace::new();
-    let mut c_cake = Matrix::<T>::zeros_with_layout(m, n, layout);
+    let mut c_cake = Matrix::<T::Acc>::zeros_with_layout(m, n, layout);
     execute_in(&av, &bv, &mut c_cake.view_mut(), &shape, &ukr, &pool, &mut ws);
     let c_cake = c_cake.to_layout(Layout::RowMajor);
-    if let Some(mm) = compare("CAKE", &c_cake, &c_ref, k, case.int_data, max_ulps) {
+    if let Some(mm) = compare("CAKE", &c_cake, &c_ref, k, exact, max_ulps) {
         return Some(mm);
     }
 
     // GOTO (loops5): same views, its own blocking derivation.
     let mut goto_cfg = GotoConfig::with_threads(case.p);
     goto_cfg.force_portable_kernel = case.portable;
-    let mut c_goto = Matrix::<T>::zeros_with_layout(m, n, layout);
+    let mut c_goto = Matrix::<T::Acc>::zeros_with_layout(m, n, layout);
     goto_gemm_views(&av, &bv, &mut c_goto.view_mut(), &goto_cfg);
     let c_goto = c_goto.to_layout(Layout::RowMajor);
-    if let Some(mm) = compare("GOTO", &c_goto, &c_ref, k, case.int_data, max_ulps) {
+    if let Some(mm) = compare("GOTO", &c_goto, &c_ref, k, exact, max_ulps) {
         return Some(mm);
     }
 
     // Kernel-tier sweep: the same case through the CAKE executor once per
     // tier the host supports, each held to the same bounds against the
     // reference. This bit-cross-checks AVX-512 vs AVX2 vs portable on
-    // every generated geometry (the `int_data` cases compare at 0 ULP, so
-    // any tier whose edge handling drops or double-counts an element is
+    // every generated geometry (the exact cases compare at 0 ULP, so any
+    // tier whose edge handling drops or double-counts an element is
     // caught exactly). Single-threaded: the p-dimension is already
-    // exercised by the main CAKE run above.
+    // exercised by the main CAKE run above. A tier can be available for
+    // the base ladder yet have no kernel for a narrow dtype (e.g. AVX-512
+    // without VNNI): those tiers are skipped, not failed.
     for tier in available_tiers() {
-        let tukr = tier_kernel::<T>(tier)
-            .expect("available_tiers() only lists tiers whose kernels exist");
+        let Some(tukr) = tier_kernel::<T>(tier) else {
+            continue;
+        };
         let pool = ThreadPool::new(1);
-        let mut c_tier = Matrix::<T>::zeros_with_layout(m, n, layout);
+        let mut c_tier = Matrix::<T::Acc>::zeros_with_layout(m, n, layout);
         execute_in(&av, &bv, &mut c_tier.view_mut(), &shape, &tukr, &pool, &mut ws);
         let c_tier = c_tier.to_layout(Layout::RowMajor);
-        if let Some(mm) = compare(tukr.name(), &c_tier, &c_ref, k, case.int_data, max_ulps) {
+        if let Some(mm) = compare(tukr.name(), &c_tier, &c_ref, k, exact, max_ulps) {
             return Some(mm);
         }
     }
@@ -404,16 +477,15 @@ fn check_typed<T: UlpElement + KernelSelect>(case: &GemmCase, max_ulps: &mut u64
 /// Run one case through all three engines; `Some` on divergence.
 pub fn check_case(case: &GemmCase) -> Option<Mismatch> {
     let mut max_ulps = 0u64;
-    match case.scalar {
-        Scalar::F32 => check_typed::<f32>(case, &mut max_ulps),
-        Scalar::F64 => check_typed::<f64>(case, &mut max_ulps),
-    }
+    check_case_tracking(case, &mut max_ulps)
 }
 
 fn check_case_tracking(case: &GemmCase, max_ulps: &mut u64) -> Option<Mismatch> {
     match case.scalar {
         Scalar::F32 => check_typed::<f32>(case, max_ulps),
         Scalar::F64 => check_typed::<f64>(case, max_ulps),
+        Scalar::Int8 => check_typed::<i8>(case, max_ulps),
+        Scalar::Bf16 => check_typed::<Bf16>(case, max_ulps),
     }
 }
 
@@ -494,10 +566,13 @@ pub fn run(cfg: &FuzzConfig) -> Result<FuzzReport, Box<FuzzFailure>> {
         if case.m.min(case.k).min(case.n) <= 1 {
             report.degenerate += 1;
         }
-        if case.scalar == Scalar::F64 {
-            report.f64_cases += 1;
+        match case.scalar {
+            Scalar::F64 => report.f64_cases += 1,
+            Scalar::Int8 => report.int8_cases += 1,
+            Scalar::Bf16 => report.bf16_cases += 1,
+            Scalar::F32 => {}
         }
-        if case.int_data {
+        if case.int_data || case.scalar == Scalar::Int8 {
             report.int_cases += 1;
         }
         if check_case_tracking(&case, &mut report.max_ulps_seen).is_some() {
@@ -562,6 +637,83 @@ mod tests {
     fn short_fuzz_run_is_clean() {
         let rep = run(&FuzzConfig { cases: 32, seed: 0 }).expect("no mismatches");
         assert_eq!(rep.cases, 32);
+    }
+
+    #[test]
+    fn int8_cases_are_exact_across_all_tiers() {
+        // Full-range int8 data, every available tier, awkward geometries:
+        // the i32 accumulate admits no rounding, so any divergence is a
+        // real kernel bug (saturation, bias slip, edge off-by-one).
+        for (i, (m, k, n)) in [(17, 23, 19), (1, 64, 1), (33, 4, 48), (16, 16, 16)]
+            .into_iter()
+            .enumerate()
+        {
+            let case = GemmCase {
+                m,
+                k,
+                n,
+                p: 1 + i % 2,
+                mc: 8,
+                kc: 8,
+                nc: 16,
+                a_transposed: i % 2 == 1,
+                b_strided: i % 3 == 1,
+                c_colmajor: i % 4 == 1,
+                portable: false,
+                int_data: false,
+                scalar: Scalar::Int8,
+                data_seed: 0x51 + i as u64,
+            };
+            assert!(check_case(&case).is_none(), "int8 case {case:?} diverged");
+        }
+    }
+
+    #[test]
+    fn bf16_cases_hold_k_scaled_bounds_across_all_tiers() {
+        for (i, (m, k, n)) in [(17, 23, 19), (1, 128, 1), (30, 9, 40)].into_iter().enumerate() {
+            let case = GemmCase {
+                m,
+                k,
+                n,
+                p: 1 + i % 2,
+                mc: 8,
+                kc: 8,
+                nc: 16,
+                a_transposed: i % 2 == 0,
+                b_strided: i % 2 == 1,
+                c_colmajor: false,
+                portable: false,
+                int_data: false,
+                scalar: Scalar::Bf16,
+                data_seed: 0x61 + i as u64,
+            };
+            assert!(check_case(&case).is_none(), "bf16 case {case:?} diverged");
+        }
+    }
+
+    #[test]
+    fn stream_covers_all_four_scalars() {
+        let mut rng = TestRng::for_test_with_seed("cake_verify::fuzz", 0);
+        let (mut f32s, mut f64s, mut i8s, mut bf16s) = (0, 0, 0, 0);
+        for _ in 0..256 {
+            match gen_case(&mut rng).scalar {
+                Scalar::F32 => f32s += 1,
+                Scalar::F64 => f64s += 1,
+                Scalar::Int8 => i8s += 1,
+                Scalar::Bf16 => bf16s += 1,
+            }
+        }
+        assert!(
+            f32s > 0 && f64s > 0 && i8s > 0 && bf16s > 0,
+            "stream must cover every dtype: {f32s}/{f64s}/{i8s}/{bf16s}"
+        );
+    }
+
+    #[test]
+    fn i32_ulp_distance_is_absolute_difference() {
+        assert_eq!(i32::ulp_distance(5, 5), 0);
+        assert_eq!(i32::ulp_distance(5, 6), 1);
+        assert_eq!(i32::ulp_distance(i32::MIN, i32::MAX), u32::MAX as u64);
     }
 
     #[test]
