@@ -13,12 +13,19 @@
 #   ./ci.sh --sim-smoke    one deterministic + one fuzzed-ordering event-
 #                          simulator run per Table-2 CPU; exits 1 if any
 #                          same-tick permutation moves a traffic counter
-#   ./ci.sh --audit        static analysis only (cakectl audit: unsafe ratchet,
-#                          symbolic bounds proofs, executor phase checker)
+#   ./ci.sh --audit        static analysis only (cakectl audit: unsafe ratchet
+#                          with transmute/static-mut ratchets, symbolic bounds
+#                          proofs, executor phase checker, and the call-graph
+#                          dataflow passes — warm-path alloc-freedom, hot-path
+#                          panic-freedom, atomics-ordering protocol)
 #   ./ci.sh --miri         Miri pass over the pointer-heavy crates (needs a
 #                          nightly toolchain with the miri component; skips
 #                          gracefully when unavailable so the gate stays green
 #                          on the stable-only container)
+#   ./ci.sh --tsan         ThreadSanitizer pass over cake-core's sync and
+#                          executor tests (needs a nightly toolchain with the
+#                          rust-src component; skips gracefully on stable-only
+#                          hosts)
 #
 # The bench snapshot rewrites BENCH_gemm.json in the repo root so the
 # pipelined executor's throughput, allocation-freedom, and pack-overlap
@@ -46,14 +53,15 @@
 # 1. This catches a tier whose edge handling silently reads or packs a
 # different footprint.
 #
-# Opt-in ThreadSanitizer pass (needs a nightly toolchain with rust-src;
-# not part of the gate because the container pins stable). This covers
-# cake-core's sync module — the sense-reversing SpinBarrier's tests drive
+# The tsan stage (./ci.sh --tsan) covers cake-core's sync module and the
+# pipelined executor — the sense-reversing SpinBarrier's tests drive
 # multi-threaded episodes under an oversubscribed pool, exactly the
-# schedule TSan needs to observe the Release/Acquire pairs:
-#   RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
-#     --target x86_64-unknown-linux-gnu -p cake-core sync::
-# (drop the trailing `sync::` filter to sweep the whole crate).
+# schedule TSan needs to observe the Release/Acquire pairs. TSan's
+# happens-before model is the runtime complement of the static
+# atomics-ordering pass in cake-audit: the audit proves the declared
+# protocol is the one written in the source; TSan checks the protocol the
+# hardware actually executes. Needs nightly + rust-src (for -Zbuild-std);
+# the pinned stable container has neither, so the stage skips gracefully.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -133,6 +141,32 @@ run_miri() {
         -p cake-matrix -p cake-kernels -p cake-core -q
 }
 
+run_tsan() {
+    # Run the barrier/pool/executor tests under ThreadSanitizer: the
+    # multi-threaded episodes those tests drive are exactly the schedules
+    # TSan needs to observe the barrier's Release/Acquire pairs and the
+    # panel ring's pack/compute handoff. Requires nightly (for
+    # -Zsanitizer=thread) and the rust-src component (for -Zbuild-std,
+    # which rebuilds std with instrumentation so std sync primitives are
+    # visible to the race detector). The pinned stable container has
+    # neither, so skip (not fail) when they are missing.
+    echo "==> tsan (cake-core sync + executor tests under ThreadSanitizer)"
+    if ! cargo +nightly --version >/dev/null 2>&1; then
+        echo "    nightly toolchain unavailable; skipping"
+        return 0
+    fi
+    local sysroot
+    sysroot=$(rustc +nightly --print sysroot 2>/dev/null || true)
+    if [[ -z "$sysroot" || ! -d "$sysroot/lib/rustlib/src/rust/library" ]]; then
+        echo "    rust-src component unavailable (needed for -Zbuild-std); skipping"
+        return 0
+    fi
+    local target
+    target=$(rustc +nightly -vV | sed -n 's/^host: //p')
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -Zbuild-std \
+        --target "$target" -p cake-core --lib -q -- sync:: pool:: executor::
+}
+
 if [[ "${1:-}" == "--verify" ]]; then
     run_verify
     echo "==> ci.sh: verification passed"
@@ -172,6 +206,12 @@ fi
 if [[ "${1:-}" == "--miri" ]]; then
     run_miri
     echo "==> ci.sh: miri pass done"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+    run_tsan
+    echo "==> ci.sh: tsan pass done"
     exit 0
 fi
 

@@ -1,0 +1,967 @@
+//! Lightweight whole-workspace call-graph extractor.
+//!
+//! Built on the [`crate::scan`] lexer: every `.rs` file under the crate
+//! `src/` trees is lexed into code/comment channels, then a token walk
+//! recovers function definitions (qualified by their `impl` type), the
+//! `// audit:` anchors attached to them, and every call site inside their
+//! bodies. The graph is deliberately *name-based and conservative*:
+//!
+//! * a qualified call `Type::name(..)` resolves to the matching
+//!   `impl Type { fn name }` when one exists; a miss on a concrete type
+//!   name is treated as external or compiler-derived (no edge, so
+//!   `Vec::new` does not alias every in-tree `fn new`), while
+//!   module-qualified (`sys::pin`) and generic-param (`T::best`) calls
+//!   fall back to every `name`;
+//! * a method or bare call `x.name(..)` / `name(..)` resolves to **every**
+//!   workspace fn of that name (trait dispatch is over-approximated by
+//!   resolving to all same-named impls);
+//! * a call whose name matches no definition but is passed as an argument
+//!   to a top-level macro invocation resolves to every `$`-templated fn
+//!   defined inside `macro_rules!` bodies (macro-generated fns stay
+//!   visible to the dataflow passes).
+//!
+//! Over-approximation is the right failure mode for the consumers
+//! ([`crate::allocfree`], [`crate::panicfree`]): reaching too many fns can
+//! only produce a violation that an explicit `// audit: cold` anchor then
+//! documents away; it can never hide one. Known holes (calls through `std`
+//! such as `mpsc::Sender::send`, and function-pointer dispatch like
+//! `Ukr::call`) are documented in DESIGN.md §13 and covered by the runtime
+//! counting-allocator cross-check in cake-verify.
+//!
+//! `#[cfg(test)] mod` bodies are skipped entirely, and the vendored
+//! `crates/proptest` tree plus bench/example/integration-test scaffolding
+//! are excluded from the graph (see [`graph_files`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{lex, LexedLine};
+
+/// One workspace source file, path workspace-relative with `/` separators.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Full file contents.
+    pub src: String,
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Read every `.rs` file under `root` (skipping `target/` and dot dirs)
+/// into memory, sorted by path.
+pub fn read_tree(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .components()
+            .map(|cp| cp.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&f)?;
+        out.push(SourceFile { path: rel, src });
+    }
+    Ok(out)
+}
+
+/// Does this path participate in the call graph? Crate `src/` trees only:
+/// the vendored third-party `crates/proptest` is excluded (its internals
+/// are not ours to anchor), as are benches, examples, and integration
+/// tests (never reachable from a warm/hot production root).
+pub fn in_graph(path: &str) -> bool {
+    path.starts_with("crates/")
+        && !path.starts_with("crates/proptest/")
+        && path.split('/').nth(2) == Some("src")
+}
+
+/// Filter a file set down to the call-graph participants.
+pub fn graph_files(files: &[SourceFile]) -> Vec<SourceFile> {
+    files.iter().filter(|f| in_graph(&f.path)).cloned().collect()
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Callee name (`push`, `pack_b_into`, `format!` for macros).
+    pub name: String,
+    /// Last path segment before the name for qualified calls
+    /// (`SpinBarrier` in `SpinBarrier::new(..)`), `None` for bare and
+    /// method calls.
+    pub qual: Option<String>,
+    /// The call path is rooted at `std::` / `core::` / `alloc::`
+    /// (`std::array::from_fn`): never resolves to a workspace fn.
+    pub std_root: bool,
+}
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Bare name (`$name` for macro-templated fns).
+    pub name: String,
+    /// `Type::name` inside an `impl Type`, else the bare name.
+    pub qual: String,
+    /// Anchor tokens (`warm` / `hot` / `cold`) from `// audit:` comments
+    /// on or immediately above the definition.
+    pub anchors: BTreeSet<String>,
+    /// 0-based inclusive body line range (`None` for bodyless trait
+    /// method declarations).
+    pub body: Option<(usize, usize)>,
+    /// Calls inside the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Defined inside a `macro_rules!` body (name is a `$` placeholder).
+    pub is_template: bool,
+}
+
+/// The extracted whole-workspace graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every extracted fn.
+    pub fns: Vec<FnDef>,
+    /// Name -> indices into `fns`.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `Type::name` -> indices into `fns`.
+    pub by_qual: BTreeMap<String, Vec<usize>>,
+    /// Indices of `$`-templated fns (defined inside `macro_rules!`).
+    pub templates: Vec<usize>,
+    /// Identifier tokens passed to top-level macro invocations — the
+    /// names macro-generated fns can take.
+    pub macro_arg_names: BTreeSet<String>,
+    /// Lexed lines per file, for the passes' line-level escape checks.
+    pub lexed: BTreeMap<String, Vec<LexedLine>>,
+    /// Crate directory names covered (`cake-core`, ...).
+    pub crates: BTreeSet<String>,
+    /// Source-derived crate dependencies, transitively closed: crate dir
+    /// name -> the crate dirs its sources may call into (itself included).
+    /// Derived from `cake_<name>` path references in each crate's code
+    /// channel, so it tracks the real `use`/path structure, not a table
+    /// that could drift.
+    pub deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Crate directory name of a workspace-relative path
+/// (`crates/cake-core/src/sync.rs` -> `cake-core`).
+pub fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/").and_then(|p| p.split('/').next())
+}
+
+impl CallGraph {
+    /// `true` when `caller`'s crate may call into `callee`'s crate: same
+    /// crate, or a (transitive) source-level dependency. Unknown crates
+    /// fall back to "allowed" — over-approximation stays the failure mode.
+    fn crate_allowed(&self, caller: &FnDef, callee: &FnDef) -> bool {
+        let (Some(from), Some(to)) = (crate_of(&caller.file), crate_of(&callee.file)) else {
+            return true;
+        };
+        if from == to {
+            return true;
+        }
+        self.deps.get(from).is_none_or(|d| d.contains(to))
+    }
+
+    /// Resolve a call site in `caller` to candidate definitions
+    /// (conservative: possibly many, possibly none for std/external
+    /// calls). Name-collision candidates in crates the caller's crate
+    /// does not depend on are dropped — `cake-core` code can never call
+    /// into `cake-dnn`, so a bare `.push(..)` in the executor must not
+    /// alias `Sequential::push`.
+    pub fn resolve(&self, caller: &FnDef, call: &CallSite) -> Vec<usize> {
+        if call.std_root {
+            return Vec::new();
+        }
+        let allowed = |v: &[usize]| -> Vec<usize> {
+            v.iter().copied().filter(|&t| self.crate_allowed(caller, &self.fns[t])).collect()
+        };
+        if let Some(q) = &call.qual {
+            if let Some(v) = self.by_qual.get(&format!("{q}::{}", call.name)) {
+                return allowed(v);
+            }
+            // A miss on a concrete type name means an external or
+            // compiler-derived fn (`Vec::new`, `Instant::now`, a derived
+            // `ExecStats::default`): falling back to the bare name would
+            // wire `Vec::new` to every in-tree `fn new`. Module paths
+            // (`sys::pin`) and generic params (`T::best`) keep the
+            // conservative bare-name fallback — their callees really are
+            // in-tree fns the qualifier cannot name directly.
+            let module_path = q.chars().next().is_some_and(|c| c.is_lowercase() || c == '_');
+            let generic_param = q.len() <= 2 && q.chars().all(|c| c.is_ascii_uppercase());
+            if !module_path && !generic_param {
+                return Vec::new();
+            }
+        }
+        if let Some(v) = self.by_name.get(&call.name) {
+            return allowed(v);
+        }
+        if self.macro_arg_names.contains(&call.name) {
+            return allowed(&self.templates);
+        }
+        Vec::new()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Punct(char),
+    /// `::`
+    PathSep,
+}
+
+struct Token {
+    line: usize, // 0-based
+    tok: Tok,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn tokenize(lines: &[LexedLine]) -> Vec<Token> {
+    let mut toks = Vec::new();
+    for (li, info) in lines.iter().enumerate() {
+        let chars: Vec<char> = info.code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if is_word_char(c) || (c == '$' && chars.get(i + 1).is_some_and(|&n| is_word_char(n))) {
+                let mut w = String::new();
+                if c == '$' {
+                    w.push('$');
+                    i += 1;
+                }
+                while i < chars.len() && is_word_char(chars[i]) {
+                    w.push(chars[i]);
+                    i += 1;
+                }
+                toks.push(Token { line: li, tok: Tok::Word(w) });
+            } else if c == ':' && chars.get(i + 1) == Some(&':') {
+                toks.push(Token { line: li, tok: Tok::PathSep });
+                i += 2;
+            } else {
+                toks.push(Token { line: li, tok: Tok::Punct(c) });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "mut",
+    "ref", "move", "fn", "in", "as", "where", "impl", "dyn", "use", "pub", "mod", "struct", "enum",
+    "union", "trait", "unsafe", "extern", "const", "static", "type", "crate", "super", "self",
+    "Self",
+];
+
+/// All `audit:` comments covering a (0-based) line: a comment on the line
+/// itself plus any contiguous pure-comment lines directly above.
+pub fn audit_comments_for_line(lexed: &[LexedLine], li: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    if lexed[li].comment.contains("audit:") {
+        out.push(lexed[li].comment.clone());
+    }
+    let mut cur = li;
+    while let Some(prev) = cur.checked_sub(1) {
+        let info = &lexed[prev];
+        if !info.code.trim().is_empty() {
+            break;
+        }
+        if info.comment.is_empty() {
+            break; // blank line ends the covering block
+        }
+        if info.comment.contains("audit:") {
+            out.push(info.comment.clone());
+        }
+        cur = prev;
+    }
+    out
+}
+
+/// Is this line covered by a `// audit: <keyword> ..` escape of the given
+/// kind (`cold`, `checked`, ...)?
+pub fn line_escape(lexed: &[LexedLine], li: usize, keyword: &str) -> bool {
+    audit_comments_for_line(lexed, li).iter().any(|c| {
+        c.find("audit:")
+            .map(|p| c[p + 6..].split_whitespace().next() == Some(keyword))
+            .unwrap_or(false)
+    })
+}
+
+/// Parse `// audit: <tok> <tok> ...` anchor tokens out of a comment.
+/// Only the leading `warm` / `hot` / `cold` keywords count; trailing text
+/// is a human-readable reason.
+fn anchor_tokens(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(pos) = comment.find("audit:") else { return out };
+    for word in comment[pos + 6..].split_whitespace() {
+        match word {
+            "warm" | "hot" | "cold" => out.push(word.to_string()),
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Anchors on the definition line or the contiguous comment/attr block
+/// immediately above it.
+fn anchors_for(lines: &[LexedLine], def_line: usize) -> BTreeSet<String> {
+    let mut anchors: BTreeSet<String> = anchor_tokens(&lines[def_line].comment).into_iter().collect();
+    let mut cur = def_line;
+    while let Some(prev) = cur.checked_sub(1) {
+        let info = &lines[prev];
+        let code = info.code.trim();
+        let is_annotation_line = code.is_empty() || code.starts_with("#[") || code.starts_with("#!");
+        if !is_annotation_line {
+            break;
+        }
+        anchors.extend(anchor_tokens(&info.comment));
+        if code.is_empty() && info.comment.is_empty() {
+            break; // blank line ends the block
+        }
+        cur = prev;
+    }
+    anchors
+}
+
+/// Extract the impl'd type name from the header tokens between `impl` and
+/// the opening `{`: the last identifier at angle-bracket depth zero before
+/// any `where` clause (`impl<T: Dtype> Layer for Conv2d` -> `Conv2d`).
+fn impl_type_name(toks: &[Token], mut i: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<String> = None;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') if angle == 0 => break,
+            Tok::Punct(';') if angle == 0 => break,
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Word(w) if angle == 0 => {
+                if w == "where" {
+                    break;
+                }
+                if w != "for" {
+                    last = Some(w.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    last
+}
+
+#[derive(Debug)]
+enum Ctx {
+    /// `impl Type { .. }` — fns inside are qualified.
+    Impl(String),
+    /// A fn body — calls attach to `fns[idx]`.
+    Fn(usize),
+    /// `macro_rules! { .. }` — fns inside are templates.
+    MacroRules,
+    /// `#[cfg(test)] mod { .. }` — skipped entirely.
+    TestMod,
+    /// Top-level macro invocation `name!( .. )` — words are collected as
+    /// possible macro-generated fn names.
+    MacroInvocation,
+}
+
+/// Extract the call graph from a set of source files. Non-participants
+/// (vendored proptest, benches, examples, integration tests — see
+/// [`in_graph`]) are filtered out here, so callers may pass a raw
+/// [`read_tree`] file set.
+pub fn extract(files: &[SourceFile]) -> CallGraph {
+    let mut g = CallGraph::default();
+    for f in files {
+        if !in_graph(&f.path) {
+            continue;
+        }
+        if let Some(krate) = crate_of(&f.path) {
+            g.crates.insert(krate.to_string());
+        }
+        let lines = lex(&f.src);
+        if let Some(from) = crate_of(&f.path) {
+            let entry = g.deps.entry(from.to_string()).or_default();
+            entry.insert(from.to_string());
+            for l in &lines {
+                collect_crate_refs(&l.code, entry);
+            }
+        }
+        let toks = tokenize(&lines);
+        extract_file(&f.path, &lines, &toks, &mut g);
+        g.lexed.insert(f.path.clone(), lines);
+    }
+    close_deps(&mut g.deps);
+    for (i, fun) in g.fns.iter().enumerate() {
+        g.by_name.entry(fun.name.clone()).or_default().push(i);
+        g.by_qual.entry(fun.qual.clone()).or_default().push(i);
+        if fun.is_template {
+            g.templates.push(i);
+        }
+    }
+    g
+}
+
+/// Collect `cake_<name>` crate path references from a code channel
+/// (mapped to crate dir names: `cake_kernels` -> `cake-kernels`).
+fn collect_crate_refs(code: &str, out: &mut BTreeSet<String>) {
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("cake_") {
+        let at = from + rel;
+        let before_ok =
+            at == 0 || !code[..at].chars().next_back().is_some_and(is_word_char);
+        let end = code[at..]
+            .find(|c: char| !is_word_char(c))
+            .map_or(code.len(), |e| at + e);
+        if before_ok && end > at + "cake_".len() {
+            out.insert(code[at..end].replace('_', "-"));
+        }
+        from = end.max(at + 1);
+    }
+}
+
+/// Transitively close the crate dependency edges (a crate may call into
+/// anything its dependencies may call into).
+fn close_deps(deps: &mut BTreeMap<String, BTreeSet<String>>) {
+    loop {
+        let mut changed = false;
+        let keys: Vec<String> = deps.keys().cloned().collect();
+        for c in &keys {
+            let reach: Vec<String> = deps[c].iter().cloned().collect();
+            let mut add = BTreeSet::new();
+            for d in &reach {
+                if let Some(dd) = deps.get(d) {
+                    add.extend(dd.iter().filter(|x| !deps[c].contains(*x)).cloned());
+                }
+            }
+            if !add.is_empty() {
+                deps.get_mut(c).expect("key exists").extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+fn extract_file(path: &str, lines: &[LexedLine], toks: &[Token], g: &mut CallGraph) {
+    // Stack of (brace depth at which the region opened, context).
+    let mut stack: Vec<(usize, Ctx)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+
+    let in_skip = |stack: &[(usize, Ctx)]| {
+        stack.iter().any(|(_, c)| matches!(c, Ctx::TestMod))
+    };
+    let in_macro_rules = |stack: &[(usize, Ctx)]| {
+        stack.iter().any(|(_, c)| matches!(c, Ctx::MacroRules))
+    };
+
+    while i < toks.len() {
+        let line = toks[i].line;
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while let Some((d, ctx)) = stack.last() {
+                    if *d > depth {
+                        if let Ctx::Fn(idx) = ctx {
+                            // This `}` closes the fn body: record its end.
+                            if let Some((s, _)) = g.fns[*idx].body {
+                                g.fns[*idx].body = Some((s, line));
+                            }
+                        }
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            Tok::Word(w) if w == "impl" && !in_skip(&stack) => {
+                let ty = impl_type_name(toks, i + 1);
+                // Register the context at the depth its `{` will open.
+                if let Some(ty) = ty {
+                    stack.push((depth + 1, Ctx::Impl(ty)));
+                }
+                i += 1;
+            }
+            Tok::Word(w) if w == "macro_rules" => {
+                stack.push((depth + 1, Ctx::MacroRules));
+                i += 1;
+            }
+            Tok::Word(w) if w == "mod" => {
+                // `#[cfg(test)]` within the two lines above (or on the
+                // same line) marks an inline test module to skip. `mod x;`
+                // declarations have no body and push nothing.
+                let has_body = matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('{')));
+                let lo = line.saturating_sub(2);
+                let cfg_test = (lo..=line).any(|li| lines[li].code.contains("cfg(test)"));
+                if cfg_test && has_body {
+                    stack.push((depth + 1, Ctx::TestMod));
+                }
+                i += 1;
+            }
+            Tok::Word(w) if w == "fn" && !in_skip(&stack) => {
+                let Some(Token { tok: Tok::Word(name), .. }) = toks.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.clone();
+                let impl_ty = stack.iter().rev().find_map(|(_, c)| match c {
+                    Ctx::Impl(t) => Some(t.clone()),
+                    _ => None,
+                });
+                let qual = match &impl_ty {
+                    Some(t) => format!("{t}::{name}"),
+                    None => name.clone(),
+                };
+                let def = FnDef {
+                    file: path.to_string(),
+                    line: line + 1,
+                    name,
+                    qual,
+                    anchors: anchors_for(lines, line),
+                    body: None,
+                    calls: Vec::new(),
+                    is_template: in_macro_rules(&stack),
+                };
+                // Find the body `{` (or `;` for a bodyless declaration).
+                let mut j = i + 2;
+                let mut has_body = false;
+                while j < toks.len() {
+                    match toks[j].tok {
+                        Tok::Punct('{') => {
+                            has_body = true;
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                let idx = g.fns.len();
+                g.fns.push(def);
+                if has_body {
+                    g.fns[idx].body = Some((toks[j].line, toks[j].line));
+                    stack.push((depth + 1, Ctx::Fn(idx)));
+                    depth += 1; // consume the `{`
+                    i = j + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            Tok::Word(w) if !in_skip(&stack) => {
+                // Macro invocation or call?
+                let word = w.clone();
+                let fn_idx = stack.iter().rev().find_map(|(_, c)| match c {
+                    Ctx::Fn(idx) => Some(*idx),
+                    _ => None,
+                });
+                let next = toks.get(i + 1).map(|t| &t.tok);
+                if matches!(next, Some(Tok::Punct('!'))) {
+                    let open = toks.get(i + 2).map(|t| &t.tok);
+                    let is_invocation = matches!(
+                        open,
+                        Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{'))
+                    );
+                    if is_invocation && word != "macro_rules" {
+                        match fn_idx {
+                            Some(idx) => g.fns[idx]
+                                .calls
+                                .push(CallSite {
+                                    line: line + 1,
+                                    name: format!("{word}!"),
+                                    qual: None,
+                                    std_root: false,
+                                }),
+                            None => {
+                                // Top-level macro invocation: harvest word
+                                // args as candidate generated-fn names.
+                                if matches!(open, Some(Tok::Punct('{'))) {
+                                    stack.push((depth + 1, Ctx::MacroInvocation));
+                                } else {
+                                    let close = match open {
+                                        Some(Tok::Punct('(')) => ')',
+                                        _ => ']',
+                                    };
+                                    let mut k = i + 3;
+                                    let mut nest = 0i32;
+                                    while k < toks.len() {
+                                        match &toks[k].tok {
+                                            Tok::Punct(c) if *c == close && nest == 0 => break,
+                                            Tok::Punct('(') | Tok::Punct('[') => nest += 1,
+                                            Tok::Punct(')') | Tok::Punct(']') => nest -= 1,
+                                            Tok::Word(a) if !KEYWORDS.contains(&a.as_str()) => {
+                                                g.macro_arg_names.insert(a.clone());
+                                            }
+                                            _ => {}
+                                        }
+                                        k += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                // Collect words inside a top-level macro invocation body.
+                if fn_idx.is_none()
+                    && stack.iter().any(|(_, c)| matches!(c, Ctx::MacroInvocation))
+                    && !KEYWORDS.contains(&word.as_str())
+                {
+                    g.macro_arg_names.insert(word.clone());
+                }
+                if let Some(idx) = fn_idx {
+                    if !KEYWORDS.contains(&word.as_str()) {
+                        // Skip an optional turbofish `::<..>` after the name.
+                        let mut j = i + 1;
+                        if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::PathSep))
+                            && matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('<')))
+                        {
+                            let mut angle = 0i32;
+                            j += 1;
+                            while j < toks.len() {
+                                match toks[j].tok {
+                                    Tok::Punct('<') => angle += 1,
+                                    Tok::Punct('>') => {
+                                        angle -= 1;
+                                        if angle == 0 {
+                                            j += 1;
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                        }
+                        if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                            // Qualified path? `Seg::name(` — the token
+                            // before the name is `::` preceded by a word.
+                            // `Self::name(` resolves via the enclosing
+                            // impl type. The walk back to the path root
+                            // spots `std::` / `core::` / `alloc::` paths
+                            // (`std::array::from_fn`), which must never
+                            // alias a same-named workspace fn.
+                            let mut qual = None;
+                            let mut std_root = false;
+                            if i >= 2 && matches!(toks[i - 1].tok, Tok::PathSep) {
+                                qual = match &toks[i - 2].tok {
+                                    Tok::Word(q) if q == "Self" => {
+                                        stack.iter().rev().find_map(|(_, c)| match c {
+                                            Ctx::Impl(t) => Some(t.clone()),
+                                            _ => None,
+                                        })
+                                    }
+                                    Tok::Word(q) => Some(q.clone()),
+                                    _ => None,
+                                };
+                                let mut r = i - 2;
+                                while r >= 2
+                                    && matches!(toks[r - 1].tok, Tok::PathSep)
+                                    && matches!(toks[r - 2].tok, Tok::Word(_))
+                                {
+                                    r -= 2;
+                                }
+                                if let Tok::Word(root) = &toks[r].tok {
+                                    std_root =
+                                        matches!(root.as_str(), "std" | "core" | "alloc");
+                                }
+                            }
+                            g.fns[idx].calls.push(CallSite {
+                                line: line + 1,
+                                name: word,
+                                qual,
+                                std_root,
+                            });
+                        }
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    // A fn body whose closing `}` was never seen (truncated source) keeps
+    // its `(start, start)` single-line span — the conservative minimum.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> CallGraph {
+        extract(&[SourceFile { path: "crates/x/src/lib.rs".into(), src: src.into() }])
+    }
+
+    fn find<'g>(g: &'g CallGraph, qual: &str) -> &'g FnDef {
+        g.fns.iter().find(|f| f.qual == qual).unwrap_or_else(|| {
+            panic!("no fn {qual}; have {:?}", g.fns.iter().map(|f| &f.qual).collect::<Vec<_>>())
+        })
+    }
+
+    #[test]
+    fn extracts_free_and_impl_fns_with_calls() {
+        let g = graph_of(
+            "fn helper(x: usize) -> usize { x + 1 }\n\
+             struct Foo;\n\
+             impl Foo {\n\
+                 fn run(&self) -> usize { helper(2) + self.aux() }\n\
+                 fn aux(&self) -> usize { 3 }\n\
+             }\n",
+        );
+        assert_eq!(g.fns.len(), 3);
+        let run = find(&g, "Foo::run");
+        let names: Vec<&str> = run.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["helper", "aux"]);
+        assert_eq!(g.resolve(run, &run.calls[0]), &[0]);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_to_the_impl() {
+        let g = graph_of(
+            "struct A;\nstruct B;\n\
+             impl A { fn go() {} }\n\
+             impl B { fn go() {} }\n\
+             fn main2() { A::go(); }\n",
+        );
+        let m = find(&g, "main2");
+        assert_eq!(m.calls.len(), 1);
+        assert_eq!(m.calls[0].qual.as_deref(), Some("A"));
+        let targets = g.resolve(m, &m.calls[0]);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(g.fns[targets[0]].qual, "A::go");
+    }
+
+    #[test]
+    fn external_type_qualified_miss_resolves_to_nothing() {
+        // `Vec::new()` must not alias every in-tree `fn new`, and a
+        // derived `Stats::default()` must not alias every `fn default`.
+        let g = graph_of(
+            "struct Ring;\n\
+             impl Ring { fn new() -> Self { Ring } }\n\
+             fn warm() { let v: Vec<u8> = Vec::new(); drop(v); }\n",
+        );
+        let w = find(&g, "warm");
+        let vec_new = w.calls.iter().find(|c| c.name == "new").unwrap();
+        assert_eq!(vec_new.qual.as_deref(), Some("Vec"));
+        assert!(g.resolve(w, vec_new).is_empty(), "Vec::new must not resolve in-tree");
+    }
+
+    #[test]
+    fn std_rooted_paths_never_resolve_in_tree() {
+        // `std::array::from_fn` has a lowercase `array` qualifier, but the
+        // path root marks it external — it must not alias `Grid::from_fn`.
+        let g = graph_of(
+            "struct Grid;\n\
+             impl Grid { fn from_fn() -> Grid { Grid } }\n\
+             fn warm() { let a: [u8; 4] = std::array::from_fn(|i| i as u8); drop(a); }\n",
+        );
+        let w = find(&g, "warm");
+        let c = w.calls.iter().find(|c| c.name == "from_fn").unwrap();
+        assert!(c.std_root);
+        assert!(g.resolve(w, c).is_empty(), "std:: path must not resolve in-tree");
+    }
+
+    #[test]
+    fn module_and_generic_qualifiers_keep_the_bare_name_fallback() {
+        let g = graph_of(
+            "mod sys { pub fn pin(_c: usize) {} }\n\
+             fn best() {}\n\
+             fn drive() { sys::pin(0); }\n\
+             fn select2() { T::best(); }\n",
+        );
+        let d = find(&g, "drive");
+        let pin = d.calls.iter().find(|c| c.name == "pin").unwrap();
+        assert_eq!(pin.qual.as_deref(), Some("sys"));
+        assert_eq!(g.resolve(d, pin).len(), 1, "module-qualified call must resolve");
+        let s = find(&g, "select2");
+        let best = s.calls.iter().find(|c| c.name == "best").unwrap();
+        assert_eq!(best.qual.as_deref(), Some("T"));
+        assert_eq!(g.resolve(s, best).len(), 1, "generic-param call must resolve");
+    }
+
+    #[test]
+    fn trait_method_dispatch_resolves_to_every_impl() {
+        let g = graph_of(
+            "trait Layer { fn forward(&self) -> usize; }\n\
+             struct A;\nstruct B;\n\
+             impl Layer for A { fn forward(&self) -> usize { 1 } }\n\
+             impl Layer for B { fn forward(&self) -> usize { 2 } }\n\
+             fn drive(l: &dyn Layer) -> usize { l.forward() }\n",
+        );
+        let d = find(&g, "drive");
+        assert_eq!(d.calls.len(), 1);
+        let targets: Vec<&str> =
+            g.resolve(d, &d.calls[0]).iter().map(|&i| g.fns[i].qual.as_str()).collect();
+        // Conservative: the decl and both impls.
+        assert!(targets.contains(&"A::forward"), "{targets:?}");
+        assert!(targets.contains(&"B::forward"), "{targets:?}");
+    }
+
+    #[test]
+    fn target_feature_fn_boundaries_are_extracted() {
+        let g = graph_of(
+            "fn ukr_avx2(k: usize) { unsafe { ukr_avx2_impl(k) } }\n\
+             /// # Safety\n/// avx2 must be available.\n\
+             #[target_feature(enable = \"avx2\")]\n\
+             unsafe fn ukr_avx2_impl(_k: usize) { }\n",
+        );
+        let outer = find(&g, "ukr_avx2");
+        let targets = g.resolve(outer, &outer.calls[0]);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(g.fns[targets[0]].name, "ukr_avx2_impl");
+    }
+
+    #[test]
+    fn macro_generated_fns_stay_visible() {
+        let g = graph_of(
+            "macro_rules! make {\n\
+                 ($name:ident) => {\n\
+                     pub fn $name() -> Vec<u8> { Vec::with_capacity(9) }\n\
+                 };\n\
+             }\n\
+             make!(gen_fn);\n\
+             fn caller() { gen_fn(); }\n",
+        );
+        let tpl = find(&g, "$name");
+        assert!(tpl.is_template);
+        assert!(g.macro_arg_names.contains("gen_fn"));
+        let c = find(&g, "caller");
+        let gen_call = c.calls.iter().find(|cl| cl.name == "gen_fn").expect("call extracted");
+        let targets = g.resolve(c, gen_call);
+        assert_eq!(targets.len(), 1, "unknown names invoked via a macro resolve to templates");
+        assert_eq!(g.fns[targets[0]].name, "$name");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let g = graph_of(
+            "fn real() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn fake() { super::real(); }\n\
+             }\n",
+        );
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "real");
+    }
+
+    #[test]
+    fn anchors_attach_through_attr_blocks() {
+        let g = graph_of(
+            "// audit: warm hot\n\
+             #[inline]\n\
+             fn kernel() {}\n\
+             // audit: cold pool setup, runs once\n\
+             fn setup() {}\n\
+             fn plain() {}\n",
+        );
+        assert_eq!(find(&g, "kernel").anchors, ["hot", "warm"].iter().map(|s| s.to_string()).collect());
+        assert_eq!(find(&g, "setup").anchors, std::iter::once("cold".to_string()).collect());
+        assert!(find(&g, "plain").anchors.is_empty());
+    }
+
+    #[test]
+    fn bodies_span_to_the_matching_brace() {
+        let g = graph_of(
+            "fn outer() {\n\
+                 let x = vec![1];\n\
+                 if x.len() > 0 {\n\
+                     helper();\n\
+                 }\n\
+             }\n\
+             fn helper() {}\n",
+        );
+        let o = find(&g, "outer");
+        let (s, e) = o.body.expect("body");
+        assert_eq!((s, e), (0, 5));
+        assert!(o.calls.iter().any(|c| c.name == "helper"));
+        assert!(o.calls.iter().any(|c| c.name == "vec!"));
+    }
+
+    #[test]
+    fn methods_and_macros_in_strings_do_not_count() {
+        let g = graph_of(
+            "fn f() -> &'static str { \"format!(no) and push(no)\" }\n",
+        );
+        assert!(find(&g, "f").calls.is_empty());
+    }
+
+    #[test]
+    fn proptest_and_test_scaffolding_are_excluded() {
+        assert!(in_graph("crates/cake-core/src/executor.rs"));
+        assert!(!in_graph("crates/proptest/src/lib.rs"));
+        assert!(!in_graph("crates/cake-bench/benches/kernels.rs"));
+        assert!(!in_graph("crates/cake-verify/tests/warm_alloc.rs"));
+        assert!(!in_graph("xtask/src/main.rs"));
+    }
+
+    /// Drift meta-test: the workspace manifest declares `members =
+    /// ["crates/*"]`, so every directory under `crates/` with a
+    /// `Cargo.toml` is a workspace member. Each one must show up in the
+    /// extracted graph's crate set — if a future PR adds a crate that the
+    /// in_graph() filter silently skips, the dataflow passes would report
+    /// PASS while never having looked at it. The vendored third-party
+    /// `proptest` is the single deliberate exclusion.
+    #[test]
+    fn every_workspace_crate_is_scanned() {
+        let root = crate::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let mut members = BTreeSet::new();
+        for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if entry.path().join("Cargo.toml").is_file() && name != "proptest" {
+                members.insert(name);
+            }
+        }
+        assert!(!members.is_empty(), "no workspace members found under crates/");
+
+        let files = read_tree(&root).expect("read workspace tree");
+        let g = extract(&graph_files(&files));
+        let missing: Vec<&String> = members.difference(&g.crates).collect();
+        assert!(
+            missing.is_empty(),
+            "workspace crates never scanned by the call-graph extractor: \
+             {missing:?} — extend in_graph() or anchor the new crate"
+        );
+    }
+}

@@ -90,6 +90,9 @@ const SYNC_FACTS: &[(&str, &str)] = &[
     ("arrive-acqrel", "fetch_add(1, Ordering::AcqRel)"),
     ("publish-release", "Ordering::Release"),
     ("spin-acquire", "load(Ordering::Acquire)"),
+    ("counter-reset-relaxed", "store(0, Ordering::Relaxed)"),
+    ("park-advertise-seqcst", "fence(Ordering::SeqCst)"),
+    ("leader-fence-seqcst", "fence(Ordering::SeqCst)"),
 ];
 
 /// Check the `// audit: fact <name>` annotations in sync.rs: each required
@@ -357,10 +360,16 @@ mod tests {
         ws.sense = !my_sense;\n\
         // audit: fact arrive-acqrel\n\
         if self.arrived.0.fetch_add(1, Ordering::AcqRel) + 1 == self.p {\n\
+        // audit: fact counter-reset-relaxed\n\
+        self.arrived.0.store(0, Ordering::Relaxed);\n\
         // audit: fact publish-release\n\
         self.sense.0.store(my_sense, Ordering::Release);\n\
         // audit: fact spin-acquire\n\
-        while self.sense.0.load(Ordering::Acquire) != my_sense {\n";
+        while self.sense.0.load(Ordering::Acquire) != my_sense {\n\
+        // audit: fact park-advertise-seqcst\n\
+        fence(Ordering::SeqCst);\n\
+        // audit: fact leader-fence-seqcst\n\
+        fence(Ordering::SeqCst);\n";
 
     #[test]
     fn faithful_annotations_pass() {

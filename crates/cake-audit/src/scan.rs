@@ -62,18 +62,31 @@ pub struct FileScan {
     pub path: String,
     /// Sites in source order.
     pub sites: Vec<UnsafeSite>,
+    /// 1-based lines of `transmute` calls (ratcheted like unsafe counts).
+    pub transmutes: Vec<usize>,
+    /// 1-based lines of `static mut` items (forbidden workspace-wide
+    /// unless the path is explicitly allowlisted in the ratchet).
+    pub static_muts: Vec<usize>,
 }
 
-#[derive(Default, Clone)]
-struct LineInfo {
+/// One source line split into its code and comment channels by the lexer.
+/// String-literal contents are blanked from `code`, so token searches over
+/// `code` never match inside literals, and `comment` never contains code.
+#[derive(Default, Clone, Debug)]
+pub struct LexedLine {
     /// Code with comments and literal contents blanked out.
-    code: String,
+    pub code: String,
     /// Comment text on the line (line + block comments).
-    comment: String,
+    pub comment: String,
 }
 
 /// Lex `src` into per-line code/comment channels.
-fn strip(src: &str) -> Vec<LineInfo> {
+///
+/// This is the shared front end for every textual pass in this crate: the
+/// unsafe scanner, the call-graph extractor, and the alloc/panic/atomics
+/// dataflow passes all consume these channels instead of raw source, so
+/// they inherit the same string/comment/char-literal discipline.
+pub fn lex(src: &str) -> Vec<LexedLine> {
     enum Mode {
         Code,
         Line,
@@ -83,7 +96,7 @@ fn strip(src: &str) -> Vec<LineInfo> {
         Char,
     }
     let chars: Vec<char> = src.chars().collect();
-    let mut lines: Vec<LineInfo> = vec![LineInfo::default()];
+    let mut lines: Vec<LexedLine> = vec![LexedLine::default()];
     let mut mode = Mode::Code;
     let mut i = 0usize;
     while i < chars.len() {
@@ -92,7 +105,7 @@ fn strip(src: &str) -> Vec<LineInfo> {
             if matches!(mode, Mode::Line) {
                 mode = Mode::Code;
             }
-            lines.push(LineInfo::default());
+            lines.push(LexedLine::default());
             i += 1;
             continue;
         }
@@ -165,6 +178,12 @@ fn strip(src: &str) -> Vec<LineInfo> {
             }
             Mode::Str => {
                 if ch == '\\' {
+                    // An escaped newline is a string continuation: the
+                    // physical line still ends here, and dropping it would
+                    // shift every later line number in the file.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        lines.push(LexedLine::default());
+                    }
                     i += 2;
                 } else {
                     if ch == '"' {
@@ -186,6 +205,9 @@ fn strip(src: &str) -> Vec<LineInfo> {
             }
             Mode::Char => {
                 if ch == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        lines.push(LexedLine::default());
+                    }
                     i += 2;
                 } else {
                     if ch == '\'' {
@@ -204,7 +226,7 @@ fn is_word_char(c: char) -> bool {
 }
 
 /// First code token at or after `(line, col)`, skipping whitespace.
-fn next_token(lines: &[LineInfo], mut line: usize, mut col: usize) -> Option<String> {
+fn next_token(lines: &[LexedLine], mut line: usize, mut col: usize) -> Option<String> {
     while line < lines.len() {
         let code: Vec<char> = lines[line].code.chars().collect();
         while col < code.len() && code[col].is_whitespace() {
@@ -235,13 +257,13 @@ fn has_safety(text: &str) -> bool {
 
 /// A line that carries no code except possibly an attribute — the kind of
 /// line a doc/attr block above an `unsafe fn` is made of.
-fn is_doc_or_attr_line(info: &LineInfo) -> bool {
+fn is_doc_or_attr_line(info: &LexedLine) -> bool {
     let t = info.code.trim();
     t.is_empty() || t.starts_with("#[") || t.starts_with("#!")
 }
 
 /// Is the site at `line` (0-based) covered by a SAFETY annotation?
-fn annotated(lines: &[LineInfo], line: usize, kind: SiteKind) -> bool {
+fn annotated(lines: &[LexedLine], line: usize, kind: SiteKind) -> bool {
     if has_safety(&lines[line].comment) {
         return true;
     }
@@ -271,10 +293,31 @@ fn annotated(lines: &[LineInfo], line: usize, kind: SiteKind) -> bool {
     false
 }
 
+/// Count whole-word occurrences of `word` in a code channel.
+pub fn count_word(code: &str, word: &str) -> usize {
+    let chars: Vec<char> = code.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    let mut n = 0usize;
+    let mut col = 0usize;
+    while col + w.len() <= chars.len() {
+        let before_ok = col == 0 || !is_word_char(chars[col - 1]);
+        let after_ok = chars.get(col + w.len()).is_none_or(|&c| !is_word_char(c));
+        if before_ok && after_ok && chars[col..col + w.len()] == w[..] {
+            n += 1;
+            col += w.len();
+        } else {
+            col += 1;
+        }
+    }
+    n
+}
+
 /// Scan one source string (the path is only a label).
 pub fn scan_source(path: &str, src: &str) -> FileScan {
-    let lines = strip(src);
+    let lines = lex(src);
     let mut sites = Vec::new();
+    let mut transmutes = Vec::new();
+    let mut static_muts = Vec::new();
     for (li, info) in lines.iter().enumerate() {
         let code: Vec<char> = info.code.chars().collect();
         let mut col = 0usize;
@@ -296,8 +339,30 @@ pub fn scan_source(path: &str, src: &str) -> FileScan {
                 col += 1;
             }
         }
+        for _ in 0..count_word(&info.code, "transmute") {
+            transmutes.push(li + 1);
+        }
+        // `static mut FOO` — a whole-word `static` (not the `'static`
+        // lifetime) whose next token is `mut`. `&'static mut T` must not
+        // count; a `static mut` item must.
+        let mut col = 0usize;
+        while col + 6 <= code.len() {
+            let word: String = code[col..col + 6].iter().collect();
+            let before_ok = col == 0 || (!is_word_char(code[col - 1]) && code[col - 1] != '\'');
+            let after_ok = code.get(col + 6).is_none_or(|&c| !is_word_char(c));
+            if word == "static"
+                && before_ok
+                && after_ok
+                && next_token(&lines, li, col + 6).as_deref() == Some("mut")
+            {
+                static_muts.push(li + 1);
+                col += 6;
+            } else {
+                col += 1;
+            }
+        }
     }
-    FileScan { path: path.to_string(), sites }
+    FileScan { path: path.to_string(), sites, transmutes, static_muts }
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -346,10 +411,16 @@ pub struct Ratchet {
     pub allow: BTreeSet<String>,
     /// Committed per-file site counts.
     pub counts: BTreeMap<String, usize>,
+    /// Committed per-file `transmute` call counts (may fall, never rise).
+    pub transmutes: BTreeMap<String, usize>,
+    /// Files allowed to contain `static mut` at all (the workspace has
+    /// none; any entry here must be a deliberate, blessed exception).
+    pub static_mut_allow: BTreeSet<String>,
 }
 
-/// Parse the minimal TOML subset the ratchet uses (`[allow]` with a string
-/// array, `[counts]` with `"path" = N` entries).
+/// Parse the minimal TOML subset the ratchet uses (`[allow]` /
+/// `[static_mut]` with a string array, `[counts]` / `[transmute]` with
+/// `"path" = N` entries).
 pub fn parse_ratchet(text: &str) -> Result<Ratchet, String> {
     let mut r = Ratchet::default();
     let mut section = "";
@@ -362,32 +433,36 @@ pub fn parse_ratchet(text: &str) -> Result<Ratchet, String> {
             section = match line {
                 "[allow]" => "allow",
                 "[counts]" => "counts",
+                "[transmute]" => "transmute",
+                "[static_mut]" => "static_mut",
                 other => return Err(format!("line {}: unknown section {other}", ln + 1)),
             };
             continue;
         }
         match section {
-            "allow" => {
+            "allow" | "static_mut" => {
                 // `paths = [`, `"...",`, `]` — harvest quoted strings.
+                let set = if section == "allow" { &mut r.allow } else { &mut r.static_mut_allow };
                 let mut rest = line;
                 while let Some(start) = rest.find('"') {
                     let Some(len) = rest[start + 1..].find('"') else {
                         return Err(format!("line {}: unterminated string", ln + 1));
                     };
-                    r.allow.insert(rest[start + 1..start + 1 + len].to_string());
+                    set.insert(rest[start + 1..start + 1 + len].to_string());
                     rest = &rest[start + 2 + len..];
                 }
             }
-            "counts" => {
+            "counts" | "transmute" => {
                 let Some((key, val)) = line.split_once('=') else {
                     return Err(format!("line {}: expected `\"path\" = N`", ln + 1));
                 };
+                let map = if section == "counts" { &mut r.counts } else { &mut r.transmutes };
                 let key = key.trim().trim_matches('"').to_string();
                 let val: usize = val
                     .trim()
                     .parse()
                     .map_err(|_| format!("line {}: bad count {val}", ln + 1))?;
-                r.counts.insert(key, val);
+                map.insert(key, val);
             }
             _ => return Err(format!("line {}: entry outside any section", ln + 1)),
         }
@@ -400,7 +475,11 @@ pub fn render_ratchet(scans: &[FileScan]) -> String {
     let mut s = String::from(
         "# Unsafe ratchet: per-file `unsafe` site counts, committed so CI can\n\
          # detect any new unsafe. Counts may only fall; to bless a change run\n\
-         # `cakectl audit --bless` and commit the result.\n\n[allow]\npaths = [\n",
+         # `cakectl audit --bless` and commit the result.\n\
+         #\n\
+         # [transmute] ratchets `transmute` calls the same way, and\n\
+         # [static_mut] allowlists files permitted to declare `static mut`\n\
+         # (none today — new `static mut` is forbidden workspace-wide).\n\n[allow]\npaths = [\n",
     );
     for f in scans.iter().filter(|f| !f.sites.is_empty()) {
         s.push_str(&format!("  \"{}\",\n", f.path));
@@ -409,6 +488,15 @@ pub fn render_ratchet(scans: &[FileScan]) -> String {
     for f in scans.iter().filter(|f| !f.sites.is_empty()) {
         s.push_str(&format!("\"{}\" = {}\n", f.path, f.sites.len()));
     }
+    s.push_str("\n[transmute]\n");
+    for f in scans.iter().filter(|f| !f.transmutes.is_empty()) {
+        s.push_str(&format!("\"{}\" = {}\n", f.path, f.transmutes.len()));
+    }
+    s.push_str("\n[static_mut]\npaths = [\n");
+    for f in scans.iter().filter(|f| !f.static_muts.is_empty()) {
+        s.push_str(&format!("  \"{}\",\n", f.path));
+    }
+    s.push_str("]\n");
     s
 }
 
@@ -446,6 +534,43 @@ pub fn audit_scans(scans: &[FileScan], ratchet_text: Option<&str>) -> ScanReport
 
     let have_ratchet = ratchet_text.is_some();
     for scan in scans {
+        // Transmute ratchet and static-mut ban are independent of the
+        // unsafe-site inventory (a `static mut` needs no `unsafe` token).
+        if have_ratchet && !scan.transmutes.is_empty() {
+            match ratchet.transmutes.get(&scan.path) {
+                None => report.violations.push(format!(
+                    "{}: {} transmute call(s) with no ratcheted count — bless deliberately",
+                    scan.path,
+                    scan.transmutes.len()
+                )),
+                Some(&committed) if scan.transmutes.len() > committed => {
+                    report.violations.push(format!(
+                        "{}: transmute count rose {} -> {} — new transmutes must be blessed",
+                        scan.path,
+                        committed,
+                        scan.transmutes.len()
+                    ));
+                }
+                Some(&committed) if scan.transmutes.len() < committed => {
+                    report.notes.push(format!(
+                        "{}: transmute count fell {} -> {} (re-bless to tighten the ratchet)",
+                        scan.path,
+                        committed,
+                        scan.transmutes.len()
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        if !scan.static_muts.is_empty() && !ratchet.static_mut_allow.contains(&scan.path) {
+            for &line in &scan.static_muts {
+                report.violations.push(format!(
+                    "{}:{}: `static mut` is forbidden workspace-wide (use an atomic or \
+                     interior mutability; allowlist in [static_mut] only as a last resort)",
+                    scan.path, line
+                ));
+            }
+        }
         if scan.sites.is_empty() {
             continue;
         }
@@ -498,6 +623,13 @@ pub fn audit_scans(scans: &[FileScan], ratchet_text: Option<&str>) -> ScanReport
             report
                 .notes
                 .push(format!("{path}: ratchet entry is stale (file clean or gone) — re-bless"));
+        }
+    }
+    for path in ratchet.transmutes.keys() {
+        if !scans.iter().any(|sc| &sc.path == path && !sc.transmutes.is_empty()) {
+            report
+                .notes
+                .push(format!("{path}: transmute ratchet entry is stale (file clean or gone) — re-bless"));
         }
     }
     report
@@ -561,6 +693,18 @@ const D: char = '\'';
     }
 
     #[test]
+    fn string_continuation_escapes_keep_physical_line_numbers() {
+        // A backslash-newline inside a string literal continues the
+        // literal but still ends the physical line; every downstream
+        // pass reports `lexed index + 1` as the file line, so the lexer
+        // must emit one entry per physical line.
+        let src = "let s = \"a \\\n     b\";\nfn after() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.len(), src.lines().count() + 1, "one entry per line plus trailing");
+        assert!(lexed[2].code.contains("fn after"), "{:?}", lexed[2].code);
+    }
+
+    #[test]
     fn safety_inside_a_string_does_not_annotate() {
         let src = "fn f(p: *const u8) -> u8 {\n    let _m = \"SAFETY: lies\";\n    unsafe { *p }\n}\n";
         let scan = scan_source("d.rs", src);
@@ -602,5 +746,70 @@ const D: char = '\'';
     fn missing_ratchet_is_a_violation() {
         let report = audit_scans(&[], None);
         assert!(report.violations.iter().any(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn transmute_count_is_ratcheted() {
+        let src = "// SAFETY: bit pattern is valid for both types.\n\
+                   unsafe fn f(x: u32) -> f32 { unsafe { core::mem::transmute(x) } }\n";
+        let scan = scan_source("t.rs", src);
+        assert_eq!(scan.transmutes, vec![2]);
+        let blessed = render_ratchet(std::slice::from_ref(&scan));
+        assert!(blessed.contains("[transmute]\n\"t.rs\" = 1"), "{blessed}");
+        let clean = audit_scans(std::slice::from_ref(&scan), Some(&blessed));
+        assert!(clean.violations.is_empty(), "{:?}", clean.violations);
+
+        let two = scan_source(
+            "t.rs",
+            &format!("{src}// SAFETY: same.\nunsafe fn g(x: u32) -> f32 {{ unsafe {{ core::mem::transmute(x) }} }}\n"),
+        );
+        let report = audit_scans(&[two], Some(&blessed));
+        assert!(
+            report.violations.iter().any(|v| v.contains("transmute count rose 1 -> 2")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn unratcheted_transmute_is_a_violation() {
+        let scan = scan_source(
+            "t.rs",
+            "// SAFETY: ok.\nunsafe fn f(x: u32) -> f32 { unsafe { core::mem::transmute(x) } }\n",
+        );
+        let report =
+            audit_scans(&[scan], Some("[allow]\npaths = [\"t.rs\"]\n[counts]\n\"t.rs\" = 2\n"));
+        assert!(
+            report.violations.iter().any(|v| v.contains("no ratcheted count")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn static_mut_is_forbidden_unless_allowlisted() {
+        let scan = scan_source("s.rs", "static mut COUNTER: u32 = 0;\n");
+        assert_eq!(scan.static_muts, vec![1]);
+        let report =
+            audit_scans(std::slice::from_ref(&scan), Some("[allow]\npaths = []\n[counts]\n"));
+        assert!(
+            report.violations.iter().any(|v| v.contains("`static mut` is forbidden")),
+            "{:?}",
+            report.violations
+        );
+        let allowed = audit_scans(
+            &[scan],
+            Some("[allow]\npaths = []\n[counts]\n[static_mut]\npaths = [\"s.rs\"]\n"),
+        );
+        assert!(allowed.violations.is_empty(), "{:?}", allowed.violations);
+    }
+
+    #[test]
+    fn static_lifetime_references_are_not_static_mut() {
+        let scan = scan_source(
+            "l.rs",
+            "fn f(x: &'static mut u32) -> &'static u32 { &*x }\nstatic OK: u32 = 0;\n",
+        );
+        assert!(scan.static_muts.is_empty(), "{:?}", scan.static_muts);
     }
 }

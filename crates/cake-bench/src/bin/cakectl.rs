@@ -13,7 +13,8 @@
 //!                  [--threads P | --threads P1,P2,...] [--check-counters]
 //!                  [--kernel-smoke] [--dtype-smoke]
 //! cakectl verify   [--cases C] [--seed S]
-//! cakectl audit    [--bless] [--root DIR]
+//! cakectl audit    [--bless] [--root DIR] [--only-scan] [--only-bounds]
+//!                  [--only-phase] [--only-alloc] [--only-panic] [--only-atomics]
 //! ```
 //!
 //! Everything the paper derives analytically, queryable from the shell —
@@ -70,11 +71,20 @@
 //! checker. Exit status 1 on any failure.
 //!
 //! `audit` runs the in-tree static analyses (`cake-audit`): the unsafe
-//! inventory against the committed `unsafe-ratchet.toml`, the symbolic
-//! bounds prover over every raw-pointer offset site (proof report written
-//! to `target/cake-audit/bounds.json`), and the executor phase checker.
-//! `--bless` regenerates the ratchet from the current tree before
-//! checking. Exit status 1 on any violation.
+//! inventory against the committed `unsafe-ratchet.toml` (with transmute
+//! and `static mut` ratchets), the symbolic bounds prover over every
+//! raw-pointer offset site (proof report written to
+//! `target/cake-audit/bounds.json`), the executor phase checker, and the
+//! call-graph dataflow passes — warm-path alloc-freedom, hot-path
+//! panic-freedom, and the atomics-ordering checker (aggregate report
+//! written to `target/cake-audit/audit.json`). Each pass prints its own
+//! `PASS`/`FAIL` verdict line; the exit status is computed over every
+//! selected pass (no short-circuiting), 1 on any violation.
+//!
+//! `--only-scan`, `--only-bounds`, `--only-phase`, `--only-alloc`,
+//! `--only-panic`, `--only-atomics` restrict the run to the named passes
+//! (repeatable; default is all six). `--bless` regenerates the ratchet
+//! from the current tree before checking.
 
 use cake_bench::output::{arg_value, has_flag, render_table};
 use cake_bench::scaling::{
@@ -371,9 +381,30 @@ fn cmd_audit() {
             }
         }
     };
+    // `--only-<pass>` flags are additive over an empty selection; with no
+    // flag every pass runs.
+    type PassFlag = (&'static str, fn(&mut cake_audit::PassSelection));
+    let only: &[PassFlag] = &[
+        ("--only-scan", |p| p.scan = true),
+        ("--only-bounds", |p| p.bounds = true),
+        ("--only-phase", |p| p.phase = true),
+        ("--only-alloc", |p| p.alloc = true),
+        ("--only-panic", |p| p.panic = true),
+        ("--only-atomics", |p| p.atomics = true),
+    ];
+    let mut passes = cake_audit::PassSelection::none();
+    for (flag, enable) in only {
+        if has_flag(flag) {
+            enable(&mut passes);
+        }
+    }
+    if !passes.any() {
+        passes = cake_audit::PassSelection::all();
+    }
     let cfg = cake_audit::AuditConfig {
         root: root.clone(),
         bless: has_flag("--bless"),
+        passes,
     };
     let outcome = match cake_audit::run(&cfg) {
         Ok(o) => o,
@@ -382,16 +413,31 @@ fn cmd_audit() {
             std::process::exit(2);
         }
     };
-    // Machine-readable proof report for tooling; failures here are not
-    // audit violations (the summary already carries the verdict).
+    // Machine-readable reports for tooling; failures here are not audit
+    // violations (the summary already carries the verdict).
     let report_dir = root.join("target/cake-audit");
     if std::fs::create_dir_all(&report_dir).is_ok() {
-        let _ = std::fs::write(report_dir.join("bounds.json"), outcome.bounds.to_json());
+        if let Some(bounds) = &outcome.bounds {
+            let _ = std::fs::write(report_dir.join("bounds.json"), bounds.to_json());
+        }
+        let _ = std::fs::write(report_dir.join("audit.json"), outcome.to_json());
     }
     for line in outcome.summary_lines() {
         println!("{line}");
     }
-    if !outcome.ok() {
+    // Aggregate the exit status over every selected pass explicitly —
+    // each report was fully computed above, so one failing pass never
+    // masks another's output, and the verdict covers them all.
+    let pass_results = [
+        outcome.scan.as_ref().map(|r| r.violations.is_empty()),
+        outcome.bounds.as_ref().map(|r| r.ok()),
+        outcome.phase.as_ref().map(|r| r.ok()),
+        outcome.alloc.as_ref().map(|r| r.ok()),
+        outcome.panic.as_ref().map(|r| r.ok()),
+        outcome.atomics.as_ref().map(|r| r.ok()),
+    ];
+    let all_ok = pass_results.iter().all(|r| r.unwrap_or(true)) && outcome.self_check.is_empty();
+    if !all_ok {
         std::process::exit(1);
     }
 }

@@ -120,6 +120,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark.
+    // audit: cold offline measurement harness, never on the warm path
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),

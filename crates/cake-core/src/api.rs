@@ -380,6 +380,7 @@ impl CakeGemm {
         let mut map = self.workspaces.lock().unwrap_or_else(|p| p.into_inner());
         let ws = map
             .entry(TypeId::of::<T>())
+            // audit: cold first-use workspace creation, memoized per dtype
             .or_insert_with(|| Box::new(GemmWorkspace::<T>::new()) as Box<dyn Any + Send>)
             .downcast_mut::<GemmWorkspace<T>>()
             .expect("workspace map is keyed by element TypeId");

@@ -298,6 +298,14 @@ pub fn execute_in<T: Dtype>(
 
 /// The pipelined CB-block executor: packs into and computes from `ws`,
 /// returning measured [`ExecStats`].
+///
+/// This is the warm-path root: after the one `ws.prepare(..)` staging
+/// call (cold — it only allocates on first use or shape growth) the
+/// whole call tree below here must neither allocate nor panic, which
+/// `cake-audit`'s alloc-freedom and panic-freedom passes prove
+/// statically from these anchors.
+// audit: warm
+// audit: hot
 #[allow(clippy::too_many_arguments)]
 pub fn execute_with_stats_in<T: Dtype>(
     a: &MatrixView<'_, T>,
@@ -311,8 +319,11 @@ pub fn execute_with_stats_in<T: Dtype>(
     let m = a.rows();
     let k = a.cols();
     let n = b.cols();
+    // audit: cold entry shape validation, once per call before any loop
     assert_eq!(b.rows(), k, "A is {m}x{k} but B has {} rows", b.rows());
+    // audit: cold entry shape validation, once per call before any loop
     assert_eq!(c.rows(), m, "C must have {m} rows, has {}", c.rows());
+    // audit: cold entry shape validation, once per call before any loop
     assert_eq!(c.cols(), n, "C must have {n} cols, has {}", c.cols());
     if m == 0 || n == 0 || k == 0 {
         return ExecStats::default();
@@ -336,9 +347,8 @@ pub fn execute_with_stats_in<T: Dtype>(
     let allocations = ws.prepare(shape, p, mr, nr, n_panels);
     let pa_stride = ws.pa_stride;
     let packed_a = &ws.packed_a;
-    let panels: Vec<&crate::shared::SharedBuf<T>> =
-        ws.packed_b.iter().take(n_panels).collect();
-    let panels = panels.as_slice();
+    // audit: checked prepare() above just grew packed_b to >= n_panels
+    let panels = &ws.packed_b[..n_panels];
     let pb_len = panels.first().map_or(0, |pb| pb.len());
 
     let host_cores = topology::available_cores();
@@ -363,8 +373,9 @@ pub fn execute_with_stats_in<T: Dtype>(
     let tally = Tally::new();
 
     pool.broadcast(|wid| {
-        // Per-worker re-created schedule iterator (cheap: pure arithmetic).
-        let sched = schedule.clone();
+        // Per-worker private schedule copy (plain `Copy`: pure arithmetic,
+        // no heap, no sharing).
+        let sched = schedule;
 
         let blk = |bi: usize| {
             let coord = sched.coord_at(bi);
@@ -525,6 +536,7 @@ pub fn execute_with_stats_in<T: Dtype>(
                 cache.seed((c0.k, c0.n));
                 let t0 = Instant::now();
                 // audit: step prologue pack_b slot=first
+                // audit: checked panel 0 exists: ring depth is always >= 2
                 pack_b_coop(&g, panels[0].base_ptr());
                 // audit: step prologue pack_a
                 pack_a_own(&g);
@@ -538,6 +550,7 @@ pub fn execute_with_stats_in<T: Dtype>(
 
             let t0 = Instant::now();
             // audit: step block compute slot=cur
+            // audit: checked cache.cur() < depth == panels.len() (ring invariant)
             compute(&g, panels[cache.cur()].base_ptr() as *const T);
             compute_ns += t0.elapsed().as_nanos() as u64;
 
@@ -555,6 +568,7 @@ pub fn execute_with_stats_in<T: Dtype>(
                 let t1 = Instant::now();
                 if let PanelAction::Pack(next) = cache.advance((cn.k, cn.n)) {
                     // audit: step block pack_b slot=next cond=ring-miss
+                    // audit: checked Pack(next) victims are drawn from 0..depth
                     pack_b_coop(&gn, panels[next].base_ptr());
                 }
                 if !share_a {

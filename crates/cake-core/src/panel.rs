@@ -37,12 +37,20 @@ pub enum PanelAction {
 /// function of the schedule), so all workers agree on which panel to read,
 /// which to fill, and — crucially for safety — the pack target is never the
 /// panel currently being computed from.
-#[derive(Clone, Debug)]
+///
+/// The ring state is inline fixed-size storage (the ring is capped at
+/// [`MAX_B_PANELS`](crate::workspace::MAX_B_PANELS) anyway), so creating a
+/// `PanelCache` per worker per GEMM call performs **no heap allocation** —
+/// the executor's warm path stays allocation-free, which `cake-audit`'s
+/// alloc-freedom pass proves statically.
+#[derive(Clone, Copy, Debug)]
 pub struct PanelCache {
     /// Which `(k, n)` surface each panel holds.
-    tags: Vec<Option<(usize, usize)>>,
+    tags: [Option<(usize, usize)>; crate::workspace::MAX_B_PANELS],
     /// Logical time of each panel's last use (0 = never touched).
-    last_use: Vec<u32>,
+    last_use: [u32; crate::workspace::MAX_B_PANELS],
+    /// Panels actually in use (`2..=MAX_B_PANELS`).
+    depth: usize,
     /// The live panel: the one the current block computes from.
     cur: usize,
     clock: u32,
@@ -50,11 +58,24 @@ pub struct PanelCache {
 
 impl PanelCache {
     /// An empty ring of `n_panels` panels (at least 2 for evictions to
-    /// have a victim distinct from the live panel).
+    /// have a victim distinct from the live panel, at most
+    /// [`MAX_B_PANELS`](crate::workspace::MAX_B_PANELS)).
+    ///
+    /// # Panics
+    /// Panics when `n_panels` is outside `2..=MAX_B_PANELS`.
     pub fn new(n_panels: usize) -> Self {
+        // audit: cold constructor precondition, outside the block loop;
+        // every executor call site passes ring_depth(..) which clamps into
+        // range
+        assert!(
+            (2..=crate::workspace::MAX_B_PANELS).contains(&n_panels),
+            "panel ring depth {n_panels} outside 2..={}",
+            crate::workspace::MAX_B_PANELS
+        );
         Self {
-            tags: vec![None; n_panels],
-            last_use: vec![0; n_panels],
+            tags: [None; crate::workspace::MAX_B_PANELS],
+            last_use: [0; crate::workspace::MAX_B_PANELS],
+            depth: n_panels,
             cur: 0,
             clock: 0,
         }
@@ -63,7 +84,9 @@ impl PanelCache {
     /// Seed the ring with block 0's surface in panel 0 (the prologue pack).
     pub fn seed(&mut self, want: (usize, usize)) {
         self.clock += 1;
+        // audit: checked index 0 of a ring whose depth is always >= 2
         self.tags[0] = Some(want);
+        // audit: checked same in-range slot as the tag write above
         self.last_use[0] = self.clock;
         self.cur = 0;
     }
@@ -71,22 +94,32 @@ impl PanelCache {
     /// Decide how the next block's surface is served and rotate the ring.
     pub fn advance(&mut self, want: (usize, usize)) -> PanelAction {
         self.clock += 1;
+        // audit: checked cur is always a prior in-range slot (< depth)
         if self.tags[self.cur] == Some(want) {
+            // audit: checked same in-range cur slot as the tag probe above
             self.last_use[self.cur] = self.clock;
             return PanelAction::Keep;
         }
-        if let Some(j) = self.tags.iter().position(|t| *t == Some(want)) {
+        // audit: checked slice bounded by depth <= MAX_B_PANELS (ctor assert)
+        if let Some(j) = self.tags[..self.depth].iter().position(|t| *t == Some(want)) {
+            // audit: checked j is a position within tags[..depth]
             self.last_use[j] = self.clock;
             self.cur = j;
             return PanelAction::Rotate(j);
         }
         // Evict the least-recently-used panel that is NOT the live one —
         // workers may still be computing from `cur` while this pack runs.
-        let victim = (0..self.tags.len())
+        // audit: checked the filter over 0..depth with depth >= 2 always
+        // leaves at least one candidate, so min_by_key is never None
+        let victim = (0..self.depth)
             .filter(|&j| j != self.cur)
+            // audit: checked j drawn from 0..depth
             .min_by_key(|&j| self.last_use[j])
+            // audit: checked the j != cur filter with depth >= 2 leaves a candidate
             .expect("ring has >= 2 panels");
+        // audit: checked victim drawn from 0..depth
         self.tags[victim] = Some(want);
+        // audit: checked victim drawn from 0..depth
         self.last_use[victim] = self.clock;
         self.cur = victim;
         PanelAction::Pack(victim)
@@ -99,7 +132,7 @@ impl PanelCache {
 
     /// Number of panels in the ring.
     pub fn depth(&self) -> usize {
-        self.tags.len()
+        self.depth
     }
 
     /// The `(k, n)` surface currently held by panel `j`, if any.

@@ -235,8 +235,9 @@ impl ThreadPool {
             call: call_shim::<F>,
         };
         for tx in &self.txs {
-            tx.send(Msg::Run(job))
-                .expect("worker channel closed unexpectedly");
+            // audit: cold send fails only when a worker thread has died,
+            // which a healthy pool never does before Drop — error path
+            tx.send(Msg::Run(job)).expect("worker channel closed unexpectedly");
         }
         let mut errors = Vec::new();
         {
@@ -248,14 +249,18 @@ impl ThreadPool {
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             for _ in 0..self.size {
+                // audit: checked recv fails only if every worker dropped
+                // the done sender, which only happens at pool Drop
                 match done_rx.recv().expect("done channel closed") {
                     Ok(()) => {}
+                    // audit: cold worker-panic collection, error path only
                     Err(e) => errors.push(e),
                 }
             }
         }
         // `f` is only dropped after every worker acknowledged: safe.
         if !errors.is_empty() {
+            // audit: cold worker-panic propagation, error path only
             panic!("{} worker(s) panicked: {}", errors.len(), errors.join("; "));
         }
     }

@@ -88,8 +88,10 @@ pub enum Surface {
 }
 
 /// The K-first snake schedule: an iterator over [`BlockCoord`]s in
-/// execution order.
-#[derive(Debug, Clone)]
+/// execution order. `Copy` on purpose: each executor worker grabs a
+/// private copy with a plain assignment, so replaying the schedule
+/// never touches the heap or a shared cache line.
+#[derive(Debug, Clone, Copy)]
 pub struct KFirstSchedule {
     grid: BlockGrid,
     outer: OuterLoop,
@@ -244,6 +246,7 @@ pub fn shared_surfaces(prev: BlockCoord, next: BlockCoord) -> Vec<Surface> {
 /// `m_tiles == 0` is treated as 1 so empty blocks still yield a valid
 /// (degenerate) grid.
 pub fn worker_grid(p: usize, m_tiles: usize) -> (usize, usize) {
+    // audit: cold grid-shaping precondition, once per GEMM call
     assert!(p > 0, "worker grid needs at least one worker");
     let cap = m_tiles.max(1);
     let mut pm = 1;
@@ -513,6 +516,7 @@ impl SnakeSchedule {
     pub fn coord_at(&self, idx: usize) -> BlockCoord {
         debug_assert!(idx < self.len());
         let (oe, me, ie) =
+            // audit: checked constant indices into the [Dim; 3] loop order
             (self.ext(self.order[0]), self.ext(self.order[1]), self.ext(self.order[2]));
         debug_assert_eq!(oe * me * ie, self.len());
         let o = idx / (me * ie);
@@ -525,6 +529,7 @@ impl SnakeSchedule {
         let inner = if pair.is_multiple_of(2) { inner_step } else { ie - 1 - inner_step };
 
         let mut c = BlockCoord { m: 0, k: 0, n: 0 };
+        // audit: checked constant indices into the [Dim; 3] loop order
         for (d, v) in [(self.order[0], o), (self.order[1], mid), (self.order[2], inner)] {
             match d {
                 Dim::M => c.m = v,

@@ -178,6 +178,7 @@ impl SpinBarrier {
     /// # Panics
     /// Panics if `p == 0`.
     pub fn with_mode(p: usize, mode: BarrierMode) -> Self {
+        // audit: cold constructor precondition, once per barrier construction
         assert!(p > 0, "barrier needs at least one participant");
         Self {
             arrived: CachePadded(AtomicUsize::new(0)),
@@ -225,6 +226,10 @@ impl SpinBarrier {
         if self.arrived.0.fetch_add(1, Ordering::AcqRel) + 1 == self.p {
             // Leader: reset for the next episode *before* the release store
             // so a released worker's next arrival finds a clean counter.
+            // Relaxed is enough: the reset is ordered before the Release
+            // publish below, and no waiter reads the counter until its own
+            // next AcqRel arrival (which acquires the publish).
+            // audit: fact counter-reset-relaxed
             self.arrived.0.store(0, Ordering::Relaxed);
             // audit: fact publish-release
             self.sense.0.store(my_sense, Ordering::Release);
@@ -262,6 +267,7 @@ impl SpinBarrier {
         // Advertise before the final sense check: the SeqCst RMW + fence
         // order this advert before the re-check in the SC total order.
         self.parked.fetch_add(1, Ordering::SeqCst);
+        // audit: fact park-advertise-seqcst
         fence(Ordering::SeqCst);
         {
             let mut guard = self
@@ -284,6 +290,7 @@ impl SpinBarrier {
     /// published sense in its own fenced re-check and never sleep.
     #[cold]
     fn wake_parked(&self) {
+        // audit: fact leader-fence-seqcst
         fence(Ordering::SeqCst);
         if self.parked.load(Ordering::SeqCst) > 0 {
             // Taking the lock orders this notify after any waiter that won

@@ -88,6 +88,9 @@ impl<T: Element> GemmWorkspace<T> {
     /// `workers` is the *effective* pool size, which may differ from
     /// `shape.p` (the shape keeps the requested p for the analytic model;
     /// the executor partitions across whatever the pool actually has).
+    // audit: cold staging call before the block loop; allocates only on
+    // first use or shape growth, and the warm-alloc runtime test pins the
+    // steady state at zero fresh allocations
     pub fn prepare(
         &mut self,
         shape: &CbBlockShape,

@@ -97,10 +97,13 @@ impl Layer for Conv2d {
         (self.out_ch, oh, ow)
     }
 
+    // audit: warm
     fn forward(&self, ctx: &CakeGemm, input: &Tensor) -> Tensor {
         assert_eq!(input.channels(), self.in_ch, "{}: channel mismatch", self.name);
+        // audit: cold im2col patch buffer, allocated per layer by contract
         let patches = im2col(input, &self.geom);
         let (oh, ow) = self.geom.out_dims(input.height(), input.width());
+        // audit: cold output accumulator, allocated per layer by contract
         let mut y = Matrix::<f32>::zeros(self.out_ch, oh * ow);
         ctx.gemm(&self.weights, &patches, &mut y);
         if !self.bias.is_empty() {
@@ -111,6 +114,7 @@ impl Layer for Conv2d {
                 }
             }
         }
+        // audit: cold output tensor wrap, allocated per layer by contract
         Tensor::from_matrix(y, oh, ow)
     }
 
@@ -244,14 +248,18 @@ impl Layer for Linear {
         (self.weights.rows(), 1, 1)
     }
 
+    // audit: warm
     fn forward(&self, ctx: &CakeGemm, input: &Tensor) -> Tensor {
+        // audit: cold flattened feature staging, allocated per layer by contract
         let x = input.flatten();
         assert_eq!(x.rows(), self.weights.cols(), "{}: feature count mismatch", self.name);
+        // audit: cold output accumulator, allocated per layer by contract
         let mut y = Matrix::<f32>::zeros(self.weights.rows(), 1);
         ctx.gemm(&self.weights, &x, &mut y);
         for (i, b) in self.bias.iter().enumerate() {
             y.set(i, 0, y.get(i, 0) + b);
         }
+        // audit: cold output tensor wrap, allocated per layer by contract
         Tensor::from_matrix(y, 1, 1)
     }
 

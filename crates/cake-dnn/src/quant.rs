@@ -76,6 +76,7 @@ pub struct ActQuant {
 /// mapping of `[min(x, 0), max(x, 0)]` onto `[-128, 127]`. Including zero
 /// in the range guarantees zero is exactly representable — padding and
 /// post-ReLU zeros survive quantization bit-exactly.
+// audit: cold activation quantization staging, allocates the int8 activation buffer
 pub fn quantize_activations(x: &Matrix<f32>) -> (Matrix<i8>, ActQuant) {
     let (mut lo, mut hi) = (0.0f32, 0.0f32);
     for &v in x.as_slice() {
@@ -97,6 +98,7 @@ pub fn quantize_activations(x: &Matrix<f32>) -> (Matrix<i8>, ActQuant) {
 
 /// Run `wq * xq` in int8 through the shared context and requantize to f32
 /// with the exact zero-point correction; `bias` may be empty.
+// audit: warm
 fn quant_gemm_requant(
     ctx: &CakeGemm,
     wq: &QuantizedWeights,
@@ -105,8 +107,10 @@ fn quant_gemm_requant(
     bias: &[f32],
 ) -> Matrix<f32> {
     let (m, n) = (wq.q.rows(), xq.cols());
+    // audit: cold int32 accumulator, allocated per layer by contract
     let mut acc = Matrix::<i32>::zeros(m, n);
     ctx.gemm(&wq.q, xq, &mut acc);
+    // audit: cold requantized output matrix, allocated per layer by contract
     Matrix::from_fn(m, n, |o, j| {
         let corrected = acc.get(o, j) - aq.zero_point * wq.row_sums[o];
         let y = wq.scales[o] * aq.scale * corrected as f32;
@@ -162,12 +166,15 @@ impl Layer for QuantConv2d {
         (self.out_ch, oh, ow)
     }
 
+    // audit: warm
     fn forward(&self, ctx: &CakeGemm, input: &Tensor) -> Tensor {
         assert_eq!(input.channels(), self.in_ch, "{}: channel mismatch", self.name);
+        // audit: cold im2col patch buffer, allocated per layer by contract
         let patches = im2col(input, &self.geom);
         let (xq, aq) = quantize_activations(&patches);
         let (oh, ow) = self.geom.out_dims(input.height(), input.width());
         let y = quant_gemm_requant(ctx, &self.weights, &xq, aq, &self.bias);
+        // audit: cold output tensor wrap, allocated per layer by contract
         Tensor::from_matrix(y, oh, ow)
     }
 
@@ -209,11 +216,14 @@ impl Layer for QuantLinear {
         (self.weights.q.rows(), 1, 1)
     }
 
+    // audit: warm
     fn forward(&self, ctx: &CakeGemm, input: &Tensor) -> Tensor {
+        // audit: cold flattened feature staging, allocated per layer by contract
         let x = input.flatten();
         assert_eq!(x.rows(), self.in_features, "{}: feature count mismatch", self.name);
         let (xq, aq) = quantize_activations(&x);
         let y = quant_gemm_requant(ctx, &self.weights, &xq, aq, &self.bias);
+        // audit: cold output tensor wrap, allocated per layer by contract
         Tensor::from_matrix(y, 1, 1)
     }
 

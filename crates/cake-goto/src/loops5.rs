@@ -37,6 +37,7 @@ use crate::params::GotoParams;
 ///
 /// # Panics
 /// Panics on dimension mismatch or `pool.size() != params.p`.
+// audit: warm
 pub fn execute<T: Dtype>(
     a: &MatrixView<'_, T>,
     b: &MatrixView<'_, T>,
@@ -71,8 +72,10 @@ pub fn execute<T: Dtype>(
     let kc_eff = kc.min(k);
     let nc_eff = nc.min(n.div_ceil(nr) * nr);
     let mc_eff = mc.min(m.div_ceil(mr) * mr);
+    // audit: cold pre-loop packing buffer, sized once per call
     let packed_b = SharedBuf::<T>::zeroed(packed_b_size(kc_eff, nc_eff, nr));
     let pa_stride = packed_a_size(mc_eff, kc_eff, mr);
+    // audit: cold pre-loop packing buffer, sized once per call
     let packed_a = SharedBuf::<T>::zeroed(pa_stride * p);
 
     let barrier = Barrier::new(p);

@@ -53,6 +53,7 @@ pub unsafe fn run_tile<T: Dtype>(
         unsafe { ukr.call(kc, a, b, c, rsc, csc) };
         return;
     }
+    // audit: checked every registered kernel satisfies mr*nr <= MAX_TILE (registry tests pin this)
     assert!(mr * nr <= MAX_TILE, "kernel tile exceeds scratch capacity");
     let mut scratch = [<T::Acc>::ZERO; MAX_TILE];
     // SAFETY: scratch is mr*nr contiguous (row stride nr), kernel writes
@@ -63,6 +64,7 @@ pub unsafe fn run_tile<T: Dtype>(
             // SAFETY: caller guarantees c indexing validity for i<mrows, j<ncols.
             unsafe {
                 let p = c.add(i * rsc + j * csc);
+                // audit: bounds edge_scratch_tile
                 *p += scratch[i * nr + j];
             }
         }

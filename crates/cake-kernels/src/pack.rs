@@ -145,7 +145,9 @@ pub fn packed_b_size(kc: usize, nc: usize, nr: usize) -> usize {
 /// Panics if `parts == 0` or `idx >= parts`.
 #[inline]
 pub fn split_range(total: usize, parts: usize, idx: usize) -> std::ops::Range<usize> {
+    // audit: checked executor passes parts = pool size >= 1 (ThreadPool contract)
     assert!(parts > 0, "cannot split into zero parts");
+    // audit: checked executor passes idx = worker id < parts
     assert!(idx < parts, "part index {idx} out of range for {parts} parts");
     let base = total / parts;
     let extra = total % parts;
@@ -174,12 +176,14 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
     let mc = src.rows();
     let kc = src.cols();
     let need = packed_a_size(mc, kc, mr);
+    // audit: cold buffer-size precondition, once per pack call before the sliver loop
     assert!(dst.len() >= need, "packed A buffer too small: {} < {need}", dst.len());
     let slivers = if mc == 0 { 0 } else { mc.div_ceil(mr) };
     for s in 0..slivers {
         let row0 = s * mr;
         let live = mr.min(mc - row0);
         let base = a_sliver_offset(s, kc, mr);
+        // audit: bounds pack_a_sliver_tail
         let sliv = &mut dst[base..base + mr * kc];
         if src.row_stride() == 1 {
             // Column-major A: the `mr` rows of one k are contiguous —
@@ -189,10 +193,14 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
                 if let Some(ahead) = src.contiguous_col((k + PF_DIST).min(kc - 1), row0, live) {
                     prefetch_run(ahead);
                 }
+                // audit: checked k < kc keeps the sliver column inside mr*kc
                 let out = &mut sliv[k * mr..(k + 1) * mr];
+                // audit: checked guarded by the row_stride == 1 branch above
                 let col = src.contiguous_col(k, row0, live).expect("unit row stride");
+                // audit: checked live <= mr bounds the live prefix
                 out[..live].copy_from_slice(col);
                 // Edge tail handled once per k, outside the element loop.
+                // audit: checked live <= mr bounds the zero tail
                 out[live..].fill(T::ZERO);
             }
         } else if src.col_stride() == 1 {
@@ -204,6 +212,7 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
                 // transpose, scalar loop only for the kc % 16 tail.
                 let rows: [*const u8; 16] = std::array::from_fn(|i| {
                     src.contiguous_row(row0 + i, 0, kc)
+                        // audit: checked guarded by the col_stride == 1 branch above
                         .expect("unit col stride")
                         .as_ptr()
                         .cast()
@@ -217,6 +226,7 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
                     // 16 bytes); `sliv` and `src` never alias (distinct
                     // allocations).
                     unsafe {
+                        // audit: checked from_fn gives i < 16 = rows.len()
                         let tile: [*const u8; 16] = std::array::from_fn(|i| rows[i].add(kt * 16));
                         bytetile::transpose_16x16(&tile, dst8.add(kt * 256));
                     }
@@ -239,23 +249,29 @@ pub fn pack_a<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], mr: usize) {
                         prefetch_read(ahead, 0);
                     }
                 }
+                // audit: checked guarded by the col_stride == 1 branch above
                 let row = src.contiguous_row(row0 + i, 0, kc).expect("unit col stride");
                 for (k, &v) in row.iter().enumerate() {
+                    // audit: checked k < kc and i < live <= mr stay inside the mr*kc sliver
                     sliv[k * mr + i] = v;
                 }
             }
             if live < mr {
                 for k in 0..kc {
+                    // audit: checked live < mr branch keeps k*mr+live..(k+1)*mr inside the sliver
                     sliv[k * mr + live..(k + 1) * mr].fill(T::ZERO);
                 }
             }
         } else {
             // General strided view: element-wise gather.
             for k in 0..kc {
+                // audit: checked k < kc keeps the sliver column inside mr*kc
                 let out = &mut sliv[k * mr..(k + 1) * mr];
+                // audit: checked live <= mr bounds the live prefix
                 for (i, o) in out[..live].iter_mut().enumerate() {
                     *o = src.get(row0 + i, k);
                 }
+                // audit: checked live <= mr bounds the zero tail
                 out[live..].fill(T::ZERO);
             }
         }
@@ -270,12 +286,14 @@ pub fn pack_b<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], nr: usize) {
     let kc = src.rows();
     let nc = src.cols();
     let need = packed_b_size(kc, nc, nr);
+    // audit: cold buffer-size precondition, once per pack call before the sliver loop
     assert!(dst.len() >= need, "packed B buffer too small: {} < {need}", dst.len());
     let slivers = if nc == 0 { 0 } else { nc.div_ceil(nr) };
     for t in 0..slivers {
         let col0 = t * nr;
         let live = nr.min(nc - col0);
         let base = b_sliver_offset(t, kc, nr);
+        // audit: bounds pack_b_sliver_tail
         let sliv = &mut dst[base..base + nr * kc];
         if src.col_stride() == 1 {
             // Row-major B: the `nr` columns of one k are contiguous —
@@ -285,9 +303,13 @@ pub fn pack_b<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], nr: usize) {
                 if let Some(ahead) = src.contiguous_row((k + PF_DIST).min(kc - 1), col0, live) {
                     prefetch_run(ahead);
                 }
+                // audit: checked k < kc keeps the sliver row inside nr*kc
                 let out = &mut sliv[k * nr..(k + 1) * nr];
+                // audit: checked guarded by the col_stride == 1 branch above
                 let row = src.contiguous_row(k, col0, live).expect("unit col stride");
+                // audit: checked live <= nr bounds the live prefix
                 out[..live].copy_from_slice(row);
+                // audit: checked live <= nr bounds the zero tail
                 out[live..].fill(T::ZERO);
             }
         } else if src.row_stride() == 1 {
@@ -301,23 +323,29 @@ pub fn pack_b<T: Element>(src: &MatrixView<'_, T>, dst: &mut [T], nr: usize) {
                         prefetch_read(ahead, 0);
                     }
                 }
+                // audit: checked guarded by the row_stride == 1 branch above
                 let col = src.contiguous_col(col0 + j, 0, kc).expect("unit row stride");
                 for (k, &v) in col.iter().enumerate() {
+                    // audit: checked k < kc and j < live <= nr stay inside the nr*kc sliver
                     sliv[k * nr + j] = v;
                 }
             }
             if live < nr {
                 for k in 0..kc {
+                    // audit: checked live < nr branch keeps k*nr+live..(k+1)*nr inside the sliver
                     sliv[k * nr + live..(k + 1) * nr].fill(T::ZERO);
                 }
             }
         } else {
             // General strided view: element-wise gather.
             for k in 0..kc {
+                // audit: checked k < kc keeps the sliver row inside nr*kc
                 let out = &mut sliv[k * nr..(k + 1) * nr];
+                // audit: checked live <= nr bounds the live prefix
                 for (j, o) in out[..live].iter_mut().enumerate() {
                     *o = src.get(k, col0 + j);
                 }
+                // audit: checked live <= nr bounds the zero tail
                 out[live..].fill(T::ZERO);
             }
         }

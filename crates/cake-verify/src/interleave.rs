@@ -377,6 +377,7 @@ fn apply(
 /// annotation-derived programs) and returns the same report, with
 /// `rotate_hits`/`b_packs` left at zero (those are replay statistics the
 /// caller may not have).
+// audit: cold model-checking exploration, test-only tool
 pub fn explore_programs(progs: &[Vec<Step>], ring: usize, slivers: usize, max_states: usize) -> InterleaveReport {
     explore_programs_with(progs, ring, slivers, max_states, BarrierModel::Spin)
 }
