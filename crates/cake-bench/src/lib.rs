@@ -25,3 +25,4 @@ pub mod figures;
 pub mod harness;
 pub mod output;
 pub mod scaling;
+pub mod tune;

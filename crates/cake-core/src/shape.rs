@@ -17,6 +17,13 @@
 //! Sizing follows the LRU rule of Section 4.3: the three surfaces must fit
 //! the LLC with headroom for the *next* block's inputs,
 //! `C + 2(A + B) <= S`.
+//!
+//! A shape may additionally carry an *outer* (LLC-level) tiling — the
+//! MOMMS observation that constant-bandwidth blocking applies at every
+//! cache level: the K/N block grid is cut into outer tiles of
+//! `ko_blocks x no_blocks` L2-level blocks and the schedule finishes one
+//! outer tile before moving to the next. `0` in either extent disables the
+//! outer level, which degenerates to the one-level K-first snake exactly.
 
 /// Shape of one constant-bandwidth block on a CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +39,12 @@ pub struct CbBlockShape {
     pub nc: usize,
     /// Numerator of the bandwidth factor: `nc ~= alpha * p * mc`.
     pub alpha_x1000: u32,
+    /// Outer (LLC-level) tile depth along K, in L2-level blocks; 0
+    /// disables the outer level (one-level schedule).
+    pub ko_blocks: usize,
+    /// Outer (LLC-level) tile width along N, in L2-level blocks; 0
+    /// disables the outer level (one-level schedule).
+    pub no_blocks: usize,
 }
 
 impl CbBlockShape {
@@ -87,6 +100,8 @@ impl CbBlockShape {
             kc,
             nc,
             alpha_x1000: (alpha * 1000.0).round() as u32,
+            ko_blocks: 0,
+            no_blocks: 0,
         }
     }
 
@@ -133,7 +148,25 @@ impl CbBlockShape {
             kc,
             nc,
             alpha_x1000: (alpha.max(0.001) * 1000.0).round() as u32,
+            ko_blocks: 0,
+            no_blocks: 0,
         }
+    }
+
+    /// The same shape with an outer (LLC-level) K/N tiling of
+    /// `ko_blocks x no_blocks` L2-level blocks per tile. `0` in either
+    /// extent disables the outer level.
+    pub fn with_outer_tiles(mut self, ko_blocks: usize, no_blocks: usize) -> Self {
+        self.ko_blocks = ko_blocks;
+        self.no_blocks = no_blocks;
+        self
+    }
+
+    /// Whether this shape requests the two-level (outer K/N tiled)
+    /// schedule.
+    #[inline]
+    pub fn has_outer_level(&self) -> bool {
+        self.ko_blocks > 0 || self.no_blocks > 0
     }
 
     /// The aspect factor `alpha = nc / (p * mc)` (approximate after
@@ -224,7 +257,11 @@ impl std::fmt::Display for CbBlockShape {
             self.p,
             self.mc,
             self.alpha()
-        )
+        )?;
+        if self.has_outer_level() {
+            write!(f, "+outer[{}x{}]", self.ko_blocks.max(1), self.no_blocks.max(1))?;
+        }
+        Ok(())
     }
 }
 
@@ -340,6 +377,20 @@ mod tests {
         let (llc1, l21) = CbBlockShape::mc_bounds(1, 1.0, 256 * KIB, 20 * MIB, 4);
         assert!(mc_llc < llc1);
         assert_eq!(mc_l2, l21);
+    }
+
+    #[test]
+    fn outer_tiles_builder_round_trips() {
+        let s = CbBlockShape::fixed(2, 8, 8, 16);
+        assert!(!s.has_outer_level());
+        let t = s.with_outer_tiles(2, 3);
+        assert!(t.has_outer_level());
+        assert_eq!((t.ko_blocks, t.no_blocks), (2, 3));
+        // Surfaces and MACs are properties of the L2-level block — the
+        // outer tiling only reorders the schedule.
+        assert_eq!(t.a_surface(), s.a_surface());
+        assert_eq!(t.block_macs(), s.block_macs());
+        assert_eq!(format!("{t}"), format!("{s}+outer[2x3]"));
     }
 
     #[test]

@@ -30,7 +30,10 @@ use cake_core::panel::ring_depth;
 use cake_core::pool::ThreadPool;
 use cake_core::schedule::{BlockGrid, KFirstSchedule};
 use cake_core::shape::CbBlockShape;
-use cake_core::traffic::{dram_traffic, dram_traffic_with_panel_ring, CResidency, TrafficParams};
+use cake_core::traffic::{
+    dram_traffic, dram_traffic_with_panel_ring, two_level_traffic,
+    two_level_traffic_with_panel_ring, CResidency, TrafficParams,
+};
 use cake_core::workspace::GemmWorkspace;
 use cake_goto::model::GotoModel;
 use cake_goto::naive::naive_gemm_views;
@@ -148,6 +151,104 @@ fn check_measured_traffic(report: &mut ConformanceReport) -> Result<(), String> 
         "measured == analytic, element-exact, p-invariant over p={CORE_COUNTS:?}: \
          A {ea}, B {eb} (ring; adjacency bound {}), C-updates {ec}",
         adj.b_loads
+    ));
+    Ok(())
+}
+
+/// Layer 1b: the same element-exact reconciliation with the **two-level**
+/// (MOMMS-style) outer K/N loop enabled. The outer tiling permutes the
+/// block schedule and pays partial-C spill round trips on K-tile changes,
+/// so the counters differ from the one-level walk — but the executor and
+/// `two_level_traffic`/`two_level_traffic_with_panel_ring` must still
+/// agree as `u64` equalities at every `p`, and stay `p`-invariant on a
+/// fixed grid.
+fn check_two_level_traffic(report: &mut ConformanceReport) -> Result<(), String> {
+    let (m, k, n) = (48usize, 24usize, 48usize);
+    let (bm, bk, bn) = (16usize, 8usize, 16usize);
+    let (ko, no) = (2usize, 2usize);
+    let params = TrafficParams { m, k, n, bm, bk, bn };
+    let grid = BlockGrid::for_problem(m, k, n, bm, bk, bn);
+    let adj = two_level_traffic(params, ko, no, CResidency::HoldInLlc);
+    let ring =
+        two_level_traffic_with_panel_ring(params, ko, no, CResidency::HoldInLlc, ring_depth(grid.kb));
+    let one_level = dram_traffic(KFirstSchedule::new(grid, m, n), params, CResidency::HoldInLlc);
+    if adj.total() < one_level.total() {
+        return Err(fail(
+            "two-level",
+            format!(
+                "outer tiling can only add traffic on this grid: {} < {}",
+                adj.total(),
+                one_level.total()
+            ),
+        ));
+    }
+
+    let a = init::random::<f32>(m, k, 21);
+    let b = init::random::<f32>(k, n, 22);
+    let mut expected = Matrix::<f32>::zeros(m, n);
+    naive_gemm_views(&a.view(), &b.view(), &mut expected.view_mut());
+    let ukr = portable_kernel::<f32>();
+
+    let mut measured: Vec<(u64, u64, u64)> = Vec::new();
+    for &p in &CORE_COUNTS {
+        let shape = CbBlockShape::fixed(p, bm / p, bk, bn).with_outer_tiles(ko, no);
+        let pool = ThreadPool::new(p);
+        let mut ws = GemmWorkspace::new();
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let stats =
+            execute_with_stats_in(&a.view(), &b.view(), &mut c.view_mut(), &shape, &ukr, &pool, &mut ws);
+
+        let tol = cake_matrix::compare::gemm_tolerance::<f32>(k);
+        if !cake_matrix::approx_eq(&c, &expected, tol) {
+            return Err(fail(
+                "two-level",
+                format!("p={p}: two-level executor result diverged from naive"),
+            ));
+        }
+        if stats.a_elems_loaded != adj.a_loads {
+            return Err(fail(
+                "two-level",
+                format!(
+                    "p={p}: A elements loaded {} != two-level analytic {}",
+                    stats.a_elems_loaded, adj.a_loads
+                ),
+            ));
+        }
+        if stats.b_elems_loaded != ring.b_loads {
+            return Err(fail(
+                "two-level",
+                format!(
+                    "p={p}: B elements loaded {} != two-level panel-ring replay {}",
+                    stats.b_elems_loaded, ring.b_loads
+                ),
+            ));
+        }
+        // The outer loop permutes the same block grid, so C still takes
+        // exactly kb accumulation passes over every element.
+        let c_expect = (grid.kb * m * n) as u64;
+        if stats.c_elems_updated != c_expect {
+            return Err(fail(
+                "two-level",
+                format!(
+                    "p={p}: C elements updated {} != kb*m*n = {c_expect}",
+                    stats.c_elems_updated
+                ),
+            ));
+        }
+        measured.push((stats.a_elems_loaded, stats.b_elems_loaded, stats.c_elems_updated));
+    }
+    if measured.windows(2).any(|w| w[0] != w[1]) {
+        return Err(fail(
+            "two-level",
+            format!("two-level counters changed with p at a fixed block grid: {measured:?}"),
+        ));
+    }
+    let (ea, eb, ec) = measured[0];
+    report.lines.push(format!(
+        "two-level ({ko}x{no} outer tiles) measured == analytic, element-exact, \
+         p-invariant over p={CORE_COUNTS:?}: A {ea}, B {eb}, C-updates {ec} \
+         (one-level total floor {})",
+        one_level.total()
     ));
     Ok(())
 }
@@ -295,10 +396,11 @@ fn check_simulator(report: &mut ConformanceReport) -> Result<(), String> {
     Ok(())
 }
 
-/// Run all three conformance layers.
+/// Run all conformance layers.
 pub fn run() -> Result<ConformanceReport, String> {
     let mut report = ConformanceReport::default();
     check_measured_traffic(&mut report)?;
+    check_two_level_traffic(&mut report)?;
     check_closed_forms(&mut report)?;
     check_simulator(&mut report)?;
     Ok(report)
@@ -311,7 +413,7 @@ mod tests {
     #[test]
     fn full_conformance_suite_passes() {
         let rep = run().expect("conformance oracle must pass");
-        assert_eq!(rep.lines.len(), 3);
+        assert_eq!(rep.lines.len(), 4);
     }
 
     #[test]

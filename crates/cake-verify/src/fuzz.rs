@@ -336,7 +336,7 @@ fn gen_case(rng: &mut TestRng) -> GemmCase {
 /// scaled by the reduction depth, with a relative-error fallback (the
 /// workspace-wide `gemm_tolerance`) for catastrophic cancellation, where
 /// a tiny absolute error spans astronomically many ULPs.
-fn acceptable<T: UlpElement>(got: T, want: T, k: usize, int_data: bool) -> (bool, u64) {
+pub(crate) fn acceptable<T: UlpElement>(got: T, want: T, k: usize, int_data: bool) -> (bool, u64) {
     let ulps = T::ulp_distance(got, want);
     if int_data {
         return (ulps == 0, ulps);
@@ -353,7 +353,7 @@ fn acceptable<T: UlpElement>(got: T, want: T, k: usize, int_data: bool) -> (bool
     ((x - y).abs() <= tol * denom, ulps)
 }
 
-fn compare<T: UlpElement>(
+pub(crate) fn compare<T: UlpElement>(
     engine: &'static str,
     got: &Matrix<T>,
     want: &Matrix<T>,
